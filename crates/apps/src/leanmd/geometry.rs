@@ -1,0 +1,180 @@
+//! LeanMD cell-space geometry.
+//!
+//! The paper's benchmark partitions atoms into a 6×6×6 **periodic** grid
+//! of cells; every unordered pair of neighbouring cells (including each
+//! cell with itself) gets a *cell-pair* object that computes the
+//! interactions between the two atom sets: *"there are 216 cells and
+//! 3,024 cell pairs"* — which is exactly 216 self-pairs + (216·26)/2 =
+//! 2,808 distinct neighbour pairs.
+
+/// A periodic cells-per-side decomposition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CellGrid {
+    /// Cells per side (paper: 6).
+    pub side: u32,
+}
+
+/// One cell-pair object: interactions between cells `a` and `b` (a == b
+/// for the intra-cell self-pair).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CellPair {
+    /// Lower cell id.
+    pub a: u32,
+    /// Higher (or equal) cell id.
+    pub b: u32,
+    /// Minimum-image lattice offset of `b` relative to `a`, in cells
+    /// (each component in -1..=1); used for periodic force computation.
+    pub shift: [i32; 3],
+}
+
+impl CellGrid {
+    /// The paper's 6×6×6 grid.
+    pub fn paper() -> Self {
+        CellGrid { side: 6 }
+    }
+
+    /// Total cells.
+    pub fn n_cells(&self) -> u32 {
+        self.side * self.side * self.side
+    }
+
+    /// Linearize (x, y, z) with each in [0, side).
+    pub fn cell_id(&self, x: u32, y: u32, z: u32) -> u32 {
+        debug_assert!(x < self.side && y < self.side && z < self.side);
+        (x * self.side + y) * self.side + z
+    }
+
+    /// Invert [`Self::cell_id`].
+    pub fn coords(&self, id: u32) -> (u32, u32, u32) {
+        let z = id % self.side;
+        let y = (id / self.side) % self.side;
+        let x = id / (self.side * self.side);
+        (x, y, z)
+    }
+
+    /// The 26 periodic neighbours of a cell (excluding itself), with the
+    /// lattice shift that maps the neighbour next to `id`.
+    pub fn neighbors(&self, id: u32) -> Vec<(u32, [i32; 3])> {
+        let (x, y, z) = self.coords(id);
+        let s = self.side as i32;
+        let mut out = Vec::with_capacity(26);
+        for dx in -1..=1i32 {
+            for dy in -1..=1i32 {
+                for dz in -1..=1i32 {
+                    if dx == 0 && dy == 0 && dz == 0 {
+                        continue;
+                    }
+                    let nx = (x as i32 + dx).rem_euclid(s) as u32;
+                    let ny = (y as i32 + dy).rem_euclid(s) as u32;
+                    let nz = (z as i32 + dz).rem_euclid(s) as u32;
+                    out.push((self.cell_id(nx, ny, nz), [dx, dy, dz]));
+                }
+            }
+        }
+        out
+    }
+
+    /// All cell pairs: one self-pair per cell plus each unordered
+    /// neighbour pair once.  For `side` ≥ 3 this is `n + 13n` pairs
+    /// (every cell has exactly 26 distinct neighbours).
+    pub fn pairs(&self) -> Vec<CellPair> {
+        let mut out = Vec::new();
+        for id in 0..self.n_cells() {
+            out.push(CellPair { a: id, b: id, shift: [0, 0, 0] });
+        }
+        for a in 0..self.n_cells() {
+            for (b, shift) in self.neighbors(a) {
+                if a < b {
+                    out.push(CellPair { a, b, shift });
+                }
+            }
+        }
+        out
+    }
+
+    /// For each cell, the pairs it participates in: `(pair index, slot)`
+    /// where slot 0 means the cell is `a`, slot 1 means `b`.
+    pub fn pairs_of_cells(pairs: &[CellPair], n_cells: u32) -> Vec<Vec<(u32, u8)>> {
+        let mut out = vec![Vec::new(); n_cells as usize];
+        for (i, p) in pairs.iter().enumerate() {
+            out[p.a as usize].push((i as u32, 0));
+            if p.b != p.a {
+                out[p.b as usize].push((i as u32, 1));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_counts() {
+        let g = CellGrid::paper();
+        assert_eq!(g.n_cells(), 216);
+        let pairs = g.pairs();
+        assert_eq!(pairs.len(), 3024, "216 self-pairs + 2808 neighbour pairs");
+        assert_eq!(pairs.iter().filter(|p| p.a == p.b).count(), 216);
+    }
+
+    #[test]
+    fn each_cell_touches_27_pairs() {
+        let g = CellGrid::paper();
+        let pairs = g.pairs();
+        let by_cell = CellGrid::pairs_of_cells(&pairs, g.n_cells());
+        for (cell, list) in by_cell.iter().enumerate() {
+            assert_eq!(list.len(), 27, "cell {cell}: self-pair + 26 neighbour pairs");
+        }
+    }
+
+    #[test]
+    fn cell_id_roundtrip() {
+        let g = CellGrid { side: 5 };
+        for id in 0..g.n_cells() {
+            let (x, y, z) = g.coords(id);
+            assert_eq!(g.cell_id(x, y, z), id);
+        }
+    }
+
+    #[test]
+    fn neighbors_are_symmetric_and_distinct() {
+        let g = CellGrid { side: 4 };
+        for id in 0..g.n_cells() {
+            let ns = g.neighbors(id);
+            assert_eq!(ns.len(), 26);
+            let mut ids: Vec<u32> = ns.iter().map(|&(n, _)| n).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), 26, "side>=4: all neighbours distinct");
+            assert!(!ids.contains(&id));
+            for (n, _) in ns {
+                assert!(g.neighbors(n).iter().any(|&(m, _)| m == id), "symmetry");
+            }
+        }
+    }
+
+    #[test]
+    fn pairs_unique_and_cover_neighbours() {
+        let g = CellGrid { side: 4 };
+        let pairs = g.pairs();
+        let mut seen = std::collections::HashSet::new();
+        for p in &pairs {
+            assert!(p.a <= p.b);
+            assert!(seen.insert((p.a, p.b)), "pair ({}, {}) duplicated", p.a, p.b);
+        }
+        // n + 13n pairs for side >= 3.
+        assert_eq!(pairs.len() as u32, g.n_cells() * 14);
+    }
+
+    #[test]
+    fn shifts_wrap_correctly() {
+        let g = CellGrid { side: 6 };
+        // Cell at corner (0,0,0): its (-1,-1,-1) neighbour is (5,5,5).
+        let ns = g.neighbors(g.cell_id(0, 0, 0));
+        let wrapped =
+            ns.iter().find(|&&(n, _)| n == g.cell_id(5, 5, 5)).expect("corner neighbour exists");
+        assert_eq!(wrapped.1, [-1, -1, -1]);
+    }
+}

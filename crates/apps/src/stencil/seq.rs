@@ -1,0 +1,173 @@
+//! Sequential reference for the five-point stencil.
+//!
+//! The parallel solver must produce **bit-identical** fields: each cell
+//! update reads the same four neighbours and applies the same arithmetic
+//! in the same order, so decomposition cannot change results.  The tests
+//! compare block checksums computed with the same intra-block summation
+//! order the parallel gather uses.
+
+/// The update rule shared by every stencil variant: the new value is the
+/// average of the four von-Neumann neighbours and the cell itself.
+#[inline]
+pub fn update(center: f64, up: f64, down: f64, left: f64, right: f64) -> f64 {
+    0.2 * (center + up + down + left + right)
+}
+
+/// Deterministic initial condition: a smooth bump plus a checker ripple,
+/// so every cell is distinct and boundary effects are visible.
+pub fn initial_value(n: usize, row: usize, col: usize) -> f64 {
+    let x = row as f64 / n as f64;
+    let y = col as f64 / n as f64;
+    let tau = std::f64::consts::TAU;
+    (tau * x).sin() * (tau * y).cos() + 0.01 * (((row * 31 + col * 17) % 7) as f64)
+}
+
+/// A dense n×n mesh with fixed (Dirichlet, zero) virtual boundary: ghost
+/// reads outside the mesh return 0.
+#[derive(Clone)]
+pub struct SeqStencil {
+    n: usize,
+    grid: Vec<f64>,
+    next: Vec<f64>,
+}
+
+impl SeqStencil {
+    /// A mesh initialized with [`initial_value`].
+    pub fn new(n: usize) -> Self {
+        let mut grid = vec![0.0; n * n];
+        for r in 0..n {
+            for c in 0..n {
+                grid[r * n + c] = initial_value(n, r, c);
+            }
+        }
+        SeqStencil { n, grid, next: vec![0.0; n * n] }
+    }
+
+    /// Mesh side length.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Current value at (row, col).
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        self.grid[row * self.n + col]
+    }
+
+    fn at(&self, row: isize, col: isize) -> f64 {
+        if row < 0 || col < 0 || row >= self.n as isize || col >= self.n as isize {
+            0.0
+        } else {
+            self.grid[row as usize * self.n + col as usize]
+        }
+    }
+
+    /// Advance one Jacobi step.
+    pub fn step(&mut self) {
+        let n = self.n as isize;
+        for r in 0..n {
+            for c in 0..n {
+                let v = update(
+                    self.at(r, c),
+                    self.at(r - 1, c),
+                    self.at(r + 1, c),
+                    self.at(r, c - 1),
+                    self.at(r, c + 1),
+                );
+                self.next[(r * n + c) as usize] = v;
+            }
+        }
+        std::mem::swap(&mut self.grid, &mut self.next);
+    }
+
+    /// Advance `k` steps.
+    pub fn run(&mut self, k: u32) {
+        for _ in 0..k {
+            self.step();
+        }
+    }
+
+    /// Per-block sums matching the parallel decomposition into `k`×`k`
+    /// blocks: block (bi, bj) sums its rows in order, columns in order —
+    /// the same order the parallel blocks use, so sums match exactly.
+    pub fn block_sums(&self, k: usize) -> Vec<f64> {
+        assert_eq!(self.n % k, 0, "blocks must divide the mesh");
+        let b = self.n / k;
+        let mut out = Vec::with_capacity(k * k);
+        for bi in 0..k {
+            for bj in 0..k {
+                let mut s = 0.0;
+                for r in bi * b..(bi + 1) * b {
+                    for c in bj * b..(bj + 1) * b {
+                        s += self.grid[r * self.n + c];
+                    }
+                }
+                out.push(s);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_condition_is_deterministic_and_varied() {
+        let a = SeqStencil::new(16);
+        let b = SeqStencil::new(16);
+        for r in 0..16 {
+            for c in 0..16 {
+                assert_eq!(a.get(r, c), b.get(r, c));
+            }
+        }
+        // Not constant.
+        assert_ne!(a.get(0, 0), a.get(5, 9));
+    }
+
+    #[test]
+    fn step_averages_neighbors() {
+        let mut s = SeqStencil::new(4);
+        let expect = update(s.get(1, 1), s.get(0, 1), s.get(2, 1), s.get(1, 0), s.get(1, 2));
+        s.step();
+        assert_eq!(s.get(1, 1), expect);
+    }
+
+    #[test]
+    fn boundary_reads_zero() {
+        let mut s = SeqStencil::new(2);
+        let expect = update(s.get(0, 0), 0.0, s.get(1, 0), 0.0, s.get(0, 1));
+        s.step();
+        assert_eq!(s.get(0, 0), expect);
+    }
+
+    #[test]
+    fn diffusion_contracts_toward_zero_boundary() {
+        // With zero Dirichlet boundary and an averaging stencil, the max
+        // absolute value cannot grow.
+        let mut s = SeqStencil::new(32);
+        let max0 = (0..32).flat_map(|r| (0..32).map(move |c| (r, c))).map(|(r, c)| s.get(r, c).abs()).fold(0.0, f64::max);
+        s.run(50);
+        let max1 = (0..32).flat_map(|r| (0..32).map(move |c| (r, c))).map(|(r, c)| s.get(r, c).abs()).fold(0.0, f64::max);
+        assert!(max1 <= max0 + 1e-12, "{max1} <= {max0}");
+    }
+
+    #[test]
+    fn block_sums_partition_total() {
+        let mut s = SeqStencil::new(16);
+        s.run(3);
+        let total: f64 = (0..16).flat_map(|r| (0..16).map(move |c| (r, c))).map(|(r, c)| s.get(r, c)).sum();
+        for k in [1, 2, 4, 8] {
+            let sums = s.block_sums(k);
+            assert_eq!(sums.len(), k * k);
+            let t: f64 = sums.iter().sum();
+            assert!((t - total).abs() < 1e-9, "k={k}: {t} vs {total}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divide the mesh")]
+    fn block_sums_requires_divisibility() {
+        SeqStencil::new(10).block_sums(3);
+    }
+}

@@ -1,0 +1,52 @@
+//! Figure 3: five-point stencil performance under artificial latencies.
+//!
+//! Reproduces the six sub-graphs (a)–(f): for each processor count
+//! P ∈ {2, 4, 8, 16, 32, 64} (split evenly across two clusters), per-step
+//! execution time of the 2048×2048 stencil as one-way cross-cluster
+//! latency sweeps 0–32 ms, at three degrees of virtualization.
+//!
+//! The paper's observations to look for in the output: near-horizontal
+//! curves while latency is small relative to the maskable work; longer
+//! flat sections and shallower slopes for higher virtualization; and the
+//! lowest-virtualization curve losing even at zero latency on the larger
+//! machines (the cache/grainsize effect of §5.2).
+//!
+//! Usage: `fig3_stencil [--steps N] [--csv]`
+
+use mdo_apps::stencil::{self, StencilConfig};
+use mdo_bench::table::{ms, Table};
+use mdo_bench::{arg_flag, arg_value, FIG3_LATENCIES_MS, FIG3_OBJECTS};
+use mdo_core::program::RunConfig;
+use mdo_netsim::network::NetworkModel;
+use mdo_netsim::Dur;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let steps: u32 = arg_value(&args, "--steps").map(|s| s.parse().expect("--steps N")).unwrap_or(10);
+    let csv = arg_flag(&args, "--csv");
+
+    println!("Figure 3: five-point stencil, 2048x2048 mesh, {steps} steps per run");
+    println!("(two clusters, processors split evenly; one-way latency swept 0..32 ms)\n");
+
+    for (idx, (p, objects)) in FIG3_OBJECTS.iter().enumerate() {
+        let sub = (b'a' + idx as u8) as char;
+        let mut table = Table::new(vec![
+            "latency_ms".to_string(),
+            format!("{} objs (ms/step)", objects[0]),
+            format!("{} objs (ms/step)", objects[1]),
+            format!("{} objs (ms/step)", objects[2]),
+        ]);
+        for &lat in FIG3_LATENCIES_MS.iter() {
+            let mut cells = vec![lat.to_string()];
+            for &objs in objects.iter() {
+                let cfg = StencilConfig::paper(objs, steps);
+                let net = NetworkModel::two_cluster_sweep(*p, Dur::from_millis(lat));
+                let out = stencil::run_sim(cfg, net, RunConfig::default());
+                cells.push(ms(out.ms_per_step));
+            }
+            table.row(cells);
+        }
+        println!("Figure 3({sub}): {p} processors");
+        println!("{}", if csv { table.render_csv() } else { table.render() });
+    }
+}

@@ -1,0 +1,82 @@
+//! Figure 4: LeanMD performance as a function of message latency.
+//!
+//! For each processor count P ∈ {2…64}, per-step time of the 216-cell /
+//! 3,024-cell-pair benchmark as one-way cross-cluster latency sweeps
+//! 1–256 ms.  The paper's observations to look for: reasonable scaling at
+//! the left edge of each curve (up to ~32 PEs); on 2 PEs latency barely
+//! matters because even 256 ms is a fraction of the ~4 s step; on 32 PEs
+//! (~90+ objects/PE) latency up to ~32 ms is fully masked.
+//!
+//! With `--contention <gbit>`, the shared WAN pipe gets finite bandwidth
+//! and a second table shows the §5.3 contention effect (64-PE runs
+//! degrading because "a large amount of data is being communicated
+//! between two clusters over a shorter period of time").
+//!
+//! Usage: `fig4_leanmd [--steps N] [--csv] [--contention <gbit>]`
+
+use mdo_apps::leanmd::{self, MdConfig};
+use mdo_bench::table::{ms, Table};
+use mdo_bench::{arg_flag, arg_value, FIG4_LATENCIES_MS, PROCESSORS};
+use mdo_core::program::RunConfig;
+use mdo_netsim::network::NetworkModel;
+use mdo_netsim::{Dur, LinkModel};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let steps: u32 = arg_value(&args, "--steps").map(|s| s.parse().expect("--steps N")).unwrap_or(3);
+    let csv = arg_flag(&args, "--csv");
+    let contention: Option<f64> =
+        arg_value(&args, "--contention").map(|s| s.parse().expect("--contention gbit"));
+
+    println!("Figure 4: LeanMD (216 cells, 3024 cell-pairs), {steps} steps per run");
+    println!("(seconds/step vs one-way latency; two clusters, PEs split evenly)\n");
+
+    let mut table = Table::new(
+        std::iter::once("latency_ms".to_string())
+            .chain(PROCESSORS.iter().map(|p| format!("{p} PEs (s/step)")))
+            .collect::<Vec<_>>(),
+    );
+    for &lat in FIG4_LATENCIES_MS.iter() {
+        let mut cells = vec![lat.to_string()];
+        for &p in PROCESSORS.iter() {
+            let cfg = MdConfig::paper(steps);
+            let net = NetworkModel::two_cluster_sweep(p, Dur::from_millis(lat));
+            let out = leanmd::run_sim(cfg, net, RunConfig::default());
+            cells.push(ms(out.s_per_step));
+        }
+        table.row(cells);
+    }
+    println!("{}", if csv { table.render_csv() } else { table.render() });
+
+    if let Some(gbit) = contention {
+        println!("\nWAN contention study (shared {gbit} Gbit/s pipe, cf. the paper's");
+        println!("64-processor anomaly in §5.3): s/step with and without bandwidth limits\n");
+        let mut table = Table::new(vec![
+            "P".to_string(),
+            "infinite WAN".to_string(),
+            format!("{gbit} Gbit WAN"),
+            "slowdown".to_string(),
+        ]);
+        for &p in &[16u32, 32, 64] {
+            let lat = Dur::from_millis(2);
+            let cfg = MdConfig::paper(steps);
+            let free = leanmd::run_sim(
+                cfg.clone(),
+                NetworkModel::two_cluster_sweep(p, lat),
+                RunConfig::default(),
+            );
+            let limited = leanmd::run_sim(
+                cfg,
+                NetworkModel::two_cluster_contended(p, lat, LinkModel::gbit(gbit, Dur::ZERO)),
+                RunConfig::default(),
+            );
+            table.row(vec![
+                p.to_string(),
+                ms(free.s_per_step),
+                ms(limited.s_per_step),
+                format!("{:.2}x", limited.s_per_step / free.s_per_step),
+            ]);
+        }
+        println!("{}", if csv { table.render_csv() } else { table.render() });
+    }
+}

@@ -1,0 +1,58 @@
+//! One-shot reproduction: run every table, figure, and ablation and write
+//! the outputs under `results/`.
+//!
+//! Usage: `reproduce_all [--out DIR] [--quick]`
+//!
+//! `--quick` trims step counts and skips the threaded-engine columns, for
+//! a fast smoke reproduction (~seconds); the default settings match
+//! EXPERIMENTS.md.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use mdo_bench::{arg_flag, arg_value};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out_dir = PathBuf::from(arg_value(&args, "--out").unwrap_or_else(|| "results".into()));
+    let quick = arg_flag(&args, "--quick");
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin directory")
+        .to_path_buf();
+
+    // (binary, output file, extra args, quick extra args)
+    let jobs: Vec<(&str, &str, Vec<&str>, Vec<&str>)> = vec![
+        ("fig2_timeline", "fig2.txt", vec![], vec![]),
+        ("fig3_stencil", "fig3.txt", vec![], vec!["--steps", "4"]),
+        ("table1_stencil", "table1.txt", vec![], vec!["--steps", "4", "--skip-real"]),
+        ("fig4_leanmd", "fig4.txt", vec!["--contention", "0.1"], vec!["--steps", "2", "--contention", "0.1"]),
+        ("table2_leanmd", "table2.txt", vec![], vec!["--steps", "2", "--skip-real"]),
+        ("ablation_bsp", "ablation_bsp.txt", vec![], vec!["--steps", "4"]),
+        ("ablation_ghost", "ablation_ghost.txt", vec![], vec!["--steps", "8"]),
+        ("ablation_lb", "ablation_lb.txt", vec![], vec![]),
+        ("ablation_priority", "ablation_priority.txt", vec![], vec!["--steps", "4"]),
+        ("ablation_ampi", "ablation_ampi.txt", vec![], vec!["--steps", "4"]),
+        ("ablation_md_lb", "ablation_md_lb.txt", vec![], vec!["--steps", "4"]),
+        ("ablation_multicast", "ablation_multicast.txt", vec![], vec!["--steps", "2"]),
+    ];
+
+    for (bin, out_file, full_args, quick_args) in jobs {
+        let exe = exe_dir.join(bin);
+        assert!(
+            exe.exists(),
+            "{} not built; run `cargo build --release -p mdo-bench` first",
+            exe.display()
+        );
+        let extra = if quick { &quick_args } else { &full_args };
+        print!("running {bin:<22} -> {} ... ", out_dir.join(out_file).display());
+        let output = Command::new(&exe).args(extra.iter()).output().expect("spawn bench binary");
+        assert!(output.status.success(), "{bin} failed:\n{}", String::from_utf8_lossy(&output.stderr));
+        std::fs::write(out_dir.join(out_file), &output.stdout).expect("write output");
+        println!("ok ({} lines)", String::from_utf8_lossy(&output.stdout).lines().count());
+    }
+    println!("\nall experiments reproduced under {}/", out_dir.display());
+}

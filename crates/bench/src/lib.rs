@@ -1,0 +1,75 @@
+//! # mdo-bench — the experiment harness
+//!
+//! One binary per table and figure of the paper (see DESIGN.md §5 for the
+//! index), plus the ablation studies and Criterion microbenches.  This
+//! library holds what the binaries share: the paper's published numbers
+//! (for side-by-side output), plain-text table rendering, and the
+//! experiment grids.
+
+#![warn(missing_docs)]
+
+pub mod paper;
+pub mod table;
+
+use mdo_netsim::Dur;
+
+/// The paper's measured one-way NCSA↔ANL latency (§5.1): 1.725 ms ICMP.
+pub const TERAGRID_ONE_WAY: Dur = Dur::from_micros(1725);
+
+/// Latency sweep used by Figure 3 (0–32 ms one-way).
+pub const FIG3_LATENCIES_MS: [u64; 7] = [0, 1, 2, 4, 8, 16, 32];
+
+/// Latency sweep used by Figure 4 (1–256 ms one-way).
+pub const FIG4_LATENCIES_MS: [u64; 9] = [1, 2, 4, 8, 16, 32, 64, 128, 256];
+
+/// Processor counts used by both applications (§5.1), split evenly
+/// between two clusters.
+pub const PROCESSORS: [u32; 6] = [2, 4, 8, 16, 32, 64];
+
+/// Degrees of virtualization per processor count, inferred from the rows
+/// of Table 1: (processors, object counts plotted in Figure 3).
+pub const FIG3_OBJECTS: [(u32, [usize; 3]); 6] = [
+    (2, [4, 16, 64]),
+    (4, [4, 16, 64]),
+    (8, [16, 64, 256]),
+    (16, [16, 64, 256]),
+    (32, [64, 256, 1024]),
+    (64, [64, 256, 1024]),
+];
+
+/// Parse a `--flag value`-style argument list: returns the value following
+/// `flag`, if present.
+pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+/// True if `flag` appears among the arguments.
+pub fn arg_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grids_are_consistent() {
+        assert_eq!(FIG3_OBJECTS.len(), PROCESSORS.len());
+        for ((p, objs), pp) in FIG3_OBJECTS.iter().zip(PROCESSORS.iter()) {
+            assert_eq!(p, pp);
+            // Enough objects for every PE to hold at least one.
+            assert!(objs.iter().all(|&o| o >= *p as usize));
+        }
+        assert_eq!(TERAGRID_ONE_WAY, Dur::from_micros(1725));
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> =
+            ["--steps", "12", "--csv"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(arg_value(&args, "--steps").as_deref(), Some("12"));
+        assert_eq!(arg_value(&args, "--missing"), None);
+        assert!(arg_flag(&args, "--csv"));
+        assert!(!arg_flag(&args, "--quiet"));
+    }
+}

@@ -1,0 +1,247 @@
+//! Checkpoint/restart — and shrink/expand — built on migratability.
+//!
+//! Paper §2.1: *"the migration capability is leveraged to support other
+//! capabilities such as automatic checkpointing, fault tolerance, and the
+//! ability to shrink and expand the set of processors used by a parallel
+//! job."*  Because every migratable chare can already pack and unpack its
+//! state, a checkpoint is just "pack everyone": the host requests a
+//! checkpoint at a quiescent point, every PE packs its local elements and
+//! ships the bytes to PE 0, and PE 0 assembles a [`Snapshot`].
+//!
+//! A snapshot restores onto **any** topology: element placement is
+//! recomputed by each array's initial mapping over the new PE count, so
+//! a job checkpointed on 8 PEs can restart on 2 (shrink) or 32 (expand).
+//! On restore the runtime calls [`crate::chare::Chare::resume_from_sync`]
+//! on every element — the same hook used after load-balancing barriers —
+//! so applications restart their iteration loops with no extra code.
+//!
+//! Like migration, checkpointing requires a quiescent application (no
+//! in-flight application messages, no reductions mid-tree); take
+//! checkpoints at step boundaries.
+
+use std::collections::BTreeMap;
+
+use crate::ids::{ArrayId, ElemId};
+use crate::wire::{WireError, WireReader, WireWriter};
+
+/// One array's checkpointed elements.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArraySnapshot {
+    /// The array.
+    pub array: ArrayId,
+    /// Packed state per element (dense, every element present).  Each
+    /// entry is the same byte format migration uses: a `u32` reduction
+    /// cursor followed by the chare's own `pack` output.
+    pub elems: Vec<Vec<u8>>,
+    /// PE 0's next-reduction-sequence cursor for the array, so reductions
+    /// deliver with continuous numbering across the restart.
+    pub red_next: u32,
+}
+
+/// A complete job checkpoint.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// Per-array state, ordered by array id.
+    pub arrays: Vec<ArraySnapshot>,
+}
+
+impl Snapshot {
+    /// Total elements captured.
+    pub fn total_elems(&self) -> usize {
+        self.arrays.iter().map(|a| a.elems.len()).sum()
+    }
+
+    /// The packed state of one element.
+    pub fn elem_state(&self, array: ArrayId, elem: ElemId) -> Option<&[u8]> {
+        self.arrays
+            .iter()
+            .find(|a| a.array == array)
+            .and_then(|a| a.elems.get(elem.index()))
+            .map(Vec::as_slice)
+    }
+
+    /// Serialize to bytes (suitable for a file).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.str("gridmdo-ckpt-v1").u32(self.arrays.len() as u32);
+        for a in &self.arrays {
+            w.u32(a.array.0).u32(a.red_next).u32(a.elems.len() as u32);
+            for e in &a.elems {
+                w.bytes(e);
+            }
+        }
+        w.finish()
+    }
+
+    /// Deserialize from bytes.
+    pub fn decode(buf: &[u8]) -> Result<Snapshot, WireError> {
+        let mut r = WireReader::new(buf);
+        let magic = r.str()?;
+        if magic != "gridmdo-ckpt-v1" {
+            return Err(WireError { context: "snapshot magic" });
+        }
+        let n_arrays = r.u32()? as usize;
+        let mut arrays = Vec::with_capacity(n_arrays);
+        for _ in 0..n_arrays {
+            let array = ArrayId(r.u32()?);
+            let red_next = r.u32()?;
+            let n = r.u32()? as usize;
+            let mut elems = Vec::with_capacity(n);
+            for _ in 0..n {
+                elems.push(r.bytes()?.to_vec());
+            }
+            arrays.push(ArraySnapshot { array, red_next, elems });
+        }
+        if !r.is_done() {
+            return Err(WireError { context: "trailing snapshot bytes" });
+        }
+        Ok(Snapshot { arrays })
+    }
+
+    /// Write to a file.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.encode())
+    }
+
+    /// Read from a file.
+    pub fn load(path: &std::path::Path) -> std::io::Result<Snapshot> {
+        let bytes = std::fs::read(path)?;
+        Snapshot::decode(&bytes)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+/// PE 0's in-progress checkpoint assembly (runtime-internal).
+#[derive(Default, Debug)]
+pub(crate) struct CkptAssembly {
+    /// (array, elem) -> packed state, collected from CkptData messages.
+    states: BTreeMap<(u32, u32), Vec<u8>>,
+    /// PEs heard from.
+    pub reports: usize,
+    /// Whether a checkpoint is being assembled.
+    pub active: bool,
+}
+
+impl CkptAssembly {
+    pub fn begin(&mut self) {
+        assert!(!self.active, "checkpoint already in progress");
+        self.active = true;
+        self.reports = 0;
+        self.states.clear();
+    }
+
+    pub fn add(&mut self, states: Vec<(crate::ids::ObjKey, bytes::Bytes)>) {
+        assert!(self.active, "checkpoint data outside a checkpoint");
+        for (key, state) in states {
+            let prev = self.states.insert((key.array.0, key.elem.0), state.to_vec());
+            assert!(prev.is_none(), "element {key:?} checkpointed twice");
+        }
+        self.reports += 1;
+    }
+
+    /// Assemble the snapshot; `expected` gives (array, element count,
+    /// red_next) for validation and metadata.
+    pub fn finish(&mut self, expected: &[(ArrayId, usize, u32)]) -> Snapshot {
+        assert!(self.active);
+        self.active = false;
+        let mut arrays = Vec::with_capacity(expected.len());
+        for &(array, n, red_next) in expected {
+            let mut elems = Vec::with_capacity(n);
+            for e in 0..n as u32 {
+                let state = self
+                    .states
+                    .remove(&(array.0, e))
+                    .unwrap_or_else(|| panic!("checkpoint missing a{}[{}]", array.0, e));
+                elems.push(state);
+            }
+            arrays.push(ArraySnapshot { array, red_next, elems });
+        }
+        assert!(self.states.is_empty(), "checkpoint contained unknown elements");
+        Snapshot { arrays }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ObjKey;
+    use bytes::Bytes;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            arrays: vec![
+                ArraySnapshot {
+                    array: ArrayId(0),
+                    red_next: 3,
+                    elems: vec![b"e0".to_vec(), b"e1-longer".to_vec()],
+                },
+                ArraySnapshot { array: ArrayId(1), red_next: 0, elems: vec![vec![]] },
+            ],
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let snap = sample();
+        let back = Snapshot::decode(&snap.encode()).expect("decodes");
+        assert_eq!(back, snap);
+        assert_eq!(back.total_elems(), 3);
+        assert_eq!(back.elem_state(ArrayId(0), ElemId(1)), Some(&b"e1-longer"[..]));
+        assert_eq!(back.elem_state(ArrayId(2), ElemId(0)), None);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Snapshot::decode(b"not a snapshot").is_err());
+        let mut bytes = sample().encode();
+        bytes.push(0);
+        assert!(Snapshot::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let snap = sample();
+        let dir = std::env::temp_dir().join(format!("gridmdo-ckpt-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("snap.ckpt");
+        snap.save(&path).expect("save");
+        let back = Snapshot::load(&path).expect("load");
+        assert_eq!(back, snap);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn assembly_collects_and_validates() {
+        let mut asm = CkptAssembly::default();
+        asm.begin();
+        asm.add(vec![
+            (ObjKey::new(ArrayId(0), ElemId(1)), Bytes::from_static(b"one")),
+        ]);
+        asm.add(vec![
+            (ObjKey::new(ArrayId(0), ElemId(0)), Bytes::from_static(b"zero")),
+        ]);
+        assert_eq!(asm.reports, 2);
+        let snap = asm.finish(&[(ArrayId(0), 2, 7)]);
+        assert_eq!(snap.arrays[0].elems, vec![b"zero".to_vec(), b"one".to_vec()]);
+        assert_eq!(snap.arrays[0].red_next, 7);
+        assert!(!asm.active);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing")]
+    fn assembly_detects_missing_elements() {
+        let mut asm = CkptAssembly::default();
+        asm.begin();
+        asm.add(vec![(ObjKey::new(ArrayId(0), ElemId(0)), Bytes::from_static(b"x"))]);
+        asm.finish(&[(ArrayId(0), 2, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn assembly_detects_duplicates() {
+        let mut asm = CkptAssembly::default();
+        asm.begin();
+        asm.add(vec![(ObjKey::new(ArrayId(0), ElemId(0)), Bytes::from_static(b"x"))]);
+        asm.add(vec![(ObjKey::new(ArrayId(0), ElemId(0)), Bytes::from_static(b"y"))]);
+    }
+}

@@ -1,0 +1,13 @@
+//! Execution engines.
+//!
+//! Two engines run the same [`crate::node::Node`] logic:
+//!
+//! * [`sim`] — deterministic discrete-event simulation over virtual time
+//!   (`mdo-netsim`): the paper's "simulated Grid environment" with swept
+//!   artificial latencies (§5.1).
+//! * [`threaded`] — one OS thread per PE over the `mdo-vmi` transport with
+//!   a real timer-based delay device: our stand-in for the paper's real
+//!   multi-cluster TeraGrid runs ("Real Latency" columns of Tables 1–2).
+
+pub mod sim;
+pub mod threaded;

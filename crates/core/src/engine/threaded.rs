@@ -1,0 +1,483 @@
+//! The real-time threaded engine.
+//!
+//! One OS thread per PE; each thread blocks on its VMI mailbox, decodes
+//! envelopes from real bytes, and runs the same [`Node`] logic as the
+//! simulation engine.  Cross-cluster packets pass through a real
+//! [`mdo_vmi::DelayDevice`] that holds them for the configured wall-clock
+//! latency — this engine is our equivalent of the paper's *real* TeraGrid
+//! validation runs (the "Real Latency" columns of Tables 1 and 2): same
+//! application, same runtime, real threads, real injected delays, real
+//! elapsed time.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use mdo_netsim::network::NetworkStats;
+use mdo_netsim::{Dur, LatencyMatrix, Pe, Time, Topology};
+use mdo_vmi::{Packet, Transport, TransportConfig};
+
+use crate::envelope::{Envelope, MsgBody, SYSTEM_PRIORITY};
+use crate::node::{split_program, HostParts, Node, NodeHooks};
+use crate::program::{Program, RunConfig, RunReport};
+use crate::trace::Trace;
+
+/// Engine-specific configuration.
+#[derive(Clone, Debug)]
+pub struct ThreadedConfig {
+    /// Latency injected by the delay device (intra typically ~0, cross =
+    /// the artificial WAN latency).
+    pub latency: LatencyMatrix,
+    /// Wall-clock safety limit: the run is aborted (mailboxes closed) if it
+    /// has not exited by then.
+    pub max_wall: Duration,
+    /// Emulate charged compute by sleeping for it: each handler's
+    /// [`crate::chare::Ctx::charge`]d cost becomes a real `thread::sleep`.
+    /// Sleeping threads do not contend for CPU, so `P` PE threads behave
+    /// like `P` dedicated processors even on a host with fewer cores —
+    /// the substitution that makes real-wall-clock validation runs
+    /// faithful on small machines (see DESIGN.md).
+    pub compute_sleep: bool,
+}
+
+impl ThreadedConfig {
+    /// Config with the given latency matrix and a 120 s safety limit.
+    pub fn new(latency: LatencyMatrix) -> Self {
+        ThreadedConfig { latency, max_wall: Duration::from_secs(120), compute_sleep: false }
+    }
+
+    /// Enable sleep-emulated compute.
+    pub fn with_compute_sleep(mut self) -> Self {
+        self.compute_sleep = true;
+        self
+    }
+}
+
+/// The threaded engine.
+pub struct ThreadedEngine {
+    topo: Topology,
+    tcfg: ThreadedConfig,
+    cfg: RunConfig,
+}
+
+struct ThreadHooks {
+    t0: Instant,
+    pe: Pe,
+    transport: Arc<Transport>,
+}
+
+impl NodeHooks for ThreadHooks {
+    fn now(&self) -> Time {
+        Time::from_nanos(u64::try_from(self.t0.elapsed().as_nanos()).unwrap_or(u64::MAX))
+    }
+    fn emit(&mut self, env: Envelope, _after: Dur) {
+        debug_assert_eq!(env.src, self.pe);
+        let pkt =
+            Packet::with_priority(env.src, env.dst, env.priority, Bytes::from(env.encode()));
+        self.transport.send(pkt);
+    }
+}
+
+/// What each PE thread reports back when it finishes.
+struct PeResult {
+    pe: Pe,
+    busy: Dur,
+    messages: u64,
+    lb_rounds: u32,
+    migrations: u64,
+    trace: Trace,
+}
+
+impl ThreadedEngine {
+    /// An engine over `topo` with injected latencies `tcfg`.
+    pub fn new(topo: Topology, tcfg: ThreadedConfig, cfg: RunConfig) -> Self {
+        ThreadedEngine { topo, tcfg, cfg }
+    }
+
+    /// Run `program` until it exits (or the wall-clock safety limit).
+    pub fn run(self, program: Program) -> RunReport {
+        let ThreadedEngine { topo, tcfg, cfg } = self;
+        let n_pes = topo.num_pes();
+        let trace_on = cfg.trace;
+        let (shared, host) = split_program(program, topo.clone(), cfg);
+
+        let transport = Transport::new(TransportConfig::new(topo.clone(), tcfg.latency.clone()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let exit_announced = Arc::new(AtomicBool::new(false));
+        let end_ns = Arc::new(AtomicU64::new(0));
+        let t0 = Instant::now();
+
+        let mut host = Some(host);
+        let mut handles = Vec::with_capacity(n_pes);
+        for pe in topo.pes() {
+            let h = if pe == Pe(0) { host.take().expect("host once") } else { HostParts::empty() };
+            let node = Node::new(Arc::clone(&shared), pe, h);
+            let transport = Arc::clone(&transport);
+            let stop = Arc::clone(&stop);
+            let exit_announced = Arc::clone(&exit_announced);
+            let end_ns = Arc::clone(&end_ns);
+            let topo = topo.clone();
+            let compute_sleep = tcfg.compute_sleep;
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("mdo-pe{}", pe.0))
+                    .spawn(move || {
+                        pe_thread(
+                            pe,
+                            node,
+                            transport,
+                            stop,
+                            exit_announced,
+                            end_ns,
+                            t0,
+                            topo,
+                            trace_on,
+                            compute_sleep,
+                        )
+                    })
+                    .expect("spawn PE thread"),
+            );
+        }
+
+        // Boot the program.
+        let startup = Envelope {
+            src: Pe(0),
+            dst: Pe(0),
+            priority: SYSTEM_PRIORITY,
+            sent_at_ns: 0,
+            body: MsgBody::Startup,
+        };
+        transport.send(Packet::with_priority(Pe(0), Pe(0), SYSTEM_PRIORITY, Bytes::from(startup.encode())));
+
+        // Wall-clock watchdog.
+        let deadline = t0 + tcfg.max_wall;
+        while !stop.load(Ordering::Acquire) {
+            if Instant::now() >= deadline {
+                stop.store(true, Ordering::Release);
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // Wake every thread and wind down.
+        transport.shutdown();
+
+        let mut results: Vec<PeResult> =
+            handles.into_iter().map(|h| h.join().expect("PE thread panicked")).collect();
+        results.sort_by_key(|r| r.pe);
+
+        let (intra_pkts, intra_bytes) = transport.intra_traffic();
+        let (cross_pkts, cross_bytes) = transport.cross_traffic();
+        let network = NetworkStats {
+            intra_messages: intra_pkts,
+            intra_bytes,
+            cross_messages: cross_pkts,
+            cross_bytes,
+        };
+
+        let end = end_ns.load(Ordering::Acquire);
+        let end_time = if end > 0 {
+            Time::from_nanos(end)
+        } else {
+            Time::from_nanos(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX))
+        };
+
+        let mut trace = trace_on.then(Trace::new);
+        if let Some(tr) = trace.as_mut() {
+            for r in &mut results {
+                tr.segments.append(&mut r.trace.segments);
+                tr.messages.append(&mut r.trace.messages);
+            }
+        }
+
+        let pe_max_queue_depth =
+            topo.pes().map(|pe| transport.mailbox(pe).max_depth()).collect();
+        RunReport {
+            end_time,
+            pe_busy: results.iter().map(|r| r.busy).collect(),
+            pe_messages: results.iter().map(|r| r.messages).collect(),
+            pe_max_queue_depth,
+            network,
+            trace,
+            lb_rounds: results[0].lb_rounds,
+            migrations: results[0].migrations,
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn pe_thread(
+    pe: Pe,
+    mut node: Node,
+    transport: Arc<Transport>,
+    stop: Arc<AtomicBool>,
+    exit_announced: Arc<AtomicBool>,
+    end_ns: Arc<AtomicU64>,
+    t0: Instant,
+    topo: Topology,
+    trace_on: bool,
+    compute_sleep: bool,
+) -> PeResult {
+    let mut busy = Dur::ZERO;
+    let mut trace = Trace::new();
+    let mut hooks = ThreadHooks { t0, pe, transport: Arc::clone(&transport) };
+    loop {
+        if stop.load(Ordering::Acquire) {
+            // Drain whatever is already queued, then leave.
+            if transport.try_recv(pe).is_none() {
+                break;
+            }
+        }
+        let Some(pkt) = transport.recv_timeout(pe, Duration::from_millis(20)) else {
+            continue;
+        };
+        let env = Envelope::decode(&pkt.payload).expect("transport carries valid envelopes");
+        let started = Instant::now();
+        let start_time = Time::from_nanos(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        let sent_at = Time::from_nanos(env.sent_at_ns);
+        let (src, dst) = (env.src, env.dst);
+        let outcome = node.handle(env, &mut hooks);
+        if compute_sleep && !outcome.charged.is_zero() {
+            std::thread::sleep(outcome.charged.to_std());
+        }
+        let took = Dur::from_std(started.elapsed());
+        busy += took;
+        if trace_on {
+            trace.push_message(src, dst, sent_at, start_time, topo.crosses_wan(src, dst));
+            trace.push_segment(pe, outcome.spans.first().and_then(|s| s.0), start_time, start_time + took);
+        }
+        if outcome.exit && !exit_announced.swap(true, Ordering::AcqRel) {
+            end_ns.store(
+                u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                Ordering::Release,
+            );
+            // Tell everyone (including ourselves — harmless) to stop.
+            for dst in topo.pes() {
+                let bye = Envelope {
+                    src: pe,
+                    dst,
+                    priority: SYSTEM_PRIORITY,
+                    sent_at_ns: 0,
+                    body: MsgBody::Exit,
+                };
+                transport.send(Packet::with_priority(pe, dst, SYSTEM_PRIORITY, Bytes::from(bye.encode())));
+            }
+            stop.store(true, Ordering::Release);
+        }
+        if outcome.exit {
+            break;
+        }
+    }
+    PeResult {
+        pe,
+        busy,
+        messages: node.messages_processed(),
+        lb_rounds: node.lb_rounds(),
+        migrations: node.migrations(),
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chare::{Chare, Ctx};
+    use crate::envelope::{ReduceData, ReduceOp};
+    use crate::ids::{ElemId, EntryId};
+    use crate::mapping::Mapping;
+    use crate::program::LbChoice;
+    use crate::wire::{WireReader, WireWriter};
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Mutex;
+
+    const PING: EntryId = EntryId(1);
+
+    struct PingPong {
+        rounds_left: u32,
+    }
+
+    impl Chare for PingPong {
+        fn receive(&mut self, _e: EntryId, _p: &[u8], ctx: &mut Ctx<'_>) {
+            let peer = ElemId(1 - ctx.my_elem().0);
+            if ctx.my_elem().0 == 1 {
+                // responder: always reply
+                ctx.send(ctx.me().array, peer, PING, vec![]);
+            } else if self.rounds_left > 0 {
+                self.rounds_left -= 1;
+                ctx.send(ctx.me().array, peer, PING, vec![]);
+            } else {
+                ctx.exit();
+            }
+        }
+    }
+
+    fn pingpong_wall(cross: Dur, rounds: u32) -> Dur {
+        let topo = Topology::two_cluster(2);
+        let latency = LatencyMatrix::uniform(&topo, Dur::ZERO, cross);
+        let mut p = Program::new();
+        let arr = p.array("pp", 2, Mapping::Block, move |_| {
+            Box::new(PingPong { rounds_left: rounds }) as Box<dyn Chare>
+        });
+        p.on_startup(move |ctl| ctl.send(arr, ElemId(0), PING, vec![]));
+        let engine =
+            ThreadedEngine::new(topo, ThreadedConfig::new(latency), RunConfig::default());
+        let report = engine.run(p);
+        report.end_time - Time::ZERO
+    }
+
+    #[test]
+    fn real_delay_device_shapes_wall_time() {
+        // 5 rounds * 2 crossings * 10 ms = ≥100 ms of injected latency.
+        let slow = pingpong_wall(Dur::from_millis(10), 5);
+        assert!(
+            slow >= Dur::from_millis(100),
+            "injected latency must dominate wall time, got {slow}"
+        );
+        let fast = pingpong_wall(Dur::ZERO, 5);
+        assert!(fast < Dur::from_millis(100), "no injected latency: quick, got {fast}");
+    }
+
+    #[test]
+    fn reduction_and_broadcast_work_over_threads() {
+        static SUM: Mutex<f64> = Mutex::new(0.0);
+        *SUM.lock().unwrap() = 0.0;
+        struct One;
+        impl Chare for One {
+            fn receive(&mut self, _e: EntryId, _p: &[u8], ctx: &mut Ctx<'_>) {
+                ctx.charge(Dur::from_micros(10));
+                ctx.contribute_f64(ReduceOp::SumF64, &[1.0 + ctx.my_elem().0 as f64]);
+            }
+        }
+        let topo = Topology::two_cluster(4);
+        let latency = LatencyMatrix::uniform(&topo, Dur::ZERO, Dur::from_millis(1));
+        let mut p = Program::new();
+        let arr = p.array("ones", 16, Mapping::RoundRobin, |_| Box::new(One) as Box<dyn Chare>);
+        p.on_startup(move |ctl| ctl.broadcast(arr, PING, vec![]));
+        p.on_reduction(arr, |_s, d, ctl| {
+            if let ReduceData::F64(v) = d {
+                *SUM.lock().unwrap() = v[0];
+            }
+            ctl.exit();
+        });
+        let report =
+            ThreadedEngine::new(topo, ThreadedConfig::new(latency), RunConfig::default()).run(p);
+        assert_eq!(*SUM.lock().unwrap(), (1..=16).sum::<i32>() as f64);
+        assert!(report.network.cross_messages > 0);
+    }
+
+    #[test]
+    fn migration_under_threads() {
+        static SUM: AtomicU64 = AtomicU64::new(0);
+        SUM.store(0, Ordering::SeqCst);
+        struct Mover {
+            value: u64,
+        }
+        impl Chare for Mover {
+            fn receive(&mut self, _e: EntryId, _p: &[u8], ctx: &mut Ctx<'_>) {
+                ctx.at_sync();
+            }
+            fn pack(&self, w: &mut WireWriter) {
+                w.u64(self.value);
+            }
+            fn resume_from_sync(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.contribute_u64_sum(&[self.value]);
+            }
+        }
+        let topo = Topology::two_cluster(4);
+        let latency = LatencyMatrix::uniform(&topo, Dur::ZERO, Dur::from_micros(500));
+        let mut p = Program::new();
+        let arr = p.array_migratable(
+            "movers",
+            8,
+            Mapping::Block,
+            |e| Box::new(Mover { value: 10 + e.0 as u64 }),
+            |_, r| Box::new(Mover { value: r.u64().unwrap() }),
+        );
+        p.on_startup(move |ctl| ctl.broadcast(arr, PING, vec![]));
+        p.on_reduction(arr, |_s, d, ctl| {
+            if let ReduceData::U64(v) = d {
+                SUM.store(v[0], Ordering::SeqCst);
+            }
+            ctl.exit();
+        });
+        let cfg = RunConfig { lb: LbChoice::Rotate, ..RunConfig::default() };
+        let report = ThreadedEngine::new(topo, ThreadedConfig::new(latency), cfg).run(p);
+        assert_eq!(SUM.load(Ordering::SeqCst), (10..18).sum::<u64>());
+        assert_eq!(report.migrations, 8);
+        assert_eq!(report.lb_rounds, 1);
+    }
+
+    #[test]
+    fn payloads_cross_real_byte_transport() {
+        const ECHO: EntryId = EntryId(9);
+        struct Echo;
+        impl Chare for Echo {
+            fn receive(&mut self, _e: EntryId, p: &[u8], ctx: &mut Ctx<'_>) {
+                let mut r = WireReader::new(p);
+                assert_eq!(r.str().unwrap(), "over the wire");
+                assert_eq!(r.f64_vec().unwrap(), vec![2.5; 100]);
+                ctx.exit();
+            }
+        }
+        let topo = Topology::two_cluster(2);
+        let latency = LatencyMatrix::uniform(&topo, Dur::ZERO, Dur::from_micros(200));
+        let mut p = Program::new();
+        let arr = p.array("echo", 2, Mapping::Block, |_| Box::new(Echo) as Box<dyn Chare>);
+        p.on_startup(move |ctl| {
+            let mut w = WireWriter::new();
+            w.str("over the wire").f64_slice(&[2.5; 100]);
+            ctl.send(arr, ElemId(1), ECHO, w.finish());
+        });
+        let report =
+            ThreadedEngine::new(topo, ThreadedConfig::new(latency), RunConfig::default()).run(p);
+        assert!(report.end_time > Time::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "PE thread panicked")]
+    fn chare_panic_surfaces_after_watchdog() {
+        // A handler that panics kills its PE thread; the watchdog winds the
+        // rest down and the engine surfaces the panic at join time instead
+        // of hanging forever.
+        struct Exploder;
+        impl Chare for Exploder {
+            fn receive(&mut self, _e: EntryId, _p: &[u8], _c: &mut Ctx<'_>) {
+                panic!("injected chare failure");
+            }
+        }
+        let topo = Topology::two_cluster(2);
+        let latency = LatencyMatrix::uniform(&topo, Dur::ZERO, Dur::ZERO);
+        let mut p = Program::new();
+        let arr = p.array("boom", 2, Mapping::Block, |_| Box::new(Exploder) as Box<dyn Chare>);
+        p.on_startup(move |ctl| ctl.send(arr, ElemId(1), PING, vec![]));
+        let tcfg = ThreadedConfig {
+            latency,
+            max_wall: Duration::from_millis(300),
+            compute_sleep: false,
+        };
+        let _ = ThreadedEngine::new(topo, tcfg, RunConfig::default()).run(p);
+    }
+
+    #[test]
+    fn watchdog_stops_hung_program() {
+        struct Silent;
+        impl Chare for Silent {
+            fn receive(&mut self, _e: EntryId, _p: &[u8], _c: &mut Ctx<'_>) {
+                // Never replies, never exits: the program hangs.
+            }
+        }
+        let topo = Topology::two_cluster(2);
+        let latency = LatencyMatrix::uniform(&topo, Dur::ZERO, Dur::ZERO);
+        let mut p = Program::new();
+        let arr = p.array("s", 2, Mapping::Block, |_| Box::new(Silent) as Box<dyn Chare>);
+        p.on_startup(move |ctl| ctl.send(arr, ElemId(1), PING, vec![]));
+        let tcfg = ThreadedConfig {
+            latency,
+            max_wall: Duration::from_millis(200),
+            compute_sleep: false,
+        };
+        let started = Instant::now();
+        let _report = ThreadedEngine::new(topo, tcfg, RunConfig::default()).run(p);
+        assert!(started.elapsed() < Duration::from_secs(5), "watchdog fired");
+    }
+}

@@ -1,0 +1,722 @@
+//! The runtime's message format.
+//!
+//! Every communication in the system — application messages, broadcasts,
+//! reduction traffic, load-balancing coordination, quiescence probes,
+//! migration payloads — travels as an [`Envelope`].  The simulation engine
+//! passes envelopes around as plain values; the threaded engine serializes
+//! them through the VMI transport with the codec at the bottom of this
+//! module (so the "network" genuinely carries bytes).
+
+use bytes::Bytes;
+use mdo_netsim::Pe;
+
+use crate::ids::{ArrayId, ElemId, EntryId, ObjKey};
+use crate::wire::{WireError, WireReader, WireWriter};
+
+/// Reduction operators supported by [`MsgBody::ReduceUp`].
+///
+/// `SumF64`/`MinF64`/`MaxF64` combine equal-length `f64` vectors
+/// element-wise; `SumU64` likewise for `u64`; `Gather` collects each
+/// element's raw bytes, delivered sorted by element index (deterministic
+/// regardless of arrival order).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReduceOp {
+    /// Element-wise sum of f64 vectors.
+    SumF64,
+    /// Element-wise min of f64 vectors.
+    MinF64,
+    /// Element-wise max of f64 vectors.
+    MaxF64,
+    /// Element-wise sum of u64 vectors.
+    SumU64,
+    /// Deterministic gather of per-element byte strings.
+    Gather,
+}
+
+impl ReduceOp {
+    fn to_u8(self) -> u8 {
+        match self {
+            ReduceOp::SumF64 => 0,
+            ReduceOp::MinF64 => 1,
+            ReduceOp::MaxF64 => 2,
+            ReduceOp::SumU64 => 3,
+            ReduceOp::Gather => 4,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, WireError> {
+        Ok(match v {
+            0 => ReduceOp::SumF64,
+            1 => ReduceOp::MinF64,
+            2 => ReduceOp::MaxF64,
+            3 => ReduceOp::SumU64,
+            4 => ReduceOp::Gather,
+            _ => return Err(WireError { context: "ReduceOp tag" }),
+        })
+    }
+}
+
+/// Partially-combined reduction data moving up the PE tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ReduceData {
+    /// For the f64 operators.
+    F64(Vec<f64>),
+    /// For `SumU64`.
+    U64(Vec<u64>),
+    /// For `Gather`: (element index, bytes) pairs, kept sorted by element.
+    Gathered(Vec<(u32, Vec<u8>)>),
+}
+
+/// Per-object load and communication measurements shipped to the central
+/// load balancer at an AtSync barrier.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LbObjStat {
+    /// The measured object.
+    pub key: ObjKey,
+    /// Accumulated compute load (ns of charged/measured handler time).
+    pub load_ns: u64,
+    /// Messages sent per destination object.
+    pub comm: Vec<(ObjKey, u64)>,
+}
+
+/// The body of an [`Envelope`].
+#[derive(Clone, Debug)]
+pub enum MsgBody {
+    /// Application message for one object's entry method.
+    App {
+        /// Destination object.
+        target: ObjKey,
+        /// Entry method to trigger.
+        entry: EntryId,
+        /// Marshalled parameters.
+        payload: Bytes,
+    },
+    /// Broadcast of an entry call to all elements of an array, propagating
+    /// down the PE spanning tree.
+    Broadcast {
+        /// Target array.
+        array: ArrayId,
+        /// Entry method to trigger on every element.
+        entry: EntryId,
+        /// Marshalled parameters (shared by all elements).
+        payload: Bytes,
+    },
+    /// Partial reduction result moving toward the root (PE 0).
+    ReduceUp {
+        /// Array the reduction runs over.
+        array: ArrayId,
+        /// Reduction sequence number (per array).
+        seq: u32,
+        /// Combining operator.
+        op: ReduceOp,
+        /// Contributions folded into this partial.
+        count: u64,
+        /// The partial value.
+        data: ReduceData,
+    },
+    /// A PE announces all its local elements reached AtSync, with stats.
+    AtSyncReady {
+        /// Objects measured on the reporting PE.
+        stats: Vec<LbObjStat>,
+    },
+    /// PE 0 broadcasts the new object→PE assignment.
+    LbAssign {
+        /// Complete placement for every object in the program.
+        assignments: Vec<(ObjKey, Pe)>,
+    },
+    /// A migrating object's packed state.
+    MigrateState {
+        /// Which object.
+        key: ObjKey,
+        /// Its packed (PUP'd) state.
+        state: Bytes,
+    },
+    /// A PE reports it has received all elements it was assigned.
+    LbArrived,
+    /// PE 0 broadcasts: everyone resume from the AtSync barrier.
+    LbResume,
+    /// Quiescence probe from PE 0 (phase number).
+    QdProbe {
+        /// Probe wave number.
+        phase: u32,
+    },
+    /// Reply to a quiescence probe.
+    QdReply {
+        /// Probe wave being answered.
+        phase: u32,
+        /// App messages this PE has sent, ever.
+        sent: u64,
+        /// App messages this PE has processed, ever.
+        processed: u64,
+        /// Whether any app message was processed since the previous probe.
+        active: bool,
+    },
+    /// PE 0 asks every PE to pack its local elements for a checkpoint
+    /// (sent at a quiescent barrier).
+    CkptCollect,
+    /// A PE's packed element states for the checkpoint in progress.
+    CkptData {
+        /// (object, packed state) for every element local to the sender.
+        states: Vec<(ObjKey, Bytes)>,
+    },
+    /// Section multicast: one wire message per destination PE, fanned out
+    /// to the listed elements on arrival (the "optimized communication
+    /// libraries" of §2.1 — the payload crosses the network once per PE,
+    /// not once per element).
+    Multi {
+        /// Target array.
+        array: ArrayId,
+        /// Elements on the destination PE to deliver to, in order.
+        elems: Vec<ElemId>,
+        /// Entry method to trigger on each.
+        entry: EntryId,
+        /// Shared marshalled parameters.
+        payload: Bytes,
+    },
+    /// Restored run: every element gets `resume_from_sync` (like a
+    /// barrier resume, without touching load-balancer state).
+    RestoreResume,
+    /// Engine control: run the program's startup closure (delivered to PE 0).
+    Startup,
+    /// Engine control: stop the run.
+    Exit,
+}
+
+/// A message in flight between PEs.
+#[derive(Clone, Debug)]
+pub struct Envelope {
+    /// Sending PE.
+    pub src: Pe,
+    /// Destination PE (authoritative at send time; objects don't move
+    /// outside AtSync barriers).
+    pub dst: Pe,
+    /// Scheduler priority: smaller = more urgent; FIFO within a priority.
+    pub priority: i32,
+    /// Virtual/wall nanoseconds at which the message left `src` (stamped by
+    /// the engine; used for tracing).
+    pub sent_at_ns: u64,
+    /// Contents.
+    pub body: MsgBody,
+}
+
+/// Priority assigned to runtime-internal coordination traffic so it
+/// overtakes bulk application messages.
+pub const SYSTEM_PRIORITY: i32 = i32::MIN;
+
+/// Default application message priority.
+pub const APP_PRIORITY: i32 = 0;
+
+impl Envelope {
+    /// Approximate bytes this envelope would occupy on a wire: a fixed
+    /// header plus the variable body.  Used by the bandwidth model.
+    pub fn wire_size(&self) -> u64 {
+        let body = match &self.body {
+            MsgBody::App { payload, .. } => payload.len() as u64 + 12,
+            MsgBody::Broadcast { payload, .. } => payload.len() as u64 + 10,
+            MsgBody::ReduceUp { data, .. } => {
+                18 + match data {
+                    ReduceData::F64(v) => v.len() as u64 * 8,
+                    ReduceData::U64(v) => v.len() as u64 * 8,
+                    ReduceData::Gathered(g) => g.iter().map(|(_, b)| 8 + b.len() as u64).sum(),
+                }
+            }
+            MsgBody::AtSyncReady { stats } => {
+                stats.iter().map(|s| 16 + s.comm.len() as u64 * 16).sum::<u64>() + 4
+            }
+            MsgBody::LbAssign { assignments } => assignments.len() as u64 * 12 + 4,
+            MsgBody::MigrateState { state, .. } => state.len() as u64 + 8,
+            MsgBody::LbArrived | MsgBody::LbResume | MsgBody::Startup | MsgBody::Exit => 1,
+            MsgBody::CkptCollect | MsgBody::RestoreResume => 1,
+            MsgBody::Multi { elems, payload, .. } => {
+                payload.len() as u64 + elems.len() as u64 * 4 + 10
+            }
+            MsgBody::CkptData { states } => {
+                states.iter().map(|(_, s)| 12 + s.len() as u64).sum::<u64>() + 4
+            }
+            MsgBody::QdProbe { .. } => 5,
+            MsgBody::QdReply { .. } => 22,
+        };
+        24 + body
+    }
+
+    /// True for runtime-internal (non-application) traffic.
+    pub fn is_system(&self) -> bool {
+        !matches!(self.body, MsgBody::App { .. } | MsgBody::Broadcast { .. })
+    }
+
+    /// Serialize for the byte-oriented transport.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::with_capacity(64);
+        w.u32(self.src.0).u32(self.dst.0).i32(self.priority).u64(self.sent_at_ns);
+        encode_body(&mut w, &self.body);
+        w.finish()
+    }
+
+    /// Deserialize from the byte-oriented transport.
+    pub fn decode(buf: &[u8]) -> Result<Envelope, WireError> {
+        let mut r = WireReader::new(buf);
+        let src = Pe(r.u32()?);
+        let dst = Pe(r.u32()?);
+        let priority = r.i32()?;
+        let sent_at_ns = r.u64()?;
+        let body = decode_body(&mut r)?;
+        if !r.is_done() {
+            return Err(WireError { context: "trailing envelope bytes" });
+        }
+        Ok(Envelope { src, dst, priority, sent_at_ns, body })
+    }
+}
+
+fn encode_obj(w: &mut WireWriter, k: ObjKey) {
+    w.u32(k.array.0).u32(k.elem.0);
+}
+
+fn decode_obj(r: &mut WireReader) -> Result<ObjKey, WireError> {
+    Ok(ObjKey::new(ArrayId(r.u32()?), ElemId(r.u32()?)))
+}
+
+fn encode_reduce_data(w: &mut WireWriter, d: &ReduceData) {
+    match d {
+        ReduceData::F64(v) => {
+            w.u8(0).f64_slice(v);
+        }
+        ReduceData::U64(v) => {
+            w.u8(1).u32(v.len() as u32);
+            for &x in v {
+                w.u64(x);
+            }
+        }
+        ReduceData::Gathered(g) => {
+            w.u8(2).u32(g.len() as u32);
+            for (elem, bytes) in g {
+                w.u32(*elem).bytes(bytes);
+            }
+        }
+    }
+}
+
+fn decode_reduce_data(r: &mut WireReader) -> Result<ReduceData, WireError> {
+    Ok(match r.u8()? {
+        0 => ReduceData::F64(r.f64_vec()?),
+        1 => {
+            let n = r.u32()? as usize;
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                v.push(r.u64()?);
+            }
+            ReduceData::U64(v)
+        }
+        2 => {
+            let n = r.u32()? as usize;
+            let mut g = Vec::with_capacity(n);
+            for _ in 0..n {
+                let elem = r.u32()?;
+                let bytes = r.bytes()?.to_vec();
+                g.push((elem, bytes));
+            }
+            ReduceData::Gathered(g)
+        }
+        _ => return Err(WireError { context: "ReduceData tag" }),
+    })
+}
+
+fn encode_body(w: &mut WireWriter, body: &MsgBody) {
+    match body {
+        MsgBody::App { target, entry, payload } => {
+            w.u8(0);
+            encode_obj(w, *target);
+            w.u16(entry.0).bytes(payload);
+        }
+        MsgBody::Broadcast { array, entry, payload } => {
+            w.u8(1).u32(array.0).u16(entry.0).bytes(payload);
+        }
+        MsgBody::ReduceUp { array, seq, op, count, data } => {
+            w.u8(2).u32(array.0).u32(*seq).u8(op.to_u8()).u64(*count);
+            encode_reduce_data(w, data);
+        }
+        MsgBody::AtSyncReady { stats } => {
+            w.u8(3).u32(stats.len() as u32);
+            for s in stats {
+                encode_obj(w, s.key);
+                w.u64(s.load_ns).u32(s.comm.len() as u32);
+                for (dst, n) in &s.comm {
+                    encode_obj(w, *dst);
+                    w.u64(*n);
+                }
+            }
+        }
+        MsgBody::LbAssign { assignments } => {
+            w.u8(4).u32(assignments.len() as u32);
+            for (k, pe) in assignments {
+                encode_obj(w, *k);
+                w.u32(pe.0);
+            }
+        }
+        MsgBody::MigrateState { key, state } => {
+            w.u8(5);
+            encode_obj(w, *key);
+            w.bytes(state);
+        }
+        MsgBody::LbArrived => {
+            w.u8(6);
+        }
+        MsgBody::LbResume => {
+            w.u8(7);
+        }
+        MsgBody::QdProbe { phase } => {
+            w.u8(8).u32(*phase);
+        }
+        MsgBody::QdReply { phase, sent, processed, active } => {
+            w.u8(9).u32(*phase).u64(*sent).u64(*processed).bool(*active);
+        }
+        MsgBody::Startup => {
+            w.u8(10);
+        }
+        MsgBody::Exit => {
+            w.u8(11);
+        }
+        MsgBody::CkptCollect => {
+            w.u8(12);
+        }
+        MsgBody::CkptData { states } => {
+            w.u8(13).u32(states.len() as u32);
+            for (key, state) in states {
+                encode_obj(w, *key);
+                w.bytes(state);
+            }
+        }
+        MsgBody::RestoreResume => {
+            w.u8(14);
+        }
+        MsgBody::Multi { array, elems, entry, payload } => {
+            w.u8(15).u32(array.0).u16(entry.0).u32(elems.len() as u32);
+            for e in elems {
+                w.u32(e.0);
+            }
+            w.bytes(payload);
+        }
+    }
+}
+
+fn decode_body(r: &mut WireReader) -> Result<MsgBody, WireError> {
+    Ok(match r.u8()? {
+        0 => {
+            let target = decode_obj(r)?;
+            let entry = EntryId(r.u16()?);
+            let payload = Bytes::copy_from_slice(r.bytes()?);
+            MsgBody::App { target, entry, payload }
+        }
+        1 => {
+            let array = ArrayId(r.u32()?);
+            let entry = EntryId(r.u16()?);
+            let payload = Bytes::copy_from_slice(r.bytes()?);
+            MsgBody::Broadcast { array, entry, payload }
+        }
+        2 => {
+            let array = ArrayId(r.u32()?);
+            let seq = r.u32()?;
+            let op = ReduceOp::from_u8(r.u8()?)?;
+            let count = r.u64()?;
+            let data = decode_reduce_data(r)?;
+            MsgBody::ReduceUp { array, seq, op, count, data }
+        }
+        3 => {
+            let n = r.u32()? as usize;
+            let mut stats = Vec::with_capacity(n);
+            for _ in 0..n {
+                let key = decode_obj(r)?;
+                let load_ns = r.u64()?;
+                let m = r.u32()? as usize;
+                let mut comm = Vec::with_capacity(m);
+                for _ in 0..m {
+                    let dst = decode_obj(r)?;
+                    comm.push((dst, r.u64()?));
+                }
+                stats.push(LbObjStat { key, load_ns, comm });
+            }
+            MsgBody::AtSyncReady { stats }
+        }
+        4 => {
+            let n = r.u32()? as usize;
+            let mut assignments = Vec::with_capacity(n);
+            for _ in 0..n {
+                let k = decode_obj(r)?;
+                assignments.push((k, Pe(r.u32()?)));
+            }
+            MsgBody::LbAssign { assignments }
+        }
+        5 => {
+            let key = decode_obj(r)?;
+            let state = Bytes::copy_from_slice(r.bytes()?);
+            MsgBody::MigrateState { key, state }
+        }
+        6 => MsgBody::LbArrived,
+        7 => MsgBody::LbResume,
+        8 => MsgBody::QdProbe { phase: r.u32()? },
+        9 => MsgBody::QdReply {
+            phase: r.u32()?,
+            sent: r.u64()?,
+            processed: r.u64()?,
+            active: r.bool()?,
+        },
+        10 => MsgBody::Startup,
+        11 => MsgBody::Exit,
+        12 => MsgBody::CkptCollect,
+        13 => {
+            let n = r.u32()? as usize;
+            let mut states = Vec::with_capacity(n);
+            for _ in 0..n {
+                let key = decode_obj(r)?;
+                states.push((key, Bytes::copy_from_slice(r.bytes()?)));
+            }
+            MsgBody::CkptData { states }
+        }
+        14 => MsgBody::RestoreResume,
+        15 => {
+            let array = ArrayId(r.u32()?);
+            let entry = EntryId(r.u16()?);
+            let n = r.u32()? as usize;
+            let mut elems = Vec::with_capacity(n);
+            for _ in 0..n {
+                elems.push(ElemId(r.u32()?));
+            }
+            let payload = Bytes::copy_from_slice(r.bytes()?);
+            MsgBody::Multi { array, elems, entry, payload }
+        }
+        _ => return Err(WireError { context: "MsgBody tag" }),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(body: MsgBody) -> MsgBody {
+        let env = Envelope { src: Pe(3), dst: Pe(9), priority: -2, sent_at_ns: 123, body };
+        let bytes = env.encode();
+        let back = Envelope::decode(&bytes).expect("decodes");
+        assert_eq!(back.src, Pe(3));
+        assert_eq!(back.dst, Pe(9));
+        assert_eq!(back.priority, -2);
+        assert_eq!(back.sent_at_ns, 123);
+        back.body
+    }
+
+    #[test]
+    fn app_roundtrip() {
+        let body = roundtrip(MsgBody::App {
+            target: ObjKey::new(ArrayId(1), ElemId(42)),
+            entry: EntryId(7),
+            payload: Bytes::from_static(b"params"),
+        });
+        match body {
+            MsgBody::App { target, entry, payload } => {
+                assert_eq!(target, ObjKey::new(ArrayId(1), ElemId(42)));
+                assert_eq!(entry, EntryId(7));
+                assert_eq!(&payload[..], b"params");
+            }
+            other => panic!("wrong body: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn broadcast_roundtrip() {
+        match roundtrip(MsgBody::Broadcast {
+            array: ArrayId(2),
+            entry: EntryId(1),
+            payload: Bytes::from_static(b"x"),
+        }) {
+            MsgBody::Broadcast { array, entry, payload } => {
+                assert_eq!((array, entry), (ArrayId(2), EntryId(1)));
+                assert_eq!(&payload[..], b"x");
+            }
+            other => panic!("wrong body: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reduce_variants_roundtrip() {
+        for data in [
+            ReduceData::F64(vec![1.5, -2.5]),
+            ReduceData::U64(vec![10, 20, 30]),
+            ReduceData::Gathered(vec![(0, b"a".to_vec()), (3, b"bc".to_vec())]),
+        ] {
+            match roundtrip(MsgBody::ReduceUp {
+                array: ArrayId(0),
+                seq: 9,
+                op: ReduceOp::Gather,
+                count: 4,
+                data: data.clone(),
+            }) {
+                MsgBody::ReduceUp { seq, count, data: got, .. } => {
+                    assert_eq!(seq, 9);
+                    assert_eq!(count, 4);
+                    assert_eq!(got, data);
+                }
+                other => panic!("wrong body: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_ops_roundtrip() {
+        for op in [ReduceOp::SumF64, ReduceOp::MinF64, ReduceOp::MaxF64, ReduceOp::SumU64, ReduceOp::Gather] {
+            assert_eq!(ReduceOp::from_u8(op.to_u8()).unwrap(), op);
+        }
+        assert!(ReduceOp::from_u8(99).is_err());
+    }
+
+    #[test]
+    fn lb_bodies_roundtrip() {
+        let stats = vec![LbObjStat {
+            key: ObjKey::new(ArrayId(1), ElemId(2)),
+            load_ns: 555,
+            comm: vec![(ObjKey::new(ArrayId(1), ElemId(3)), 17)],
+        }];
+        match roundtrip(MsgBody::AtSyncReady { stats: stats.clone() }) {
+            MsgBody::AtSyncReady { stats: got } => assert_eq!(got, stats),
+            other => panic!("wrong body: {other:?}"),
+        }
+        let assignments = vec![(ObjKey::new(ArrayId(1), ElemId(0)), Pe(4))];
+        match roundtrip(MsgBody::LbAssign { assignments: assignments.clone() }) {
+            MsgBody::LbAssign { assignments: got } => assert_eq!(got, assignments),
+            other => panic!("wrong body: {other:?}"),
+        }
+        match roundtrip(MsgBody::MigrateState {
+            key: ObjKey::new(ArrayId(1), ElemId(5)),
+            state: Bytes::from_static(b"packed"),
+        }) {
+            MsgBody::MigrateState { key, state } => {
+                assert_eq!(key, ObjKey::new(ArrayId(1), ElemId(5)));
+                assert_eq!(&state[..], b"packed");
+            }
+            other => panic!("wrong body: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_bodies_roundtrip() {
+        assert!(matches!(roundtrip(MsgBody::LbArrived), MsgBody::LbArrived));
+        assert!(matches!(roundtrip(MsgBody::LbResume), MsgBody::LbResume));
+        assert!(matches!(roundtrip(MsgBody::Startup), MsgBody::Startup));
+        assert!(matches!(roundtrip(MsgBody::Exit), MsgBody::Exit));
+        match roundtrip(MsgBody::QdProbe { phase: 3 }) {
+            MsgBody::QdProbe { phase } => assert_eq!(phase, 3),
+            other => panic!("wrong body: {other:?}"),
+        }
+        match roundtrip(MsgBody::QdReply { phase: 3, sent: 10, processed: 10, active: false }) {
+            MsgBody::QdReply { phase, sent, processed, active } => {
+                assert_eq!((phase, sent, processed, active), (3, 10, 10, false));
+            }
+            other => panic!("wrong body: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpoint_bodies_roundtrip() {
+        assert!(matches!(roundtrip(MsgBody::CkptCollect), MsgBody::CkptCollect));
+        assert!(matches!(roundtrip(MsgBody::RestoreResume), MsgBody::RestoreResume));
+        let states = vec![
+            (ObjKey::new(ArrayId(0), ElemId(3)), Bytes::from_static(b"packed-3")),
+            (ObjKey::new(ArrayId(1), ElemId(0)), Bytes::new()),
+        ];
+        match roundtrip(MsgBody::CkptData { states: states.clone() }) {
+            MsgBody::CkptData { states: got } => assert_eq!(got, states),
+            other => panic!("wrong body: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_roundtrip() {
+        match roundtrip(MsgBody::Multi {
+            array: ArrayId(2),
+            elems: vec![ElemId(1), ElemId(9), ElemId(4)],
+            entry: EntryId(7),
+            payload: Bytes::from_static(b"shared"),
+        }) {
+            MsgBody::Multi { array, elems, entry, payload } => {
+                assert_eq!(array, ArrayId(2));
+                assert_eq!(elems, vec![ElemId(1), ElemId(9), ElemId(4)]);
+                assert_eq!(entry, EntryId(7));
+                assert_eq!(&payload[..], b"shared");
+            }
+            other => panic!("wrong body: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_wire_size_shares_payload() {
+        let mk = |n_elems: u32| Envelope {
+            src: Pe(0),
+            dst: Pe(1),
+            priority: 0,
+            sent_at_ns: 0,
+            body: MsgBody::Multi {
+                array: ArrayId(0),
+                elems: (0..n_elems).map(ElemId).collect(),
+                entry: EntryId(0),
+                payload: Bytes::from(vec![0u8; 1000]),
+            },
+        };
+        // Ten extra destinations cost 40 bytes, not 10 payload copies.
+        assert_eq!(mk(11).wire_size() - mk(1).wire_size(), 40);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Envelope::decode(&[]).is_err());
+        assert!(Envelope::decode(&[0; 21]).is_err());
+        // Valid header, bad body tag.
+        let mut w = WireWriter::new();
+        w.u32(0).u32(1).i32(0).u64(0).u8(200);
+        assert!(Envelope::decode(&w.finish()).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_trailing_bytes() {
+        let env = Envelope {
+            src: Pe(0),
+            dst: Pe(1),
+            priority: 0,
+            sent_at_ns: 0,
+            body: MsgBody::Exit,
+        };
+        let mut bytes = env.encode();
+        bytes.push(0);
+        assert!(Envelope::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn system_classification() {
+        let app = Envelope {
+            src: Pe(0),
+            dst: Pe(1),
+            priority: 0,
+            sent_at_ns: 0,
+            body: MsgBody::App {
+                target: ObjKey::new(ArrayId(1), ElemId(0)),
+                entry: EntryId(0),
+                payload: Bytes::new(),
+            },
+        };
+        assert!(!app.is_system());
+        let sys = Envelope { body: MsgBody::QdProbe { phase: 0 }, ..app.clone() };
+        assert!(sys.is_system());
+    }
+
+    #[test]
+    fn wire_size_tracks_payload() {
+        let mk = |n: usize| Envelope {
+            src: Pe(0),
+            dst: Pe(1),
+            priority: 0,
+            sent_at_ns: 0,
+            body: MsgBody::App {
+                target: ObjKey::new(ArrayId(1), ElemId(0)),
+                entry: EntryId(0),
+                payload: Bytes::from(vec![0u8; n]),
+            },
+        };
+        assert_eq!(mk(100).wire_size() - mk(0).wire_size(), 100);
+    }
+}

@@ -1,0 +1,154 @@
+//! Initial object→PE placement.
+//!
+//! The paper's experiments place stencil blocks and LeanMD cells/cell-pairs
+//! with a static map at startup ("the runs were conducted without any load
+//! balancing", §5.3) and always split PEs evenly across the two clusters.
+//! [`Mapping`] provides the standard strategies; the load balancer can
+//! later override any placement at an AtSync barrier.
+
+use std::sync::Arc;
+
+use mdo_netsim::{Pe, Topology};
+
+use crate::ids::ElemId;
+
+/// Signature of a user-provided placement function.
+pub type MapFn = dyn Fn(ElemId, &Topology) -> Pe + Send + Sync;
+
+/// Placement strategy for a chare array's initial elements.
+#[derive(Clone)]
+pub enum Mapping {
+    /// Contiguous blocks of elements per PE (default; keeps neighbouring
+    /// stencil blocks on the same cluster, like the paper's runs).
+    Block,
+    /// Element `i` on PE `i % P`.
+    RoundRobin,
+    /// Arbitrary user map from element index and PE count to a PE.
+    Custom(Arc<MapFn>),
+}
+
+impl std::fmt::Debug for Mapping {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Mapping::Block => write!(f, "Block"),
+            Mapping::RoundRobin => write!(f, "RoundRobin"),
+            Mapping::Custom(_) => write!(f, "Custom(..)"),
+        }
+    }
+}
+
+impl Mapping {
+    /// The PE that element `elem` of an array with `n_elems` elements
+    /// starts on.
+    pub fn place(&self, elem: ElemId, n_elems: usize, topo: &Topology) -> Pe {
+        let p = topo.num_pes();
+        assert!(n_elems > 0, "array must have elements");
+        assert!(elem.index() < n_elems, "element {elem:?} out of range (n={n_elems})");
+        match self {
+            Mapping::Block => {
+                // Even block partition: the first (n_elems % p) PEs get one
+                // extra element, preserving contiguity.
+                let (q, r) = (n_elems / p, n_elems % p);
+                let i = elem.index();
+                let big = (q + 1) * r; // elements covered by the larger blocks
+                let pe = if i < big { i / (q + 1) } else { r + (i - big) / q.max(1) };
+                Pe(pe.min(p - 1) as u32)
+            }
+            Mapping::RoundRobin => Pe((elem.index() % p) as u32),
+            Mapping::Custom(f) => {
+                let pe = f(elem, topo);
+                assert!(pe.index() < p, "custom mapping returned out-of-range {pe:?}");
+                pe
+            }
+        }
+    }
+
+    /// Full placement vector for an array.
+    pub fn place_all(&self, n_elems: usize, topo: &Topology) -> Vec<Pe> {
+        (0..n_elems as u32).map(|i| self.place(ElemId(i), n_elems, topo)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_mapping_is_contiguous_and_balanced() {
+        let topo = Topology::two_cluster(4);
+        let places = Mapping::Block.place_all(16, &topo);
+        // 16 elements / 4 PEs = 4 each, contiguous.
+        for (i, pe) in places.iter().enumerate() {
+            assert_eq!(pe.index(), i / 4);
+        }
+    }
+
+    #[test]
+    fn block_mapping_uneven() {
+        let topo = Topology::two_cluster(4);
+        let places = Mapping::Block.place_all(10, &topo);
+        // 10/4: PEs get 3,3,2,2.
+        let mut counts = [0usize; 4];
+        for pe in &places {
+            counts[pe.index()] += 1;
+        }
+        assert_eq!(counts, [3, 3, 2, 2]);
+        // Contiguity: non-decreasing PE index.
+        assert!(places.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn block_mapping_fewer_elems_than_pes() {
+        let topo = Topology::two_cluster(8);
+        let places = Mapping::Block.place_all(3, &topo);
+        assert_eq!(places.iter().map(|p| p.index()).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn round_robin() {
+        let topo = Topology::two_cluster(4);
+        let places = Mapping::RoundRobin.place_all(6, &topo);
+        assert_eq!(places.iter().map(|p| p.index()).collect::<Vec<_>>(), vec![0, 1, 2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn custom_mapping() {
+        let topo = Topology::two_cluster(4);
+        let m = Mapping::Custom(Arc::new(|e: ElemId, _t: &Topology| Pe((e.0 * 2) % 4)));
+        assert_eq!(m.place(ElemId(3), 8, &topo), Pe(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range")]
+    fn custom_mapping_validated() {
+        let topo = Topology::two_cluster(2);
+        let m = Mapping::Custom(Arc::new(|_e, _t| Pe(99)));
+        m.place(ElemId(0), 1, &topo);
+    }
+
+    #[test]
+    fn every_element_placed_once_within_range() {
+        // Cross-check all strategies on assorted shapes.
+        for pes in [2u32, 4, 8] {
+            let topo = Topology::two_cluster(pes);
+            for n in [1usize, 5, 64, 1024] {
+                for m in [Mapping::Block, Mapping::RoundRobin] {
+                    let places = m.place_all(n, &topo);
+                    assert_eq!(places.len(), n);
+                    assert!(places.iter().all(|p| p.index() < pes as usize));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_covers_all_pes_when_enough_elements() {
+        let topo = Topology::two_cluster(8);
+        let places = Mapping::Block.place_all(64, &topo);
+        let mut hit = [false; 8];
+        for p in places {
+            hit[p.index()] = true;
+        }
+        assert!(hit.iter().all(|&h| h));
+    }
+}

@@ -1,0 +1,365 @@
+//! Describing a program to an engine, and what comes back from a run.
+//!
+//! A [`Program`] is the application side of the contract: chare arrays
+//! (with factories and placement), a startup closure, and host callbacks
+//! (reduction clients, a quiescence client).  A [`RunConfig`] holds the
+//! runtime knobs the paper studies — Grid message priority, load-balancing
+//! strategy, tracing.  Engines consume both and return a [`RunReport`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use mdo_netsim::network::NetworkStats;
+use mdo_netsim::{Dur, Time};
+
+use crate::array::ArraySpec;
+use crate::balancer::{GreedyLB, GridCommLB, RefineLB, RotateLB, Strategy};
+use crate::chare::{Chare, ElemUnpacker, HostCtl};
+use crate::checkpoint::Snapshot;
+use crate::envelope::ReduceData;
+use crate::ids::{ArrayId, ElemId};
+use crate::mapping::Mapping;
+use crate::trace::Trace;
+use crate::wire::WireReader;
+
+/// Startup closure type.
+pub type StartupFn = Box<dyn FnOnce(&mut HostCtl<'_>) + Send>;
+/// Reduction client type: (reduction seq, result, control).
+pub type ReductionClient = Box<dyn FnMut(u32, &ReduceData, &mut HostCtl<'_>) + Send>;
+/// Quiescence client type.
+pub type QuiescenceClient = Box<dyn FnMut(&mut HostCtl<'_>) + Send>;
+/// Checkpoint client type: called on PE 0 with each completed snapshot.
+pub type CheckpointClient = Box<dyn FnMut(&Snapshot, &mut HostCtl<'_>) + Send>;
+
+/// An application, as handed to an engine.
+pub struct Program {
+    pub(crate) arrays: Vec<Arc<ArraySpec>>,
+    pub(crate) startup: Option<StartupFn>,
+    pub(crate) reduction_clients: HashMap<ArrayId, ReductionClient>,
+    pub(crate) quiescence_client: Option<QuiescenceClient>,
+    pub(crate) checkpoint_client: Option<CheckpointClient>,
+    pub(crate) restore: Option<Arc<Snapshot>>,
+}
+
+impl Default for Program {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Self {
+        Program {
+            arrays: Vec::new(),
+            startup: None,
+            reduction_clients: HashMap::new(),
+            quiescence_client: None,
+            checkpoint_client: None,
+            restore: None,
+        }
+    }
+
+    /// Declare a (non-migratable) chare array of `n_elems` elements built
+    /// by `factory` and placed by `mapping`.  Returns its id.
+    pub fn array<F>(&mut self, name: &str, n_elems: usize, mapping: Mapping, factory: F) -> ArrayId
+    where
+        F: Fn(ElemId) -> Box<dyn Chare> + Send + Sync + 'static,
+    {
+        self.push_array(name, n_elems, mapping, Arc::new(factory), None)
+    }
+
+    /// Declare a migratable chare array: like [`Program::array`] but with an
+    /// `unpacker` that reconstructs an element from its packed state after
+    /// migration.
+    pub fn array_migratable<F, U>(
+        &mut self,
+        name: &str,
+        n_elems: usize,
+        mapping: Mapping,
+        factory: F,
+        unpacker: U,
+    ) -> ArrayId
+    where
+        F: Fn(ElemId) -> Box<dyn Chare> + Send + Sync + 'static,
+        U: Fn(ElemId, &mut WireReader<'_>) -> Box<dyn Chare> + Send + Sync + 'static,
+    {
+        self.push_array(name, n_elems, mapping, Arc::new(factory), Some(Arc::new(unpacker)))
+    }
+
+    fn push_array(
+        &mut self,
+        name: &str,
+        n_elems: usize,
+        mapping: Mapping,
+        factory: Arc<crate::chare::ElemFactory>,
+        unpacker: Option<Arc<ElemUnpacker>>,
+    ) -> ArrayId {
+        assert!(n_elems > 0, "array {name:?} must have at least one element");
+        let id = ArrayId(self.arrays.len() as u32);
+        self.arrays.push(Arc::new(ArraySpec {
+            id,
+            name: name.to_string(),
+            n_elems,
+            factory,
+            unpacker,
+            mapping,
+        }));
+        id
+    }
+
+    /// Register the startup closure, run once on PE 0 before anything else.
+    pub fn on_startup<F>(&mut self, f: F)
+    where
+        F: FnOnce(&mut HostCtl<'_>) + Send + 'static,
+    {
+        assert!(self.startup.is_none(), "startup closure registered twice");
+        self.startup = Some(Box::new(f));
+    }
+
+    /// Register the client called (on PE 0, in sequence order) each time a
+    /// reduction over `array` completes.
+    pub fn on_reduction<F>(&mut self, array: ArrayId, f: F)
+    where
+        F: FnMut(u32, &ReduceData, &mut HostCtl<'_>) + Send + 'static,
+    {
+        let prev = self.reduction_clients.insert(array, Box::new(f));
+        assert!(prev.is_none(), "reduction client for {array:?} registered twice");
+    }
+
+    /// Register the client called when quiescence is detected (requires
+    /// [`RunConfig::detect_quiescence`]).
+    pub fn on_quiescence<F>(&mut self, f: F)
+    where
+        F: FnMut(&mut HostCtl<'_>) + Send + 'static,
+    {
+        assert!(self.quiescence_client.is_none(), "quiescence client registered twice");
+        self.quiescence_client = Some(Box::new(f));
+    }
+
+    /// Register the client called (on PE 0) each time a barrier-integrated
+    /// checkpoint completes (requires [`RunConfig::checkpoint_at_barrier`]).
+    /// The client typically saves the snapshot and either exits or lets
+    /// the run continue.
+    pub fn on_checkpoint<F>(&mut self, f: F)
+    where
+        F: FnMut(&Snapshot, &mut HostCtl<'_>) + Send + 'static,
+    {
+        assert!(self.checkpoint_client.is_none(), "checkpoint client registered twice");
+        self.checkpoint_client = Some(Box::new(f));
+    }
+
+    /// Restore element state from a checkpoint instead of running the
+    /// array factories.  Element placement is recomputed by each array's
+    /// mapping over the (possibly different — shrink/expand) topology, and
+    /// every element receives `resume_from_sync` at startup.  All arrays
+    /// must be migratable, and the snapshot must cover every element.
+    pub fn restore_from(&mut self, snapshot: Snapshot) {
+        assert!(self.restore.is_none(), "restore snapshot set twice");
+        self.restore = Some(Arc::new(snapshot));
+    }
+
+    /// Total objects across all arrays.
+    pub fn total_elems(&self) -> usize {
+        self.arrays.iter().map(|a| a.n_elems).sum()
+    }
+}
+
+/// Which load-balancing strategy AtSync barriers run.
+#[derive(Clone)]
+pub enum LbChoice {
+    /// Keep the current placement (barrier semantics only).
+    Identity,
+    /// Classic greedy (cluster-oblivious).
+    Greedy,
+    /// Refinement from the current placement.
+    Refine,
+    /// The paper's §6 Grid-aware balancer.
+    GridComm,
+    /// Rotate every object to the next PE (testing).
+    Rotate,
+    /// Any user strategy.
+    Custom(Arc<dyn Strategy>),
+}
+
+impl LbChoice {
+    /// Materialize the strategy object.
+    pub fn strategy(&self) -> Arc<dyn Strategy> {
+        struct Identity;
+        impl Strategy for Identity {
+            fn name(&self) -> &str {
+                "IdentityLB"
+            }
+            fn assign(
+                &self,
+                input: &crate::balancer::LbInput<'_>,
+            ) -> Vec<(crate::ids::ObjKey, mdo_netsim::Pe)> {
+                input.objs.iter().map(|m| (m.key, m.current_pe)).collect()
+            }
+        }
+        match self {
+            LbChoice::Identity => Arc::new(Identity),
+            LbChoice::Greedy => Arc::new(GreedyLB),
+            LbChoice::Refine => Arc::new(RefineLB::default()),
+            LbChoice::GridComm => Arc::new(GridCommLB),
+            LbChoice::Rotate => Arc::new(RotateLB),
+            LbChoice::Custom(s) => Arc::clone(s),
+        }
+    }
+}
+
+impl std::fmt::Debug for LbChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LbChoice::Identity => "Identity",
+            LbChoice::Greedy => "Greedy",
+            LbChoice::Refine => "Refine",
+            LbChoice::GridComm => "GridComm",
+            LbChoice::Rotate => "Rotate",
+            LbChoice::Custom(_) => "Custom",
+        })
+    }
+}
+
+/// Runtime knobs shared by both engines.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// §6 extension: tag cross-cluster application messages with elevated
+    /// priority so receivers process them before local traffic.
+    pub grid_prio: bool,
+    /// Strategy used when elements call `at_sync` (default Identity).
+    pub lb: LbChoice,
+    /// Record an execution trace (costs memory; see [`Trace`]).
+    pub trace: bool,
+    /// Run quiescence-detection waves and fire the program's quiescence
+    /// client when the application goes quiet.
+    pub detect_quiescence: bool,
+    /// Take a checkpoint at every AtSync barrier (the application is
+    /// provably quiescent there) and deliver it to the program's
+    /// checkpoint client.
+    pub checkpoint_at_barrier: bool,
+    /// Seed for any runtime randomness (network jitter, tie-breaking).
+    pub seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            grid_prio: false,
+            lb: LbChoice::Identity,
+            trace: false,
+            detect_quiescence: false,
+            checkpoint_at_barrier: false,
+            seed: 0,
+        }
+    }
+}
+
+/// What an engine reports after a run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Time at which the run ended (virtual for the sim engine, wall-clock
+    /// since start for the threaded engine).
+    pub end_time: Time,
+    /// Per-PE busy time (handler execution).
+    pub pe_busy: Vec<Dur>,
+    /// Per-PE count of processed envelopes.
+    pub pe_messages: Vec<u64>,
+    /// Per-PE high-water mark of scheduler queue depth — a direct measure
+    /// of how much maskable work each PE held at once (the paper's core
+    /// mechanism: higher virtualization ⇒ deeper queues ⇒ more to overlap
+    /// with a cross-cluster wait).
+    pub pe_max_queue_depth: Vec<usize>,
+    /// Traffic summary (intra vs cross-cluster).
+    pub network: NetworkStats,
+    /// Execution trace, if requested.
+    pub trace: Option<Trace>,
+    /// Completed load-balancing barriers.
+    pub lb_rounds: u32,
+    /// Objects that changed PE across all barriers.
+    pub migrations: u64,
+}
+
+impl RunReport {
+    /// Mean PE utilization over the run (busy / elapsed), in [0, 1].
+    pub fn mean_utilization(&self) -> f64 {
+        if self.end_time == Time::ZERO || self.pe_busy.is_empty() {
+            return 0.0;
+        }
+        let total_busy: f64 = self.pe_busy.iter().map(|d| d.as_secs_f64()).sum();
+        total_busy / (self.end_time.as_secs_f64() * self.pe_busy.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chare::{Chare, Ctx};
+    use crate::ids::EntryId;
+
+    struct Dummy;
+    impl Chare for Dummy {
+        fn receive(&mut self, _e: EntryId, _p: &[u8], _c: &mut Ctx<'_>) {}
+    }
+
+    #[test]
+    fn arrays_get_dense_ids() {
+        let mut p = Program::new();
+        let a = p.array("a", 4, Mapping::Block, |_| Box::new(Dummy));
+        let b = p.array("b", 2, Mapping::RoundRobin, |_| Box::new(Dummy));
+        assert_eq!(a, ArrayId(0));
+        assert_eq!(b, ArrayId(1));
+        assert_eq!(p.total_elems(), 6);
+        assert!(p.arrays[0].unpacker.is_none());
+    }
+
+    #[test]
+    fn migratable_array_has_unpacker() {
+        let mut p = Program::new();
+        p.array_migratable("m", 1, Mapping::Block, |_| Box::new(Dummy), |_, _| Box::new(Dummy));
+        assert!(p.arrays[0].unpacker.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_startup_rejected() {
+        let mut p = Program::new();
+        p.on_startup(|_| {});
+        p.on_startup(|_| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one element")]
+    fn empty_array_rejected() {
+        let mut p = Program::new();
+        p.array("empty", 0, Mapping::Block, |_| Box::new(Dummy));
+    }
+
+    #[test]
+    fn lb_choices_materialize() {
+        for (c, name) in [
+            (LbChoice::Identity, "IdentityLB"),
+            (LbChoice::Greedy, "GreedyLB"),
+            (LbChoice::Refine, "RefineLB"),
+            (LbChoice::GridComm, "GridCommLB"),
+            (LbChoice::Rotate, "RotateLB"),
+        ] {
+            assert_eq!(c.strategy().name(), name);
+        }
+    }
+
+    #[test]
+    fn utilization_math() {
+        let report = RunReport {
+            end_time: Time::from_nanos(1_000),
+            pe_busy: vec![Dur::from_nanos(500), Dur::from_nanos(1_000)],
+            pe_messages: vec![1, 1],
+            pe_max_queue_depth: vec![1, 2],
+            network: NetworkStats::default(),
+            trace: None,
+            lb_rounds: 0,
+            migrations: 0,
+        };
+        assert!((report.mean_utilization() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,146 @@
+//! The per-PE scheduler queue.
+//!
+//! Paper §4: *"As messages arrive at a physical processor, they are
+//! enqueued in a message queue in either FIFO or priority order.  When a
+//! physical processor becomes idle, its message scheduler dequeues the next
+//! waiting message and delivers it."*
+//!
+//! [`SchedQueue`] implements exactly that: a stable priority queue (smaller
+//! priority value = more urgent; FIFO among equal priorities).  With all
+//! priorities equal it degenerates to a FIFO, which is the default mode —
+//! the Grid-priority extension (§6) is what introduces distinct priorities.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::envelope::Envelope;
+
+struct Entry {
+    priority: i32,
+    seq: u64,
+    env: Envelope,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap: invert so the smallest (priority, seq) pops first.
+        other.priority.cmp(&self.priority).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A stable priority queue of envelopes.
+#[derive(Default)]
+pub struct SchedQueue {
+    heap: BinaryHeap<Entry>,
+    next_seq: u64,
+    max_depth: usize,
+}
+
+impl SchedQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        SchedQueue::default()
+    }
+
+    /// Enqueue an envelope under its own priority.
+    pub fn push(&mut self, env: Envelope) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { priority: env.priority, seq, env });
+        self.max_depth = self.max_depth.max(self.heap.len());
+    }
+
+    /// Dequeue the most urgent envelope.
+    pub fn pop(&mut self) -> Option<Envelope> {
+        self.heap.pop().map(|e| e.env)
+    }
+
+    /// Messages waiting.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// High-water mark of queue depth (for the harness's overhead reports).
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::MsgBody;
+    use mdo_netsim::Pe;
+
+    fn env(priority: i32, tag: u32) -> Envelope {
+        Envelope {
+            src: Pe(0),
+            dst: Pe(0),
+            priority,
+            sent_at_ns: tag as u64, // smuggle a tag for assertions
+            body: MsgBody::Exit,
+        }
+    }
+
+    #[test]
+    fn fifo_within_priority() {
+        let mut q = SchedQueue::new();
+        for i in 0..50 {
+            q.push(env(0, i));
+        }
+        for i in 0..50 {
+            assert_eq!(q.pop().unwrap().sent_at_ns, i as u64);
+        }
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn lower_priority_value_first() {
+        let mut q = SchedQueue::new();
+        q.push(env(5, 1));
+        q.push(env(-1, 2));
+        q.push(env(0, 3));
+        assert_eq!(q.pop().unwrap().sent_at_ns, 2);
+        assert_eq!(q.pop().unwrap().sent_at_ns, 3);
+        assert_eq!(q.pop().unwrap().sent_at_ns, 1);
+    }
+
+    #[test]
+    fn mixed_priorities_stable() {
+        let mut q = SchedQueue::new();
+        q.push(env(1, 10));
+        q.push(env(0, 20));
+        q.push(env(1, 11));
+        q.push(env(0, 21));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.sent_at_ns).collect();
+        assert_eq!(order, vec![20, 21, 10, 11]);
+    }
+
+    #[test]
+    fn depth_tracking() {
+        let mut q = SchedQueue::new();
+        assert!(q.is_empty());
+        q.push(env(0, 1));
+        q.push(env(0, 2));
+        q.pop();
+        q.push(env(0, 3));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.max_depth(), 2);
+    }
+}

@@ -1,0 +1,343 @@
+//! A small explicit byte codec for message payloads and migratable state.
+//!
+//! Charm++ marshals entry-method parameters and packs/unpacks (PUP)
+//! migratable object state; this module is our equivalent.  The format is
+//! little-endian, length-prefixed, and deliberately boring — the point is
+//! that message contents and PUP'd state are observable byte strings, which
+//! the tests exploit heavily.  (We use this instead of `serde` so the
+//! runtime has zero codegen magic; see DESIGN.md.)
+
+use bytes::Bytes;
+
+/// Serializer: appends primitive values to a growable buffer.
+#[derive(Default, Debug)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        WireWriter::default()
+    }
+
+    /// A writer with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        WireWriter { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Finish, taking the buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Finish as `Bytes`.
+    pub fn finish_bytes(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append a `u8`.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Append a `bool` as one byte.
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.u8(v as u8)
+    }
+
+    /// Append a `u16` (LE).
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a `u32` (LE).
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a `u64` (LE).
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append an `i32` (LE).
+    pub fn i32(&mut self, v: i32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append an `i64` (LE).
+    pub fn i64(&mut self, v: i64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append an `f64` (LE bits).
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a `usize` as `u64`.
+    pub fn usize(&mut self, v: usize) -> &mut Self {
+        self.u64(v as u64)
+    }
+
+    /// Append raw bytes with a `u32` length prefix.
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.u32(u32::try_from(v.len()).expect("buffer too large for wire format"));
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Append a UTF-8 string with a `u32` length prefix.
+    pub fn str(&mut self, v: &str) -> &mut Self {
+        self.bytes(v.as_bytes())
+    }
+
+    /// Append a slice of `f64` with a `u32` count prefix.
+    pub fn f64_slice(&mut self, v: &[f64]) -> &mut Self {
+        self.u32(u32::try_from(v.len()).expect("slice too large for wire format"));
+        for &x in v {
+            self.buf.extend_from_slice(&x.to_le_bytes());
+        }
+        self
+    }
+
+    /// Append a slice of `u32` with a `u32` count prefix.
+    pub fn u32_slice(&mut self, v: &[u32]) -> &mut Self {
+        self.u32(u32::try_from(v.len()).expect("slice too large for wire format"));
+        for &x in v {
+            self.buf.extend_from_slice(&x.to_le_bytes());
+        }
+        self
+    }
+}
+
+/// Deserialization error: ran out of bytes or malformed content.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// What the reader was trying to decode.
+    pub context: &'static str,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire decode error while reading {}", self.context)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Deserializer: a cursor over a byte slice.
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Start reading from the front of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True if fully consumed.
+    pub fn is_done(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError { context });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Read a `bool`.
+    pub fn bool(&mut self) -> Result<bool, WireError> {
+        Ok(self.u8()? != 0)
+    }
+
+    /// Read a `u16`.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2, "u16")?.try_into().expect("2 bytes")))
+    }
+
+    /// Read a `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4, "u32")?.try_into().expect("4 bytes")))
+    }
+
+    /// Read a `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8, "u64")?.try_into().expect("8 bytes")))
+    }
+
+    /// Read an `i32`.
+    pub fn i32(&mut self) -> Result<i32, WireError> {
+        Ok(i32::from_le_bytes(self.take(4, "i32")?.try_into().expect("4 bytes")))
+    }
+
+    /// Read an `i64`.
+    pub fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8, "i64")?.try_into().expect("8 bytes")))
+    }
+
+    /// Read an `f64`.
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take(8, "f64")?.try_into().expect("8 bytes")))
+    }
+
+    /// Read a `usize` (stored as `u64`).
+    pub fn usize(&mut self) -> Result<usize, WireError> {
+        Ok(self.u64()? as usize)
+    }
+
+    /// Read a length-prefixed byte slice (borrowed).
+    pub fn bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let len = self.u32()? as usize;
+        self.take(len, "bytes body")
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<&'a str, WireError> {
+        std::str::from_utf8(self.bytes()?).map_err(|_| WireError { context: "utf8 string" })
+    }
+
+    /// Read a count-prefixed `f64` vector.
+    pub fn f64_vec(&mut self) -> Result<Vec<f64>, WireError> {
+        let n = self.u32()? as usize;
+        let raw = self.take(n.checked_mul(8).ok_or(WireError { context: "f64 vec size" })?, "f64 vec body")?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect())
+    }
+
+    /// Read a count-prefixed `u32` vector.
+    pub fn u32_vec(&mut self) -> Result<Vec<u32>, WireError> {
+        let n = self.u32()? as usize;
+        let raw = self.take(n.checked_mul(4).ok_or(WireError { context: "u32 vec size" })?, "u32 vec body")?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut w = WireWriter::new();
+        w.u8(7).bool(true).u16(300).u32(70_000).u64(1 << 40).i32(-5).i64(-(1 << 40)).f64(3.5).usize(99);
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.u16().unwrap(), 300);
+        assert_eq!(r.u32().unwrap(), 70_000);
+        assert_eq!(r.u64().unwrap(), 1 << 40);
+        assert_eq!(r.i32().unwrap(), -5);
+        assert_eq!(r.i64().unwrap(), -(1 << 40));
+        assert_eq!(r.f64().unwrap(), 3.5);
+        assert_eq!(r.usize().unwrap(), 99);
+        assert!(r.is_done());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let mut w = WireWriter::new();
+        w.bytes(b"raw").str("héllo").f64_slice(&[1.0, -2.5]).u32_slice(&[4, 5, 6]);
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.bytes().unwrap(), b"raw");
+        assert_eq!(r.str().unwrap(), "héllo");
+        assert_eq!(r.f64_vec().unwrap(), vec![1.0, -2.5]);
+        assert_eq!(r.u32_vec().unwrap(), vec![4, 5, 6]);
+        assert!(r.is_done());
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut w = WireWriter::new();
+        w.u64(5);
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf[..4]);
+        assert!(r.u64().is_err());
+    }
+
+    #[test]
+    fn bad_utf8_errors() {
+        let mut w = WireWriter::new();
+        w.bytes(&[0xFF, 0xFE]);
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        assert!(r.str().is_err());
+    }
+
+    #[test]
+    fn truncated_vec_body_errors() {
+        let mut w = WireWriter::new();
+        w.u32(1000); // claims 1000 f64s, provides none
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        assert!(r.f64_vec().is_err());
+    }
+
+    #[test]
+    fn special_floats_roundtrip() {
+        for v in [f64::INFINITY, f64::NEG_INFINITY, 0.0, -0.0, f64::MIN_POSITIVE] {
+            let mut w = WireWriter::new();
+            w.f64(v);
+            let buf = w.finish();
+            let got = WireReader::new(&buf).f64().unwrap();
+            assert_eq!(got.to_bits(), v.to_bits());
+        }
+        let mut w = WireWriter::new();
+        w.f64(f64::NAN);
+        let buf = w.finish();
+        assert!(WireReader::new(&buf).f64().unwrap().is_nan());
+    }
+
+    #[test]
+    fn empty_containers() {
+        let mut w = WireWriter::new();
+        w.bytes(b"").str("").f64_slice(&[]).u32_slice(&[]);
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.bytes().unwrap(), b"");
+        assert_eq!(r.str().unwrap(), "");
+        assert!(r.f64_vec().unwrap().is_empty());
+        assert!(r.u32_vec().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,157 @@
+//! The combined network model: "a message of S bytes leaves PE `src` at
+//! time `now`; when does it arrive at PE `dst`?"
+//!
+//! [`NetworkModel`] composes the [`LatencyMatrix`] (the paper's delay
+//! device), the [`WanContention`] bandwidth model, and optional jitter into
+//! a single [`DeliveryOracle`].  The message-driven runtime calls
+//! [`NetworkModel::delivery_time`] for every send; everything else in the
+//! simulation is network-agnostic.
+
+use crate::bandwidth::{LinkModel, WanContention};
+use crate::latency::LatencyMatrix;
+use crate::rng::Xoshiro256;
+use crate::time::{Dur, Time};
+use crate::topology::{Pe, Topology};
+
+/// Anything that can answer "when does this message arrive".
+pub trait DeliveryOracle {
+    /// Arrival time at `dst` for a message of `bytes` sent from `src` at `now`.
+    fn delivery_time(&mut self, src: Pe, dst: Pe, now: Time, bytes: u64) -> Time;
+}
+
+/// Aggregate traffic statistics kept by [`NetworkModel`].
+#[derive(Clone, Debug, Default)]
+pub struct NetworkStats {
+    /// Messages sent within a cluster.
+    pub intra_messages: u64,
+    /// Bytes sent within a cluster.
+    pub intra_bytes: u64,
+    /// Messages that crossed the wide area.
+    pub cross_messages: u64,
+    /// Bytes that crossed the wide area.
+    pub cross_bytes: u64,
+}
+
+impl NetworkStats {
+    /// Total message count.
+    pub fn total_messages(&self) -> u64 {
+        self.intra_messages + self.cross_messages
+    }
+
+    /// Fraction of messages that crossed the WAN (0 if no traffic).
+    pub fn cross_fraction(&self) -> f64 {
+        let total = self.total_messages();
+        if total == 0 {
+            0.0
+        } else {
+            self.cross_messages as f64 / total as f64
+        }
+    }
+}
+
+/// The full Grid network: topology + latency + contention + jitter.
+pub struct NetworkModel {
+    topo: Topology,
+    latency: LatencyMatrix,
+    contention: WanContention,
+    rng: Xoshiro256,
+    stats: NetworkStats,
+}
+
+impl NetworkModel {
+    /// Build from parts. `seed` drives jitter only (irrelevant when the
+    /// latency matrix is jitter-free).
+    pub fn new(topo: Topology, latency: LatencyMatrix, contention: WanContention, seed: u64) -> Self {
+        NetworkModel { topo, latency, contention, rng: Xoshiro256::new(seed), stats: NetworkStats::default() }
+    }
+
+    /// The canonical experiment network: two clusters, 10 µs intra-cluster,
+    /// `cross` one-way cross-cluster latency, no bandwidth limits.
+    pub fn two_cluster_sweep(total_pes: u32, cross: Dur) -> Self {
+        let topo = Topology::two_cluster(total_pes);
+        let latency = LatencyMatrix::uniform(&topo, crate::latency::DEFAULT_INTRA_LATENCY, cross);
+        let contention = WanContention::disabled(&topo);
+        NetworkModel::new(topo, latency, contention, 0)
+    }
+
+    /// Like [`Self::two_cluster_sweep`] but with a finite shared WAN pipe,
+    /// for the §5.3 contention study.
+    pub fn two_cluster_contended(total_pes: u32, cross: Dur, wan: LinkModel) -> Self {
+        let topo = Topology::two_cluster(total_pes);
+        let latency = LatencyMatrix::uniform(&topo, crate::latency::DEFAULT_INTRA_LATENCY, cross);
+        let contention = WanContention::new(&topo, wan, LinkModel::INFINITE);
+        NetworkModel::new(topo, latency, contention, 0)
+    }
+
+    /// The job topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Traffic statistics so far.
+    pub fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+
+    /// The configured latency matrix.
+    pub fn latency_matrix(&self) -> &LatencyMatrix {
+        &self.latency
+    }
+}
+
+impl DeliveryOracle for NetworkModel {
+    fn delivery_time(&mut self, src: Pe, dst: Pe, now: Time, bytes: u64) -> Time {
+        if self.topo.crosses_wan(src, dst) {
+            self.stats.cross_messages += 1;
+            self.stats.cross_bytes += bytes;
+        } else {
+            self.stats.intra_messages += 1;
+            self.stats.intra_bytes += bytes;
+        }
+        let queue_and_ser = self.contention.occupy(&self.topo, src, dst, now, bytes);
+        let propagation = self.latency.latency(&self.topo, src, dst, &mut self.rng);
+        now + queue_and_ser + propagation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_network_applies_cross_latency() {
+        let mut net = NetworkModel::two_cluster_sweep(4, Dur::from_millis(8));
+        let t0 = Time::ZERO;
+        let intra = net.delivery_time(Pe(0), Pe(1), t0, 2048);
+        let cross = net.delivery_time(Pe(0), Pe(2), t0, 2048);
+        assert_eq!(intra, t0 + Dur::from_micros(10));
+        assert_eq!(cross, t0 + Dur::from_millis(8));
+        assert_eq!(net.stats().intra_messages, 1);
+        assert_eq!(net.stats().cross_messages, 1);
+        assert_eq!(net.stats().cross_bytes, 2048);
+        assert!((net.stats().cross_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contended_wan_queues_messages() {
+        // 1 Gbit WAN, zero propagation latency, 125 MB messages take 1 s each.
+        let mut net = NetworkModel::two_cluster_contended(2, Dur::ZERO, LinkModel::gbit(1.0, Dur::ZERO));
+        let a1 = net.delivery_time(Pe(0), Pe(1), Time::ZERO, 125_000_000);
+        let a2 = net.delivery_time(Pe(0), Pe(1), Time::ZERO, 125_000_000);
+        assert_eq!(a1, Time::ZERO + Dur::from_secs(1));
+        assert_eq!(a2, Time::ZERO + Dur::from_secs(2));
+    }
+
+    #[test]
+    fn self_send_is_instant() {
+        let mut net = NetworkModel::two_cluster_sweep(2, Dur::from_millis(100));
+        assert_eq!(net.delivery_time(Pe(0), Pe(0), Time::ZERO, 64), Time::ZERO);
+    }
+
+    #[test]
+    fn zero_cross_latency_degenerates_to_intra_free() {
+        let mut net = NetworkModel::two_cluster_sweep(2, Dur::ZERO);
+        // Cross-cluster at 0 ms should still be >= 0 (exactly 0 here).
+        assert_eq!(net.delivery_time(Pe(0), Pe(1), Time::ZERO, 64), Time::ZERO);
+    }
+}

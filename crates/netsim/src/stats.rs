@@ -1,0 +1,233 @@
+//! Measurement helpers: counters, log-bucketed histograms and time series.
+//!
+//! The benchmark harness reports per-step times, queue depths and network
+//! traffic; these small containers keep that bookkeeping out of the hot
+//! simulation loop (plain integer adds) while still supporting the summary
+//! statistics the tables need.
+
+use crate::time::{Dur, Time};
+
+/// A monotonically increasing counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Increment by one.
+    pub fn bump(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increment by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+/// A power-of-two bucketed histogram of nanosecond durations.
+///
+/// Bucket `i` covers `[2^i, 2^(i+1))` ns, with bucket 0 covering `[0, 2)`.
+/// Cheap to update, adequate resolution for latency distributions.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram { buckets: [0; 64], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Record one duration.
+    pub fn record(&mut self, d: Dur) {
+        let ns = d.as_nanos();
+        let idx = (64 - ns.max(1).leading_zeros() as usize).saturating_sub(1).min(63);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += ns as u128;
+        self.min = self.min.min(ns);
+        self.max = self.max.max(ns);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean duration (zero if empty).
+    pub fn mean(&self) -> Dur {
+        if self.count == 0 {
+            Dur::ZERO
+        } else {
+            Dur::from_nanos((self.sum / self.count as u128) as u64)
+        }
+    }
+
+    /// Smallest recorded duration (zero if empty).
+    pub fn min(&self) -> Dur {
+        if self.count == 0 {
+            Dur::ZERO
+        } else {
+            Dur::from_nanos(self.min)
+        }
+    }
+
+    /// Largest recorded duration.
+    pub fn max(&self) -> Dur {
+        Dur::from_nanos(self.max)
+    }
+
+    /// Approximate quantile (bucket upper bound containing the q-quantile).
+    pub fn quantile(&self, q: f64) -> Dur {
+        assert!((0.0..=1.0).contains(&q));
+        if self.count == 0 {
+            return Dur::ZERO;
+        }
+        let target = ((self.count as f64) * q).ceil() as u64;
+        let mut seen = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target.max(1) {
+                return Dur::from_nanos(1u64.checked_shl(i as u32 + 1).unwrap_or(u64::MAX));
+            }
+        }
+        Dur::from_nanos(self.max)
+    }
+}
+
+/// An append-only series of (time, value) observations.
+#[derive(Clone, Debug, Default)]
+pub struct TimeSeries {
+    points: Vec<(Time, f64)>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        TimeSeries::default()
+    }
+
+    /// Append an observation.  Times must be non-decreasing.
+    pub fn push(&mut self, t: Time, v: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(t >= last, "time series must be appended in time order");
+        }
+        self.points.push((t, v));
+    }
+
+    /// All observations.
+    pub fn points(&self) -> &[(Time, f64)] {
+        &self.points
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if no observations.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Mean of the values (NaN-free; zero if empty).
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            0.0
+        } else {
+            self.points.iter().map(|&(_, v)| v).sum::<f64>() / self.points.len() as f64
+        }
+    }
+
+    /// Mean of values after dropping the first `skip` observations
+    /// (warm-up exclusion, used for per-step timing).
+    pub fn mean_after(&self, skip: usize) -> f64 {
+        let rest = &self.points[skip.min(self.points.len())..];
+        if rest.is_empty() {
+            0.0
+        } else {
+            rest.iter().map(|&(_, v)| v).sum::<f64>() / rest.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter() {
+        let mut c = Counter::default();
+        c.bump();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn histogram_basics() {
+        let mut h = Histogram::new();
+        for ms in [1u64, 2, 4, 8] {
+            h.record(Dur::from_millis(ms));
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), Dur::from_millis(1));
+        assert_eq!(h.max(), Dur::from_millis(8));
+        // mean = 3.75 ms
+        assert_eq!(h.mean(), Dur::from_nanos(3_750_000));
+    }
+
+    #[test]
+    fn histogram_quantile_monotone() {
+        let mut h = Histogram::new();
+        for i in 0..1000u64 {
+            h.record(Dur::from_micros(i + 1));
+        }
+        let q50 = h.quantile(0.5);
+        let q99 = h.quantile(0.99);
+        assert!(q50 <= q99);
+        assert!(q50 >= Dur::from_micros(256)); // bucket granularity
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = Histogram::new();
+        assert_eq!(h.mean(), Dur::ZERO);
+        assert_eq!(h.min(), Dur::ZERO);
+        assert_eq!(h.quantile(0.9), Dur::ZERO);
+    }
+
+    #[test]
+    fn time_series_means() {
+        let mut s = TimeSeries::new();
+        s.push(Time::from_nanos(1), 10.0);
+        s.push(Time::from_nanos(2), 20.0);
+        s.push(Time::from_nanos(3), 30.0);
+        assert_eq!(s.len(), 3);
+        assert!((s.mean() - 20.0).abs() < 1e-12);
+        assert!((s.mean_after(1) - 25.0).abs() < 1e-12);
+        assert_eq!(s.mean_after(10), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn time_series_rejects_backwards_time() {
+        let mut s = TimeSeries::new();
+        s.push(Time::from_nanos(5), 1.0);
+        s.push(Time::from_nanos(4), 1.0);
+    }
+}

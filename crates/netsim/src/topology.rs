@@ -1,0 +1,224 @@
+//! Grid topology: clusters of nodes of processing elements.
+//!
+//! The paper's experiments co-allocate a job across **two clusters** with
+//! the processors split evenly (1+1, 2+2, …, 32+32) and a high-latency
+//! wide-area link between them.  [`Topology`] describes such a layout in
+//! general form: an ordered list of clusters, each holding a contiguous
+//! range of globally-numbered PEs.  PE numbering is global and dense, so a
+//! `Pe` doubles as an index into per-PE state arrays everywhere else in the
+//! workspace.
+
+use std::fmt;
+
+/// A processing element (one scheduler, one message queue), globally numbered.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pe(pub u32);
+
+impl Pe {
+    /// The PE's dense global index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Pe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pe{}", self.0)
+    }
+}
+
+impl fmt::Display for Pe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A cluster within the Grid, identified by position in the topology.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ClusterId(pub u16);
+
+impl ClusterId {
+    /// The cluster's dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// Description of one cluster: a name and how many PEs it contributes.
+#[derive(Clone, Debug)]
+pub struct ClusterSpec {
+    /// Human-readable name (e.g. "NCSA", "ANL").
+    pub name: String,
+    /// Number of PEs in this cluster.
+    pub pes: u32,
+}
+
+/// The machine layout of a Grid job: an ordered list of clusters whose PEs
+/// are numbered contiguously in cluster order.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    clusters: Vec<ClusterSpec>,
+    /// cluster_of[pe] — dense lookup.
+    cluster_of: Vec<ClusterId>,
+    /// First global PE of each cluster.
+    first_pe: Vec<u32>,
+}
+
+impl Topology {
+    /// Build from explicit cluster specs. Panics if any cluster is empty or
+    /// the list is empty.
+    pub fn new(clusters: Vec<ClusterSpec>) -> Self {
+        assert!(!clusters.is_empty(), "topology needs at least one cluster");
+        let mut cluster_of = Vec::new();
+        let mut first_pe = Vec::with_capacity(clusters.len());
+        for (ci, c) in clusters.iter().enumerate() {
+            assert!(c.pes > 0, "cluster {:?} has no PEs", c.name);
+            first_pe.push(cluster_of.len() as u32);
+            for _ in 0..c.pes {
+                cluster_of.push(ClusterId(ci as u16));
+            }
+        }
+        Topology { clusters, cluster_of, first_pe }
+    }
+
+    /// A single cluster of `pes` PEs (no wide-area links at all).
+    pub fn single(pes: u32) -> Self {
+        Topology::new(vec![ClusterSpec { name: "local".into(), pes }])
+    }
+
+    /// The paper's canonical layout: `total` PEs split evenly between two
+    /// clusters ("A" holds the first half, "B" the second).  Panics unless
+    /// `total` is even and positive.
+    pub fn two_cluster(total: u32) -> Self {
+        assert!(total >= 2 && total.is_multiple_of(2), "two_cluster needs an even PE count, got {total}");
+        Topology::new(vec![
+            ClusterSpec { name: "A".into(), pes: total / 2 },
+            ClusterSpec { name: "B".into(), pes: total / 2 },
+        ])
+    }
+
+    /// `n_clusters` clusters of `pes_each` PEs.
+    pub fn uniform(n_clusters: u16, pes_each: u32) -> Self {
+        assert!(n_clusters > 0);
+        Topology::new(
+            (0..n_clusters)
+                .map(|i| ClusterSpec { name: format!("C{i}"), pes: pes_each })
+                .collect(),
+        )
+    }
+
+    /// Total number of PEs in the job.
+    pub fn num_pes(&self) -> usize {
+        self.cluster_of.len()
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// All PEs in global order.
+    pub fn pes(&self) -> impl Iterator<Item = Pe> + '_ {
+        (0..self.cluster_of.len() as u32).map(Pe)
+    }
+
+    /// Which cluster a PE belongs to. Panics on out-of-range PEs.
+    pub fn cluster_of(&self, pe: Pe) -> ClusterId {
+        self.cluster_of[pe.index()]
+    }
+
+    /// Whether two PEs are in different clusters (i.e. a message between
+    /// them crosses the wide area).
+    pub fn crosses_wan(&self, a: Pe, b: Pe) -> bool {
+        self.cluster_of(a) != self.cluster_of(b)
+    }
+
+    /// The PEs of one cluster, in global order.
+    pub fn pes_in(&self, c: ClusterId) -> impl Iterator<Item = Pe> + '_ {
+        let lo = self.first_pe[c.index()];
+        let hi = lo + self.clusters[c.index()].pes;
+        (lo..hi).map(Pe)
+    }
+
+    /// Number of PEs in one cluster.
+    pub fn cluster_size(&self, c: ClusterId) -> usize {
+        self.clusters[c.index()].pes as usize
+    }
+
+    /// Cluster name.
+    pub fn cluster_name(&self, c: ClusterId) -> &str {
+        &self.clusters[c.index()].name
+    }
+
+    /// All cluster ids.
+    pub fn clusters(&self) -> impl Iterator<Item = ClusterId> {
+        (0..self.clusters.len() as u16).map(ClusterId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_cluster_splits_evenly() {
+        let t = Topology::two_cluster(8);
+        assert_eq!(t.num_pes(), 8);
+        assert_eq!(t.num_clusters(), 2);
+        for pe in 0..4 {
+            assert_eq!(t.cluster_of(Pe(pe)), ClusterId(0));
+        }
+        for pe in 4..8 {
+            assert_eq!(t.cluster_of(Pe(pe)), ClusterId(1));
+        }
+        assert!(t.crosses_wan(Pe(0), Pe(4)));
+        assert!(!t.crosses_wan(Pe(0), Pe(3)));
+        assert!(!t.crosses_wan(Pe(5), Pe(7)));
+    }
+
+    #[test]
+    fn pes_in_cluster_are_contiguous() {
+        let t = Topology::two_cluster(16);
+        let b: Vec<_> = t.pes_in(ClusterId(1)).collect();
+        assert_eq!(b, (8..16).map(Pe).collect::<Vec<_>>());
+        assert_eq!(t.cluster_size(ClusterId(1)), 8);
+    }
+
+    #[test]
+    fn single_cluster_never_crosses() {
+        let t = Topology::single(4);
+        for a in t.pes() {
+            for b in t.pes() {
+                assert!(!t.crosses_wan(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_layout() {
+        let t = Topology::uniform(3, 5);
+        assert_eq!(t.num_pes(), 15);
+        assert_eq!(t.cluster_of(Pe(14)), ClusterId(2));
+        assert_eq!(t.cluster_name(ClusterId(1)), "C1");
+        assert_eq!(t.clusters().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "even PE count")]
+    fn odd_two_cluster_panics() {
+        Topology::two_cluster(5);
+    }
+
+    #[test]
+    fn minimal_pair() {
+        // The paper's smallest configuration: 1+1.
+        let t = Topology::two_cluster(2);
+        assert!(t.crosses_wan(Pe(0), Pe(1)));
+    }
+}

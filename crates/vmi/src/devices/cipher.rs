@@ -1,0 +1,184 @@
+//! Stream-cipher device: the "encrypting the data" capability of §2.2.
+//!
+//! Wide-area Grid links cross administrative domains, which is exactly
+//! why the paper lists encryption among the chain capabilities.  This
+//! device XORs the payload with a keystream derived from a shared key and
+//! a per-packet nonce (xoshiro256** seeded by key ⊕ nonce — deterministic,
+//! self-inverse, and *not* cryptographically strong; the point here is
+//! the device-chain mechanics, and the interface is what a real AEAD
+//! would slot into).
+//!
+//! Wire format: `nonce: u64 (LE) || ciphertext`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use mdo_netsim::Xoshiro256;
+
+use crate::device::{Device, Forwarder};
+use crate::packet::Packet;
+
+fn keystream_xor(key: u64, nonce: u64, data: &mut [u8]) {
+    let mut rng = Xoshiro256::new(key ^ nonce.rotate_left(17));
+    for chunk in data.chunks_mut(8) {
+        let ks = rng.next_u64().to_le_bytes();
+        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+            *b ^= k;
+        }
+    }
+}
+
+/// Encrypt `data` under `key` with `nonce`; returns `nonce || ciphertext`.
+pub fn seal(key: u64, nonce: u64, data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + data.len());
+    out.extend_from_slice(&nonce.to_le_bytes());
+    out.extend_from_slice(data);
+    keystream_xor(key, nonce, &mut out[8..]);
+    out
+}
+
+/// Invert [`seal`]; `None` if the buffer is too short to carry a nonce.
+pub fn open(key: u64, sealed: &[u8]) -> Option<Vec<u8>> {
+    if sealed.len() < 8 {
+        return None;
+    }
+    let nonce = u64::from_le_bytes(sealed[..8].try_into().expect("8 bytes"));
+    let mut body = sealed[8..].to_vec();
+    keystream_xor(key, nonce, &mut body);
+    Some(body)
+}
+
+/// Which half of the codec this instance performs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Direction {
+    Seal,
+    Open,
+}
+
+/// The cipher device.
+pub struct CipherDevice {
+    key: u64,
+    direction: Direction,
+    nonce: AtomicU64,
+}
+
+impl CipherDevice {
+    /// A sealing (encrypting) instance for a send chain.
+    pub fn sealer(key: u64) -> Arc<Self> {
+        Arc::new(CipherDevice { key, direction: Direction::Seal, nonce: AtomicU64::new(1) })
+    }
+
+    /// An opening (decrypting) instance for a receive chain.
+    pub fn opener(key: u64) -> Arc<Self> {
+        Arc::new(CipherDevice { key, direction: Direction::Open, nonce: AtomicU64::new(0) })
+    }
+}
+
+impl Device for CipherDevice {
+    fn name(&self) -> &str {
+        match self.direction {
+            Direction::Seal => "cipher-seal",
+            Direction::Open => "cipher-open",
+        }
+    }
+
+    fn handle(&self, mut pkt: Packet, next: Arc<dyn Forwarder>) {
+        match self.direction {
+            Direction::Seal => {
+                let nonce = self.nonce.fetch_add(1, Ordering::Relaxed);
+                pkt.payload = Bytes::from(seal(self.key, nonce, &pkt.payload));
+                next.deliver(pkt);
+            }
+            Direction::Open => {
+                let body = open(self.key, &pkt.payload)
+                    .expect("cipher device: packet shorter than a nonce");
+                pkt.payload = Bytes::from(body);
+                next.deliver(pkt);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{Chain, FnForwarder};
+    use mdo_netsim::Pe;
+    use parking_lot::Mutex;
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let data = b"the wide area is not your friend".to_vec();
+        let sealed = seal(0xDEAD_BEEF, 7, &data);
+        assert_ne!(&sealed[8..], &data[..], "ciphertext differs from plaintext");
+        assert_eq!(open(0xDEAD_BEEF, &sealed).unwrap(), data);
+    }
+
+    #[test]
+    fn wrong_key_scrambles() {
+        let data = vec![42u8; 64];
+        let sealed = seal(1, 9, &data);
+        let wrong = open(2, &sealed).unwrap();
+        assert_ne!(wrong, data);
+    }
+
+    #[test]
+    fn distinct_nonces_give_distinct_ciphertexts() {
+        let data = vec![0u8; 32];
+        let a = seal(5, 1, &data);
+        let b = seal(5, 2, &data);
+        assert_ne!(a[8..], b[8..], "same plaintext, different keystream");
+    }
+
+    #[test]
+    fn open_rejects_short_input() {
+        assert!(open(1, &[1, 2, 3]).is_none());
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let sealed = seal(3, 4, &[]);
+        assert_eq!(open(3, &sealed).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn device_pair_is_transparent() {
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let out2 = Arc::clone(&out);
+        let sink: Arc<dyn Forwarder> = Arc::new(FnForwarder(move |p: Packet| out2.lock().push(p)));
+        let chain = Chain::new(vec![CipherDevice::sealer(99), CipherDevice::opener(99)], sink);
+        let payload = Bytes::from((0u8..=255).collect::<Vec<u8>>());
+        chain.send(Packet::with_priority(Pe(0), Pe(1), -1, payload.clone()));
+        chain.send(Packet::new(Pe(2), Pe(3), payload.clone()));
+        let got = out.lock();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].payload, payload);
+        assert_eq!(got[0].priority, -1);
+        assert_eq!(got[1].payload, payload);
+    }
+
+    #[test]
+    fn composes_with_compression_and_crc() {
+        use crate::devices::crc::CrcDevice;
+        use crate::devices::rle::RleDevice;
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let out2 = Arc::clone(&out);
+        let sink: Arc<dyn Forwarder> = Arc::new(FnForwarder(move |p: Packet| out2.lock().push(p)));
+        // Compress, checksum, encrypt — then undo in reverse order.
+        let chain = Chain::new(
+            vec![
+                RleDevice::compressor(),
+                CrcDevice::appender(),
+                CipherDevice::sealer(7),
+                CipherDevice::opener(7),
+                CrcDevice::verifier(),
+                RleDevice::decompressor(),
+            ],
+            sink,
+        );
+        let payload = Bytes::from(vec![9u8; 2048]);
+        chain.send(Packet::new(Pe(0), Pe(1), payload.clone()));
+        assert_eq!(out.lock()[0].payload, payload);
+    }
+}

@@ -1,0 +1,197 @@
+//! Run-length-encoding compression device.
+//!
+//! §2.2: *"because modules can intercept and manipulate message data as it
+//! is passed from module to module, capabilities such as encrypting or
+//! compressing the data are possible"* — and Cactus-G (§3) used exactly
+//! this trick, compressing traffic on the SDSC↔NCSA wide-area link.  RLE is
+//! deliberately simple (this is a messaging-layer capability demo, not a
+//! codec benchmark) but it is a real, lossless, self-describing format:
+//!
+//! ```text
+//! byte 0:            mode (0 = stored, 1 = RLE)
+//! stored:            raw payload follows
+//! rle:               sequence of (count: u8 >= 1, byte) pairs
+//! ```
+//!
+//! The device compresses on one side of the wire and transparently
+//! decompresses on the other; a chain is expected to include it in both the
+//! send chain (compress) and receive chain (decompress) — direction is a
+//! constructor choice.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use crate::device::{Device, Forwarder};
+use crate::packet::Packet;
+
+const MODE_STORED: u8 = 0;
+const MODE_RLE: u8 = 1;
+
+/// Compress a byte slice; falls back to stored mode when RLE would grow.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 1);
+    out.push(MODE_RLE);
+    let mut i = 0;
+    while i < data.len() {
+        let b = data[i];
+        let mut run = 1usize;
+        while i + run < data.len() && data[i + run] == b && run < 255 {
+            run += 1;
+        }
+        out.push(run as u8);
+        out.push(b);
+        i += run;
+    }
+    if out.len() > data.len() {
+        let mut stored = Vec::with_capacity(data.len() + 1);
+        stored.push(MODE_STORED);
+        stored.extend_from_slice(data);
+        stored
+    } else {
+        out
+    }
+}
+
+/// Errors from [`decompress`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum RleError {
+    /// Input was empty (no mode byte).
+    Empty,
+    /// Unknown mode byte.
+    BadMode(u8),
+    /// RLE stream ended mid-pair or contained a zero count.
+    Truncated,
+}
+
+/// Decompress a buffer produced by [`compress`].
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>, RleError> {
+    let (&mode, rest) = data.split_first().ok_or(RleError::Empty)?;
+    match mode {
+        MODE_STORED => Ok(rest.to_vec()),
+        MODE_RLE => {
+            if rest.len() % 2 != 0 {
+                return Err(RleError::Truncated);
+            }
+            let mut out = Vec::new();
+            for pair in rest.chunks_exact(2) {
+                let (count, byte) = (pair[0], pair[1]);
+                if count == 0 {
+                    return Err(RleError::Truncated);
+                }
+                out.extend(std::iter::repeat_n(byte, count as usize));
+            }
+            Ok(out)
+        }
+        other => Err(RleError::BadMode(other)),
+    }
+}
+
+/// Which half of the codec this device instance performs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RleDirection {
+    /// Compress payloads (send chain).
+    Compress,
+    /// Decompress payloads (receive chain).
+    Decompress,
+}
+
+/// The compression device.
+pub struct RleDevice {
+    direction: RleDirection,
+}
+
+impl RleDevice {
+    /// A compressing instance for a send chain.
+    pub fn compressor() -> Arc<Self> {
+        Arc::new(RleDevice { direction: RleDirection::Compress })
+    }
+
+    /// A decompressing instance for a receive chain.
+    pub fn decompressor() -> Arc<Self> {
+        Arc::new(RleDevice { direction: RleDirection::Decompress })
+    }
+}
+
+impl Device for RleDevice {
+    fn name(&self) -> &str {
+        match self.direction {
+            RleDirection::Compress => "rle-compress",
+            RleDirection::Decompress => "rle-decompress",
+        }
+    }
+
+    fn handle(&self, mut pkt: Packet, next: Arc<dyn Forwarder>) {
+        match self.direction {
+            RleDirection::Compress => {
+                pkt.payload = Bytes::from(compress(&pkt.payload));
+                next.deliver(pkt);
+            }
+            RleDirection::Decompress => match decompress(&pkt.payload) {
+                Ok(raw) => {
+                    pkt.payload = Bytes::from(raw);
+                    next.deliver(pkt);
+                }
+                Err(e) => panic!("corrupt RLE payload on receive chain: {e:?}"),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{Chain, FnForwarder};
+    use mdo_netsim::Pe;
+    use parking_lot::Mutex;
+
+    #[test]
+    fn roundtrip_compressible() {
+        let data = vec![0u8; 1000];
+        let c = compress(&data);
+        assert!(c.len() < 20, "1000 zeros compress to a few pairs, got {}", c.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_incompressible_uses_stored() {
+        let data: Vec<u8> = (0..=255).collect();
+        let c = compress(&data);
+        assert_eq!(c[0], MODE_STORED);
+        assert_eq!(c.len(), data.len() + 1);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let c = compress(&[]);
+        assert_eq!(decompress(&c).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn long_runs_split_at_255() {
+        let data = vec![9u8; 600];
+        let c = compress(&data);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn decompress_rejects_garbage() {
+        assert_eq!(decompress(&[]), Err(RleError::Empty));
+        assert_eq!(decompress(&[7, 1, 2]), Err(RleError::BadMode(7)));
+        assert_eq!(decompress(&[MODE_RLE, 1]), Err(RleError::Truncated));
+        assert_eq!(decompress(&[MODE_RLE, 0, 5]), Err(RleError::Truncated));
+    }
+
+    #[test]
+    fn device_pair_is_transparent() {
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let out2 = Arc::clone(&out);
+        let sink: Arc<dyn Forwarder> = Arc::new(FnForwarder(move |p: Packet| out2.lock().push(p)));
+        // Simulate send chain -> wire -> receive chain as one composed chain.
+        let chain = Chain::new(vec![RleDevice::compressor(), RleDevice::decompressor()], sink);
+        let payload = Bytes::from(vec![42u8; 512]);
+        chain.send(Packet::new(Pe(0), Pe(1), payload.clone()));
+        assert_eq!(out.lock()[0].payload, payload);
+    }
+}

@@ -1,0 +1,242 @@
+//! Striping and reassembly devices.
+//!
+//! §2.2: *"by loading multiple modules simultaneously, data may be striped
+//! across multiple interconnects."*  [`StripeDevice`] splits a payload into
+//! `n` near-equal fragments, each carried in its own packet with a small
+//! fragment header; [`ReassembleDevice`] buffers fragments per
+//! (src, message-id) and emits the original packet once all have arrived —
+//! in any arrival order, since independent interconnects may reorder.
+//!
+//! Fragment header layout (little endian):
+//!
+//! ```text
+//! message id : u64   (unique per (stripe device, message))
+//! index      : u16
+//! total      : u16
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::Bytes;
+use mdo_netsim::Pe;
+use parking_lot::Mutex;
+
+use crate::device::{Device, Forwarder};
+use crate::packet::Packet;
+
+const HEADER_LEN: usize = 8 + 2 + 2;
+
+/// Splits each packet into `stripes` fragments.
+pub struct StripeDevice {
+    stripes: u16,
+    next_msg_id: AtomicU64,
+}
+
+impl StripeDevice {
+    /// A striping device producing `stripes` fragments per message.
+    /// Panics if `stripes` is zero.
+    pub fn new(stripes: u16) -> Arc<Self> {
+        assert!(stripes > 0, "need at least one stripe");
+        Arc::new(StripeDevice { stripes, next_msg_id: AtomicU64::new(0) })
+    }
+}
+
+impl Device for StripeDevice {
+    fn name(&self) -> &str {
+        "stripe"
+    }
+
+    fn handle(&self, pkt: Packet, next: Arc<dyn Forwarder>) {
+        let msg_id = self.next_msg_id.fetch_add(1, Ordering::Relaxed);
+        let total = (self.stripes as usize).min(pkt.payload.len().max(1));
+        let chunk = pkt.payload.len().div_ceil(total);
+        for i in 0..total {
+            let lo = i * chunk;
+            let hi = ((i + 1) * chunk).min(pkt.payload.len());
+            let mut frag = Vec::with_capacity(HEADER_LEN + hi.saturating_sub(lo));
+            frag.extend_from_slice(&msg_id.to_le_bytes());
+            frag.extend_from_slice(&(i as u16).to_le_bytes());
+            frag.extend_from_slice(&(total as u16).to_le_bytes());
+            if lo < pkt.payload.len() {
+                frag.extend_from_slice(&pkt.payload[lo..hi]);
+            }
+            next.deliver(Packet::with_priority(pkt.src, pkt.dst, pkt.priority, Bytes::from(frag)));
+        }
+    }
+}
+
+/// Buffers fragments and re-emits complete messages.
+pub struct ReassembleDevice {
+    partial: Mutex<HashMap<(Pe, u64), PartialMsg>>,
+}
+
+struct PartialMsg {
+    fragments: Vec<Option<Bytes>>,
+    received: usize,
+    priority: i32,
+}
+
+impl ReassembleDevice {
+    /// A fresh reassembler.
+    pub fn new() -> Arc<Self> {
+        Arc::new(ReassembleDevice { partial: Mutex::new(HashMap::new()) })
+    }
+
+    /// Number of messages currently awaiting fragments.
+    pub fn incomplete(&self) -> usize {
+        self.partial.lock().len()
+    }
+}
+
+impl Device for ReassembleDevice {
+    fn name(&self) -> &str {
+        "reassemble"
+    }
+
+    fn handle(&self, pkt: Packet, next: Arc<dyn Forwarder>) {
+        assert!(pkt.payload.len() >= HEADER_LEN, "fragment shorter than header");
+        let msg_id = u64::from_le_bytes(pkt.payload[0..8].try_into().expect("8 bytes"));
+        let index = u16::from_le_bytes(pkt.payload[8..10].try_into().expect("2 bytes")) as usize;
+        let total = u16::from_le_bytes(pkt.payload[10..12].try_into().expect("2 bytes")) as usize;
+        assert!(total > 0 && index < total, "bad fragment header: {index}/{total}");
+        let body = pkt.payload.slice(HEADER_LEN..);
+
+        let complete = {
+            let mut partial = self.partial.lock();
+            let entry = partial.entry((pkt.src, msg_id)).or_insert_with(|| PartialMsg {
+                fragments: vec![None; total],
+                received: 0,
+                priority: pkt.priority,
+            });
+            assert_eq!(entry.fragments.len(), total, "fragment count mismatch within message");
+            if entry.fragments[index].is_none() {
+                entry.fragments[index] = Some(body);
+                entry.received += 1;
+            }
+            if entry.received == total {
+                partial.remove(&(pkt.src, msg_id))
+            } else {
+                None
+            }
+        };
+
+        if let Some(msg) = complete {
+            let mut whole = Vec::new();
+            for frag in msg.fragments {
+                whole.extend_from_slice(&frag.expect("all fragments present"));
+            }
+            next.deliver(Packet::with_priority(pkt.src, pkt.dst, msg.priority, Bytes::from(whole)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{Chain, FnForwarder};
+
+    fn collect() -> (Arc<Mutex<Vec<Packet>>>, Arc<dyn Forwarder>) {
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let out2 = Arc::clone(&out);
+        (out.clone(), Arc::new(FnForwarder(move |p: Packet| out2.lock().push(p))) as Arc<dyn Forwarder>)
+    }
+
+    #[test]
+    fn stripe_then_reassemble_roundtrip() {
+        let (out, sink) = collect();
+        let chain = Chain::new(vec![StripeDevice::new(4), ReassembleDevice::new()], sink);
+        let payload = Bytes::from((0u8..=255).collect::<Vec<u8>>());
+        chain.send(Packet::with_priority(Pe(1), Pe(2), -3, payload.clone()));
+        let got = out.lock();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].payload, payload);
+        assert_eq!(got[0].priority, -3);
+        assert_eq!(got[0].src, Pe(1));
+        assert_eq!(got[0].dst, Pe(2));
+    }
+
+    #[test]
+    fn stripe_fragment_count() {
+        let (out, sink) = collect();
+        let chain = Chain::new(vec![StripeDevice::new(3)], sink);
+        chain.send(Packet::new(Pe(0), Pe(1), Bytes::from(vec![0u8; 100])));
+        assert_eq!(out.lock().len(), 3);
+    }
+
+    #[test]
+    fn short_payload_uses_fewer_fragments() {
+        let (out, sink) = collect();
+        let chain = Chain::new(vec![StripeDevice::new(8), ReassembleDevice::new()], sink);
+        chain.send(Packet::new(Pe(0), Pe(1), Bytes::from_static(b"ab")));
+        let got = out.lock();
+        assert_eq!(got.len(), 1);
+        assert_eq!(&got[0].payload[..], b"ab");
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let (out, sink) = collect();
+        let chain = Chain::new(vec![StripeDevice::new(4), ReassembleDevice::new()], sink);
+        chain.send(Packet::new(Pe(0), Pe(1), Bytes::new()));
+        let got = out.lock();
+        assert_eq!(got.len(), 1);
+        assert!(got[0].payload.is_empty());
+    }
+
+    #[test]
+    fn out_of_order_fragments_reassemble() {
+        let reasm = ReassembleDevice::new();
+        let (out, sink) = collect();
+        // Manually stripe, then deliver fragments in reverse.
+        let (frag_out, frag_sink) = collect();
+        StripeDevice::new(4).handle(
+            Packet::new(Pe(0), Pe(1), Bytes::from((0u8..100).collect::<Vec<u8>>())),
+            frag_sink,
+        );
+        let mut frags = frag_out.lock().clone();
+        frags.reverse();
+        for f in frags {
+            reasm.handle(f, Arc::clone(&sink));
+        }
+        let got = out.lock();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].payload, Bytes::from((0u8..100).collect::<Vec<u8>>()));
+        assert_eq!(reasm.incomplete(), 0);
+    }
+
+    #[test]
+    fn interleaved_messages_do_not_mix() {
+        let stripe = StripeDevice::new(2);
+        let reasm = ReassembleDevice::new();
+        let (frag_out, frag_sink) = collect();
+        stripe.handle(Packet::new(Pe(0), Pe(1), Bytes::from(vec![1u8; 10])), Arc::clone(&frag_sink));
+        stripe.handle(Packet::new(Pe(0), Pe(1), Bytes::from(vec![2u8; 10])), frag_sink);
+        let frags = frag_out.lock().clone();
+        assert_eq!(frags.len(), 4);
+        let (out, sink) = collect();
+        // Interleave: m0f0, m1f0, m1f1, m0f1
+        for idx in [0usize, 2, 3, 1] {
+            reasm.handle(frags[idx].clone(), Arc::clone(&sink));
+        }
+        let got = out.lock();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].payload, Bytes::from(vec![2u8; 10]));
+        assert_eq!(got[1].payload, Bytes::from(vec![1u8; 10]));
+    }
+
+    #[test]
+    fn duplicate_fragment_ignored() {
+        let reasm = ReassembleDevice::new();
+        let (frag_out, frag_sink) = collect();
+        StripeDevice::new(2).handle(Packet::new(Pe(0), Pe(1), Bytes::from(vec![7u8; 8])), frag_sink);
+        let frags = frag_out.lock().clone();
+        let (out, sink) = collect();
+        reasm.handle(frags[0].clone(), Arc::clone(&sink));
+        reasm.handle(frags[0].clone(), Arc::clone(&sink));
+        assert!(out.lock().is_empty(), "duplicate does not complete the message");
+        reasm.handle(frags[1].clone(), sink);
+        assert_eq!(out.lock().len(), 1);
+    }
+}

@@ -1,0 +1,66 @@
+//! # mdo-vmi — a VMI-style messaging layer with device chains
+//!
+//! The paper's experiments run Charm++ over the **Virtual Machine
+//! Interface** (VMI), whose defining feature is that messages traverse
+//! *send chains* and *receive chains* of dynamically-composed device
+//! drivers.  The paper exploits this to build its simulated Grid: a **delay
+//! device** sits between two network drivers and holds cross-cluster
+//! messages for a configured latency before passing them on (§5.1), and the
+//! layer can also stripe data across interconnects, compress payloads, or
+//! verify integrity (§2.2).
+//!
+//! This crate rebuilds that layer for the *threaded* execution engine,
+//! where each PE is an OS thread and the "network" is shared memory:
+//!
+//! * [`packet`] — the unit a device sees: opaque bytes + routing metadata.
+//! * [`device`] — the [`Device`] trait and [`Chain`] composition.
+//! * [`devices`] — delay (timer-wheel thread), compression (RLE),
+//!   CRC32 integrity, striping/reassembly, and byte-counting devices.
+//! * [`mailbox`] — per-PE blocking priority mailboxes (the terminal
+//!   "network driver" of every chain).
+//! * [`transport`] — routes each packet through the intra-cluster or
+//!   cross-cluster chain based on the job topology, exactly like VMI's
+//!   affiliation mechanism.
+//!
+//! Everything here deals in raw bytes; the message-driven runtime
+//! (`mdo-core`) serializes its envelopes on top.
+//!
+//! ## The delay device at work
+//!
+//! ```
+//! use std::time::{Duration, Instant};
+//! use bytes::Bytes;
+//! use mdo_netsim::{Dur, LatencyMatrix, Pe, Topology};
+//! use mdo_vmi::{Packet, Transport, TransportConfig};
+//!
+//! // Two clusters of one PE each; 20 ms injected across the "wide area".
+//! let topo = Topology::two_cluster(2);
+//! let latency = LatencyMatrix::uniform(&topo, Dur::ZERO, Dur::from_millis(20));
+//! let transport = Transport::new(TransportConfig::new(topo, latency));
+//!
+//! let t0 = Instant::now();
+//! transport.send(Packet::new(Pe(0), Pe(1), Bytes::from_static(b"over the WAN")));
+//! let pkt = transport.recv_timeout(Pe(1), Duration::from_secs(2)).expect("delivered");
+//! assert_eq!(&pkt.payload[..], b"over the WAN");
+//! assert!(t0.elapsed() >= Duration::from_millis(19), "held by the delay device");
+//! transport.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod devices;
+pub mod mailbox;
+pub mod packet;
+pub mod transport;
+
+pub use device::{Chain, Device, Forwarder};
+pub use devices::cipher::CipherDevice;
+pub use devices::counter::CounterDevice;
+pub use devices::crc::CrcDevice;
+pub use devices::delay::DelayDevice;
+pub use devices::rle::RleDevice;
+pub use devices::stripe::{ReassembleDevice, StripeDevice};
+pub use mailbox::Mailbox;
+pub use packet::Packet;
+pub use transport::{Transport, TransportConfig};

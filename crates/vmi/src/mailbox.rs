@@ -1,0 +1,259 @@
+//! Per-PE blocking priority mailboxes — the terminal "network driver".
+//!
+//! Each PE thread of the threaded engine blocks on its mailbox when idle;
+//! any thread (peer PEs, the delay device's timer thread) may post.  Order
+//! is by `(priority, arrival sequence)` so equal-priority traffic is FIFO,
+//! matching the Charm++ scheduler queue semantics that the message-driven
+//! model depends on.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::device::Forwarder;
+use crate::packet::Packet;
+
+struct Entry {
+    priority: i32,
+    seq: u64,
+    pkt: Packet,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap: invert so smallest (priority, seq) pops first.
+        other.priority.cmp(&self.priority).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct Inner {
+    heap: BinaryHeap<Entry>,
+    next_seq: u64,
+    closed: bool,
+    posted: u64,
+    max_depth: usize,
+}
+
+/// A blocking priority queue of packets for one PE.
+pub struct Mailbox {
+    inner: Mutex<Inner>,
+    cond: Condvar,
+}
+
+impl Default for Mailbox {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Mailbox {
+    /// An empty, open mailbox.
+    pub fn new() -> Self {
+        Mailbox {
+            inner: Mutex::new(Inner {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+                closed: false,
+                posted: 0,
+                max_depth: 0,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Post a packet. Posting to a closed mailbox silently drops (shutdown
+    /// races with in-flight delayed packets are benign).
+    pub fn post(&self, pkt: Packet) {
+        let mut inner = self.inner.lock();
+        if inner.closed {
+            return;
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.posted += 1;
+        inner.heap.push(Entry { priority: pkt.priority, seq, pkt });
+        inner.max_depth = inner.max_depth.max(inner.heap.len());
+        drop(inner);
+        self.cond.notify_one();
+    }
+
+    /// Take the most urgent packet, blocking until one arrives or the
+    /// mailbox is closed (then `None`).
+    pub fn take(&self) -> Option<Packet> {
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(e) = inner.heap.pop() {
+                return Some(e.pkt);
+            }
+            if inner.closed {
+                return None;
+            }
+            self.cond.wait(&mut inner);
+        }
+    }
+
+    /// Take with a timeout; `None` on timeout or close-with-empty-queue.
+    pub fn take_timeout(&self, timeout: Duration) -> Option<Packet> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(e) = inner.heap.pop() {
+                return Some(e.pkt);
+            }
+            if inner.closed {
+                return None;
+            }
+            if self.cond.wait_until(&mut inner, deadline).timed_out() {
+                return inner.heap.pop().map(|e| e.pkt);
+            }
+        }
+    }
+
+    /// Non-blocking take.
+    pub fn try_take(&self) -> Option<Packet> {
+        self.inner.lock().heap.pop().map(|e| e.pkt)
+    }
+
+    /// Close the mailbox, waking all blocked takers.
+    pub fn close(&self) {
+        self.inner.lock().closed = true;
+        self.cond.notify_all();
+    }
+
+    /// Packets currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().heap.len()
+    }
+
+    /// True if no packets are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total packets ever posted.
+    pub fn total_posted(&self) -> u64 {
+        self.inner.lock().posted
+    }
+
+    /// High-water mark of queue depth (messages waiting at once).
+    pub fn max_depth(&self) -> usize {
+        self.inner.lock().max_depth
+    }
+}
+
+/// Adapter: a mailbox bank as the terminal forwarder of a chain, routing by
+/// `pkt.dst`.
+pub struct MailboxSink {
+    boxes: Vec<Arc<Mailbox>>,
+}
+
+impl MailboxSink {
+    /// Sink over the given per-PE mailboxes (indexed by `Pe::index()`).
+    pub fn new(boxes: Vec<Arc<Mailbox>>) -> Self {
+        MailboxSink { boxes }
+    }
+}
+
+impl Forwarder for MailboxSink {
+    fn deliver(&self, pkt: Packet) {
+        self.boxes[pkt.dst.index()].post(pkt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use mdo_netsim::Pe;
+
+    fn pkt(prio: i32, tag: u8) -> Packet {
+        Packet::with_priority(Pe(0), Pe(0), prio, Bytes::copy_from_slice(&[tag]))
+    }
+
+    #[test]
+    fn priority_then_fifo() {
+        let mb = Mailbox::new();
+        mb.post(pkt(5, 1));
+        mb.post(pkt(1, 2));
+        mb.post(pkt(5, 3));
+        mb.post(pkt(1, 4));
+        let order: Vec<u8> = (0..4).map(|_| mb.take().unwrap().payload[0]).collect();
+        assert_eq!(order, vec![2, 4, 1, 3]);
+    }
+
+    #[test]
+    fn close_wakes_taker() {
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = Arc::clone(&mb);
+        let h = std::thread::spawn(move || mb2.take());
+        std::thread::sleep(Duration::from_millis(20));
+        mb.close();
+        assert!(h.join().unwrap().is_none());
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = Arc::clone(&mb);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            mb2.post(pkt(0, 9));
+        });
+        let got = mb.take().unwrap();
+        assert_eq!(got.payload[0], 9);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn timeout_returns_none() {
+        let mb = Mailbox::new();
+        let start = std::time::Instant::now();
+        assert!(mb.take_timeout(Duration::from_millis(25)).is_none());
+        assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn try_take_and_len() {
+        let mb = Mailbox::new();
+        assert!(mb.try_take().is_none());
+        mb.post(pkt(0, 1));
+        assert_eq!(mb.len(), 1);
+        assert!(!mb.is_empty());
+        assert!(mb.try_take().is_some());
+        assert!(mb.is_empty());
+        assert_eq!(mb.total_posted(), 1);
+        assert_eq!(mb.max_depth(), 1);
+    }
+
+    #[test]
+    fn post_after_close_is_dropped() {
+        let mb = Mailbox::new();
+        mb.close();
+        mb.post(pkt(0, 1));
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn sink_routes_by_destination() {
+        let boxes: Vec<_> = (0..3).map(|_| Arc::new(Mailbox::new())).collect();
+        let sink = MailboxSink::new(boxes.clone());
+        sink.deliver(Packet::new(Pe(0), Pe(2), Bytes::from_static(b"z")));
+        assert!(boxes[0].is_empty());
+        assert!(boxes[1].is_empty());
+        assert_eq!(boxes[2].len(), 1);
+    }
+}

@@ -1,0 +1,92 @@
+//! Reproducibility: the simulation engine is a deterministic function of
+//! its configuration.  Identical runs must agree to the nanosecond and
+//! the message, whatever the application, latency, priority mode, or
+//! load-balancing strategy.
+
+use gridmdo::apps::leanmd::{self, MdConfig};
+use gridmdo::apps::stencil::{self, StencilConfig};
+use gridmdo::apps::workloads::{run_synthetic, LoadShape, SyntheticConfig};
+use gridmdo::prelude::*;
+
+#[test]
+fn stencil_runs_are_bit_reproducible() {
+    let run = || {
+        let cfg = StencilConfig::paper(64, 6);
+        let net = NetworkModel::two_cluster_sweep(8, Dur::from_millis(7));
+        stencil::run_sim(cfg, net, RunConfig::default())
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.report.end_time, b.report.end_time);
+    assert_eq!(a.report.pe_messages, b.report.pe_messages);
+    assert_eq!(a.report.network.cross_messages, b.report.network.cross_messages);
+    assert_eq!(a.report.pe_busy, b.report.pe_busy);
+}
+
+#[test]
+fn leanmd_runs_are_bit_reproducible_including_physics() {
+    let run = || {
+        let cfg = MdConfig::validation(3, 4, 5);
+        let net = NetworkModel::two_cluster_sweep(4, Dur::from_millis(3));
+        leanmd::run_sim(cfg, net, RunConfig::default())
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.report.end_time, b.report.end_time);
+    assert_eq!(a.checksums, b.checksums);
+    assert_eq!(a.kinetic, b.kinetic);
+    assert_eq!(a.potential, b.potential);
+}
+
+#[test]
+fn grid_priority_changes_schedule_not_results() {
+    let run = |prio: bool| {
+        let cfg = MdConfig::validation(3, 3, 4);
+        let net = NetworkModel::two_cluster_sweep(4, Dur::from_millis(6));
+        let run_cfg = RunConfig { grid_prio: prio, ..RunConfig::default() };
+        leanmd::run_sim(cfg, net, run_cfg)
+    };
+    let fifo = run(false);
+    let prio = run(true);
+    assert_eq!(fifo.checksums, prio.checksums, "scheduling policy cannot change physics");
+    assert_eq!(fifo.kinetic, prio.kinetic);
+}
+
+#[test]
+fn migration_changes_placement_not_results() {
+    let run = |lb: LbChoice, period: Option<u32>| {
+        let mut cfg = MdConfig::validation(3, 3, 6);
+        cfg.lb_period = period;
+        let net = NetworkModel::two_cluster_sweep(4, Dur::from_millis(2));
+        let run_cfg = RunConfig { lb, ..RunConfig::default() };
+        leanmd::run_sim(cfg, net, run_cfg)
+    };
+    let stay = run(LbChoice::Identity, None);
+    let moved = run(LbChoice::Rotate, Some(3));
+    assert!(moved.report.migrations > 0, "RotateLB migrated objects");
+    assert_eq!(stay.checksums, moved.checksums, "migration is transparent to the application");
+}
+
+#[test]
+fn synthetic_lb_runs_are_reproducible() {
+    let run = || {
+        let cfg = SyntheticConfig {
+            objects: 24,
+            rounds: 10,
+            base_cost: Dur::from_millis(1),
+            shape: LoadShape::Random { seed: 11 },
+            peer_traffic: true,
+            blocking_peers: false,
+            peer_stride: 12,
+            lb_period: Some(5),
+        };
+        let net = NetworkModel::two_cluster_sweep(4, Dur::from_millis(2));
+        let run_cfg = RunConfig { lb: LbChoice::Greedy, ..RunConfig::default() };
+        run_synthetic(cfg, net, run_cfg)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.end_time, b.end_time);
+    assert_eq!(a.migrations, b.migrations);
+    assert_eq!(a.pe_messages, b.pe_messages);
+}

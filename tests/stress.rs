@@ -1,0 +1,77 @@
+//! Soak tests at the paper's full configuration sizes: the largest
+//! machine (64 PEs), the highest virtualization (1024 stencil objects /
+//! 3,240 LeanMD objects), long-ish runs, both priority modes — asserting
+//! structural invariants that must hold at scale.
+
+use gridmdo::apps::leanmd::{self, MdConfig};
+use gridmdo::apps::stencil::{self, StencilConfig};
+use gridmdo::prelude::*;
+
+#[test]
+fn stencil_full_scale_soak() {
+    // 1024 objects on 64 PEs, 12 steps, 8 ms one-way.
+    let cfg = StencilConfig::paper(1024, 12);
+    let net = NetworkModel::two_cluster_sweep(64, Dur::from_millis(8));
+    let out = stencil::run_sim(cfg, net, RunConfig::default());
+
+    // Every PE processed work; no PE idled out entirely.
+    assert!(out.report.pe_messages.iter().all(|&m| m > 0), "all 64 PEs participated");
+    // Messages: ~1024 objects x ~4 edges x 12 steps, plus runtime traffic.
+    let total = out.report.network.total_messages();
+    assert!(
+        (40_000..80_000).contains(&total),
+        "message volume in the expected envelope: {total}"
+    );
+    // The mesh interior dominates: most traffic stays intra-cluster.
+    assert!(out.report.network.cross_fraction() < 0.1);
+    // Utilization stays meaningful despite the 8 ms WAN (64-PE grains are
+    // small, so pipeline fill/drain and partial latency exposure cap it).
+    assert!(
+        out.report.mean_utilization() > 0.25,
+        "masking keeps PEs busy: {:.2}",
+        out.report.mean_utilization()
+    );
+}
+
+#[test]
+fn leanmd_full_scale_soak_with_priority() {
+    let run = |grid_prio: bool| {
+        let cfg = MdConfig::paper(4);
+        let net = NetworkModel::two_cluster_sweep(64, Dur::from_millis(8));
+        let run_cfg = RunConfig { grid_prio, ..RunConfig::default() };
+        leanmd::run_sim(cfg, net, run_cfg)
+    };
+    let fifo = run(false);
+    let prio = run(true);
+    // 3,240 objects on 64 PEs: every PE loaded.
+    assert!(fifo.report.pe_messages.iter().all(|&m| m > 100));
+    // Priority mode reorders the schedule but not the totals.
+    assert_eq!(
+        fifo.report.network.total_messages(),
+        prio.report.network.total_messages(),
+        "scheduling policy cannot change how many messages exist"
+    );
+    // Both finish in a plausible per-step envelope around the calibrated
+    // scale (~0.12–0.30 s/step at 64 PEs with some latency exposure).
+    for out in [&fifo, &prio] {
+        assert!(
+            (0.1..0.4).contains(&out.s_per_step),
+            "64-PE step time in range: {}",
+            out.s_per_step
+        );
+    }
+}
+
+#[test]
+fn repeated_runs_at_scale_stay_identical() {
+    let run = || {
+        let cfg = StencilConfig::paper(256, 10);
+        let net = NetworkModel::two_cluster_sweep(32, Dur::from_millis(16));
+        stencil::run_sim(cfg, net, RunConfig::default())
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.report.end_time, b.report.end_time);
+    assert_eq!(a.report.pe_messages, b.report.pe_messages);
+    assert_eq!(a.report.pe_max_queue_depth, b.report.pe_max_queue_depth);
+}
