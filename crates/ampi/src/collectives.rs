@@ -136,14 +136,7 @@ impl Rank {
     /// Combined blocking send + receive (MPI_Sendrecv): ships `data` to
     /// `dst` under `send_tag`, then awaits a message from `src` under
     /// `recv_tag`.  The send is eager, so paired sendrecvs cannot deadlock.
-    pub async fn sendrecv(
-        &self,
-        dst: u32,
-        send_tag: i32,
-        data: Vec<u8>,
-        src: u32,
-        recv_tag: i32,
-    ) -> Vec<u8> {
+    pub async fn sendrecv(&self, dst: u32, send_tag: i32, data: Vec<u8>, src: u32, recv_tag: i32) -> Vec<u8> {
         self.send(dst, send_tag, data);
         self.recv_from(src, recv_tag).await
     }
@@ -188,11 +181,8 @@ impl Rank {
             let mut acc = vals.to_vec();
             for _ in 1..n {
                 let m = self.recv(None, Some(ctag(seq, 0))).await;
-                let other: Vec<f64> = m
-                    .data
-                    .chunks_exact(8)
-                    .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
-                    .collect();
+                let other: Vec<f64> =
+                    m.data.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes"))).collect();
                 assert_eq!(other.len(), acc.len(), "reduce length mismatch");
                 for (a, b) in acc.iter_mut().zip(other) {
                     match op {
@@ -242,11 +232,8 @@ impl Rank {
         let mut acc = vals.to_vec();
         if me > 0 {
             let m = self.recv(Some(me - 1), Some(ctag(seq, 0))).await;
-            let prev: Vec<f64> = m
-                .data
-                .chunks_exact(8)
-                .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
-                .collect();
+            let prev: Vec<f64> =
+                m.data.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes"))).collect();
             assert_eq!(prev.len(), acc.len(), "scan length mismatch");
             for (a, b) in acc.iter_mut().zip(prev) {
                 match op {
@@ -322,8 +309,7 @@ mod tests {
         OK.store(0, Ordering::SeqCst);
         let body: RankBody = Arc::new(|rank| {
             Box::pin(async move {
-                let payload =
-                    if rank.rank() == 2 { b"from-root".to_vec() } else { b"IGNORED".to_vec() };
+                let payload = if rank.rank() == 2 { b"from-root".to_vec() } else { b"IGNORED".to_vec() };
                 let got = rank.bcast(2, payload).await;
                 assert_eq!(got, b"from-root");
                 OK.fetch_add(1, Ordering::SeqCst);
@@ -411,11 +397,8 @@ mod tests {
         let body: RankBody = Arc::new(|rank| {
             Box::pin(async move {
                 let me = rank.rank();
-                let rows = if me == 1 {
-                    (0..rank.size()).map(|r| vec![r as u8, 100 + r as u8]).collect()
-                } else {
-                    Vec::new()
-                };
+                let rows =
+                    if me == 1 { (0..rank.size()).map(|r| vec![r as u8, 100 + r as u8]).collect() } else { Vec::new() };
                 let mine = rank.scatter(1, rows).await;
                 assert_eq!(mine, vec![me as u8, 100 + me as u8]);
             })

@@ -62,13 +62,7 @@ pub struct Rank {
 
 impl Rank {
     pub(crate) fn new(rank: u32, n_ranks: u32) -> Self {
-        Rank {
-            shared: Arc::new(Mutex::new(RankShared {
-                rank,
-                n_ranks,
-                ..RankShared::default()
-            })),
-        }
+        Rank { shared: Arc::new(Mutex::new(RankShared { rank, n_ranks, ..RankShared::default() })) }
     }
 
     /// This rank's index (0-based).
@@ -123,10 +117,7 @@ impl Rank {
     /// if one has already arrived, without suspending.
     pub fn try_recv(&self, src: Option<u32>, tag: Option<i32>) -> Option<Msg> {
         let mut s = self.shared.lock();
-        let pos = s
-            .inbox
-            .iter()
-            .position(|m| src.is_none_or(|w| w == m.src) && tag.is_none_or(|w| w == m.tag));
+        let pos = s.inbox.iter().position(|m| src.is_none_or(|w| w == m.src) && tag.is_none_or(|w| w == m.tag));
         pos.map(|i| s.inbox.remove(i))
     }
 
@@ -156,10 +147,8 @@ impl Future for RecvFuture {
 
     fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Msg> {
         let mut s = self.shared.lock();
-        let pos = s
-            .inbox
-            .iter()
-            .position(|m| self.src.is_none_or(|w| w == m.src) && self.tag.is_none_or(|w| w == m.tag));
+        let pos =
+            s.inbox.iter().position(|m| self.src.is_none_or(|w| w == m.src) && self.tag.is_none_or(|w| w == m.tag));
         match pos {
             Some(i) => Poll::Ready(s.inbox.remove(i)),
             None => Poll::Pending,

@@ -22,8 +22,7 @@ use mdo_netsim::{LatencyMatrix, Topology};
 use crate::rank::{noop_waker, Msg, Rank};
 
 /// A rank body: given its [`Rank`] handle, produce the rank's task.
-pub type RankBody =
-    Arc<dyn Fn(Rank) -> Pin<Box<dyn Future<Output = ()> + Send>> + Send + Sync>;
+pub type RankBody = Arc<dyn Fn(Rank) -> Pin<Box<dyn Future<Output = ()> + Send>> + Send + Sync>;
 
 /// Entry: kick-off (first poll).
 const KICK: EntryId = EntryId(1);

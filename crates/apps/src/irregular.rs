@@ -394,11 +394,7 @@ pub fn run_sim(cfg: IrregularConfig, net: NetworkModel, run_cfg: RunConfig) -> I
     let report = SimEngine::new(net, run_cfg).run(p);
     let total = report.end_time - Time::ZERO;
     let partition_sums = sums.lock().expect("sums").clone();
-    IrregularOutcome {
-        ms_per_step: total.as_millis_f64() / cfg.steps as f64,
-        partition_sums,
-        report,
-    }
+    IrregularOutcome { ms_per_step: total.as_millis_f64() / cfg.steps as f64, partition_sums, report }
 }
 
 #[cfg(test)]
@@ -413,11 +409,7 @@ mod tests {
             parts,
             steps,
             compute: true,
-            cost: StencilCost {
-                ns_per_cell: 50.0,
-                msg_overhead: Dur::from_micros(5),
-                cache_effect: false,
-            },
+            cost: StencilCost { ns_per_cell: 50.0, msg_overhead: Dur::from_micros(5), cache_effect: false },
         }
     }
 
@@ -458,8 +450,7 @@ mod tests {
     fn check(cfg: IrregularConfig, pes: u32, lat_ms: u64) {
         let mesh = IrregularMesh::jittered_grid(cfg.side, cfg.seed);
         let part = mesh.partition(cfg.parts);
-        let expect =
-            IrregularMesh::partition_sums(&mesh.seq_run(cfg.steps), &part, cfg.parts);
+        let expect = IrregularMesh::partition_sums(&mesh.seq_run(cfg.steps), &part, cfg.parts);
         let net = NetworkModel::two_cluster_sweep(pes, Dur::from_millis(lat_ms));
         let out = run_sim(cfg, net, RunConfig::default());
         assert_eq!(out.partition_sums.len(), expect.len());
@@ -496,9 +487,6 @@ mod tests {
         };
         let lo = run(4, 8) / run(4, 0);
         let hi = run(64, 8) / run(64, 0);
-        assert!(
-            hi < lo,
-            "more partitions per PE mask the WAN on an irregular mesh too: {hi:.2} < {lo:.2}"
-        );
+        assert!(hi < lo, "more partitions per PE mask the WAN on an irregular mesh too: {hi:.2} < {lo:.2}");
     }
 }

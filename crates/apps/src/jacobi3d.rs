@@ -31,8 +31,7 @@ const START: EntryId = EntryId(1);
 const FACE: EntryId = EntryId(2);
 
 /// The six face directions: ±x, ±y, ±z.
-const DIRS: [(i8, i8, i8); 6] =
-    [(-1, 0, 0), (1, 0, 0), (0, -1, 0), (0, 1, 0), (0, 0, -1), (0, 0, 1)];
+const DIRS: [(i8, i8, i8); 6] = [(-1, 0, 0), (1, 0, 0), (0, -1, 0), (0, 1, 0), (0, 0, -1), (0, 0, 1)];
 
 /// Deterministic initial condition.
 pub fn initial_value(n: usize, x: usize, y: usize, z: usize) -> f64 {
@@ -230,8 +229,7 @@ impl Block3d {
         let (dx, dy, dz) = DIRS[d];
         let (nx, ny, nz) =
             (self.bx as isize + dx as isize, self.by as isize + dy as isize, self.bz as isize + dz as isize);
-        (nx >= 0 && ny >= 0 && nz >= 0 && nx < k && ny < k && nz < k)
-            .then(|| ElemId(((nx * k + ny) * k + nz) as u32))
+        (nx >= 0 && ny >= 0 && nz >= 0 && nx < k && ny < k && nz < k).then(|| ElemId(((nx * k + ny) * k + nz) as u32))
     }
 
     fn n_neighbors(&self) -> usize {
@@ -465,11 +463,7 @@ mod tests {
             k,
             steps,
             compute: true,
-            cost: StencilCost {
-                ns_per_cell: 20.0,
-                msg_overhead: Dur::from_micros(10),
-                cache_effect: false,
-            },
+            cost: StencilCost { ns_per_cell: 20.0, msg_overhead: Dur::from_micros(10), cache_effect: false },
         }
     }
 

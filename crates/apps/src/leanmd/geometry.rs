@@ -173,8 +173,7 @@ mod tests {
         let g = CellGrid { side: 6 };
         // Cell at corner (0,0,0): its (-1,-1,-1) neighbour is (5,5,5).
         let ns = g.neighbors(g.cell_id(0, 0, 0));
-        let wrapped =
-            ns.iter().find(|&&(n, _)| n == g.cell_id(5, 5, 5)).expect("corner neighbour exists");
+        let wrapped = ns.iter().find(|&&(n, _)| n == g.cell_id(5, 5, 5)).expect("corner neighbour exists");
         assert_eq!(wrapped.1, [-1, -1, -1]);
     }
 }

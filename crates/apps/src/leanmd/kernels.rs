@@ -32,13 +32,7 @@ impl Default for ForceParams {
 /// Force on atom i (at `ri`) due to atom j (at `rj`), and the pair's
 /// potential energy; `None` outside the cutoff.
 #[inline]
-pub fn pair_interaction(
-    ri: [f64; 3],
-    rj: [f64; 3],
-    qi: f64,
-    qj: f64,
-    p: &ForceParams,
-) -> Option<([f64; 3], f64)> {
+pub fn pair_interaction(ri: [f64; 3], rj: [f64; 3], qi: f64, qj: f64, p: &ForceParams) -> Option<([f64; 3], f64)> {
     let dr = [ri[0] - rj[0], ri[1] - rj[1], ri[2] - rj[2]];
     let r2 = dr[0] * dr[0] + dr[1] * dr[1] + dr[2] * dr[2];
     if r2 >= p.cutoff * p.cutoff || r2 == 0.0 {
@@ -141,10 +135,9 @@ mod tests {
     #[test]
     fn lj_repulsive_at_short_range_attractive_past_minimum() {
         let q = 0.0; // isolate LJ
-        // dr = ri − rj points from j toward i (here: −x); a repulsive
-        // force on i is along +dr, i.e. negative x.
-        let (f_close, _) =
-            pair_interaction([0.0; 3], [0.3, 0.0, 0.0], q, q, &p()).expect("in range");
+                     // dr = ri − rj points from j toward i (here: −x); a repulsive
+                     // force on i is along +dr, i.e. negative x.
+        let (f_close, _) = pair_interaction([0.0; 3], [0.3, 0.0, 0.0], q, q, &p()).expect("in range");
         assert!(f_close[0] < 0.0, "overlapping atoms repel (i pushed away from j)");
         let (f_far, _) = pair_interaction([0.0; 3], [0.6, 0.0, 0.0], q, q, &p()).expect("in range");
         assert!(f_far[0] > 0.0, "past the LJ minimum they attract (i pulled toward j)");
@@ -155,12 +148,10 @@ mod tests {
         // Distance past the LJ minimum so LJ is attractive; strong charges
         // dominate.
         let params = ForceParams { coulomb: 10.0, ..p() };
-        let (f_like, u_like) =
-            pair_interaction([0.0; 3], [0.8, 0.0, 0.0], 1.0, 1.0, &params).expect("in range");
+        let (f_like, u_like) = pair_interaction([0.0; 3], [0.8, 0.0, 0.0], 1.0, 1.0, &params).expect("in range");
         assert!(f_like[0] < 0.0, "like charges repel (i pushed away from j at +x)");
         assert!(u_like > 0.0);
-        let (f_opp, u_opp) =
-            pair_interaction([0.0; 3], [0.8, 0.0, 0.0], 1.0, -1.0, &params).expect("in range");
+        let (f_opp, u_opp) = pair_interaction([0.0; 3], [0.8, 0.0, 0.0], 1.0, -1.0, &params).expect("in range");
         assert!(f_opp[0] > 0.0, "opposite charges attract (i pulled toward j)");
         assert!(u_opp < 0.0);
     }
@@ -173,8 +164,7 @@ mod tests {
         let q_b = [1.0, 1.0, -1.0];
         let (fa, fb, _) = forces_between(&pos_a, &q_a, &pos_b, &q_b, [0.0; 3], &p());
         for d in 0..3 {
-            let total: f64 =
-                fa.iter().map(|f| f[d]).sum::<f64>() + fb.iter().map(|f| f[d]).sum::<f64>();
+            let total: f64 = fa.iter().map(|f| f[d]).sum::<f64>() + fb.iter().map(|f| f[d]).sum::<f64>();
             assert!(total.abs() < 1e-12, "momentum conserved in dim {d}: {total}");
         }
     }
@@ -193,13 +183,11 @@ mod tests {
     #[test]
     fn shift_moves_the_image() {
         // B at x=5.8 with shift -6 appears at -0.2: within cutoff of A at 0.
-        let (fa, _, e) =
-            forces_between(&[[0.0; 3]], &[1.0], &[[5.8, 0.0, 0.0]], &[1.0], [-6.0, 0.0, 0.0], &p());
+        let (fa, _, e) = forces_between(&[[0.0; 3]], &[1.0], &[[5.8, 0.0, 0.0]], &[1.0], [-6.0, 0.0, 0.0], &p());
         assert!(e != 0.0, "periodic image interacts");
         assert!(fa[0][0] != 0.0);
         // Without the shift: out of range.
-        let (_, _, e2) =
-            forces_between(&[[0.0; 3]], &[1.0], &[[5.8, 0.0, 0.0]], &[1.0], [0.0; 3], &p());
+        let (_, _, e2) = forces_between(&[[0.0; 3]], &[1.0], &[[5.8, 0.0, 0.0]], &[1.0], [0.0; 3], &p());
         assert_eq!(e2, 0.0);
     }
 

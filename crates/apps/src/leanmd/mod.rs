@@ -56,11 +56,7 @@ pub struct MdCost {
 
 impl Default for MdCost {
     fn default() -> Self {
-        MdCost {
-            ns_per_interaction: 127.0,
-            ns_per_atom_integrate: 500.0,
-            msg_overhead: Dur::from_micros(25),
-        }
+        MdCost { ns_per_interaction: 127.0, ns_per_atom_integrate: 500.0, msg_overhead: Dur::from_micros(25) }
     }
 }
 
@@ -131,11 +127,7 @@ impl MdConfig {
             dt: 1e-3,
             cell_width: 1.0,
             compute: true,
-            cost: MdCost {
-                ns_per_interaction: 50.0,
-                ns_per_atom_integrate: 100.0,
-                msg_overhead: Dur::from_micros(5),
-            },
+            cost: MdCost { ns_per_interaction: 50.0, ns_per_atom_integrate: 100.0, msg_overhead: Dur::from_micros(5) },
             params: ForceParams::default(),
             seed: 42,
             lb_period: None,
@@ -211,8 +203,7 @@ impl Cell {
     fn multicast_coords(&self, ctx: &mut Ctx<'_>) {
         let payload = self.coords_payload();
         if self.cfg.use_multicast {
-            let section: Vec<ElemId> =
-                self.memberships.iter().map(|&(pair_idx, _)| ElemId(pair_idx)).collect();
+            let section: Vec<ElemId> = self.memberships.iter().map(|&(pair_idx, _)| ElemId(pair_idx)).collect();
             ctx.multicast(self.pairs_array, &section, COORDS, payload);
         } else {
             for &(pair_idx, _) in self.memberships.iter() {
@@ -234,9 +225,7 @@ impl Cell {
                 }
             }
             // Must stay operation-for-operation identical to SeqMd::step.
-            for ((vel, pos), f) in
-                self.atoms.vel.iter_mut().zip(self.atoms.pos.iter_mut()).zip(&force)
-            {
+            for ((vel, pos), f) in self.atoms.vel.iter_mut().zip(self.atoms.pos.iter_mut()).zip(&force) {
                 vel[0] += f[0] * self.cfg.dt;
                 vel[1] += f[1] * self.cfg.dt;
                 vel[2] += f[2] * self.cfg.dt;
@@ -290,8 +279,7 @@ impl Chare for Cell {
                 assert_eq!(step, self.step, "cell {} cannot receive out-of-step forces", self.id);
                 self.energy_acc += energy;
                 let flat = r.f64_vec().expect("forces");
-                let forces: Vec<[f64; 3]> =
-                    flat.chunks_exact(3).map(|c| [c[0], c[1], c[2]]).collect();
+                let forces: Vec<[f64; 3]> = flat.chunks_exact(3).map(|c| [c[0], c[1], c[2]]).collect();
                 let prev = self.got.insert(pair_idx, forces);
                 assert!(prev.is_none(), "duplicate forces from pair {pair_idx}");
                 if self.got.len() == self.memberships.len() {
@@ -345,10 +333,8 @@ impl Pair {
         let is_self = self.is_self();
         let msgs = if is_self { 1 } else { 2 };
         ctx.charge(
-            Dur::from_nanos(
-                (self.cfg.cost.ns_per_interaction * interaction_count(n, n, is_self) as f64).round()
-                    as u64,
-            ) + self.cfg.cost.msg_overhead * msgs,
+            Dur::from_nanos((self.cfg.cost.ns_per_interaction * interaction_count(n, n, is_self) as f64).round() as u64)
+                + self.cfg.cost.msg_overhead * msgs,
         );
         let (fa, fb, energy) = if !self.cfg.compute {
             // Same wire size as real force messages (see multicast_coords).
@@ -410,11 +396,8 @@ impl Chare for Pair {
         let entry_slots = self.buffer.entry(step).or_default();
         assert!(entry_slots[slot].is_none(), "duplicate coords for slot {slot} step {step}");
         entry_slots[slot] = Some((pos, q));
-        let complete = if is_self {
-            entry_slots[0].is_some()
-        } else {
-            entry_slots[0].is_some() && entry_slots[1].is_some()
-        };
+        let complete =
+            if is_self { entry_slots[0].is_some() } else { entry_slots[0].is_some() && entry_slots[1].is_some() };
         if complete {
             self.compute(step, ctx);
         }
@@ -433,9 +416,8 @@ fn build_program_inner(cfg: MdConfig, shared: Arc<Shared>, restored: bool) -> Pr
     let pairs = Arc::new(grid.pairs());
     /// Shared per-cell membership lists: cell -> [(pair index, slot)].
     type PairsOfCells = Arc<Vec<Arc<Vec<(u32, u8)>>>>;
-    let pairs_of: PairsOfCells = Arc::new(
-        CellGrid::pairs_of_cells(&pairs, grid.n_cells()).into_iter().map(Arc::new).collect(),
-    );
+    let pairs_of: PairsOfCells =
+        Arc::new(CellGrid::pairs_of_cells(&pairs, grid.n_cells()).into_iter().map(Arc::new).collect());
 
     let mut p = Program::new();
 
@@ -518,11 +500,7 @@ fn build_program_inner(cfg: MdConfig, shared: Arc<Shared>, restored: bool) -> Pr
             out.clear();
             for (_, bytes) in rows {
                 let mut r = WireReader::new(bytes);
-                out.push((
-                    r.f64().expect("checksum"),
-                    r.f64().expect("kinetic"),
-                    r.f64().expect("potential"),
-                ));
+                out.push((r.f64().expect("checksum"), r.f64().expect("kinetic"), r.f64().expect("potential")));
             }
         }
         ctl.exit();
@@ -575,23 +553,13 @@ pub fn run_sim_full(
 }
 
 /// Run under the threaded engine.
-pub fn run_threaded(
-    cfg: MdConfig,
-    topo: Topology,
-    latency: LatencyMatrix,
-    run_cfg: RunConfig,
-) -> MdOutcome {
+pub fn run_threaded(cfg: MdConfig, topo: Topology, latency: LatencyMatrix, run_cfg: RunConfig) -> MdOutcome {
     run_threaded_with(cfg, topo, ThreadedConfig::new(latency), run_cfg)
 }
 
 /// Run under the threaded engine with full engine configuration (e.g.
 /// sleep-emulated compute for validation on small hosts).
-pub fn run_threaded_with(
-    cfg: MdConfig,
-    topo: Topology,
-    tcfg: ThreadedConfig,
-    run_cfg: RunConfig,
-) -> MdOutcome {
+pub fn run_threaded_with(cfg: MdConfig, topo: Topology, tcfg: ThreadedConfig, run_cfg: RunConfig) -> MdOutcome {
     run_threaded_full(cfg, topo, tcfg, run_cfg, None)
 }
 
@@ -620,14 +588,7 @@ mod tests {
     use mdo_core::program::LbChoice;
 
     fn reference(cfg: &MdConfig) -> seq::SeqMd {
-        let mut md = seq::SeqMd::new(
-            cfg.grid,
-            cfg.atoms_per_cell,
-            cfg.cell_width,
-            cfg.dt,
-            cfg.params,
-            cfg.seed,
-        );
+        let mut md = seq::SeqMd::new(cfg.grid, cfg.atoms_per_cell, cfg.cell_width, cfg.dt, cfg.params, cfg.seed);
         md.run(cfg.steps);
         md
     }
@@ -707,11 +668,7 @@ mod tests {
         let cfg = MdConfig::paper(2);
         let net = NetworkModel::two_cluster_sweep(2, Dur::ZERO);
         let out = run_sim(cfg, net, RunConfig::default());
-        assert!(
-            (3.0..5.5).contains(&out.s_per_step),
-            "2-PE step time near the paper's ~3.9 s, got {}",
-            out.s_per_step
-        );
+        assert!((3.0..5.5).contains(&out.s_per_step), "2-PE step time near the paper's ~3.9 s, got {}", out.s_per_step);
     }
 
     #[test]
@@ -725,10 +682,7 @@ mod tests {
         };
         let base = run(0);
         let with_latency = run(16);
-        assert!(
-            with_latency < base * 1.10,
-            "16 ms masked by ~400 objects/PE: {base} -> {with_latency}"
-        );
+        assert!(with_latency < base * 1.10, "16 ms masked by ~400 objects/PE: {base} -> {with_latency}");
     }
 
     #[test]
@@ -742,12 +696,8 @@ mod tests {
         let multi = run_sim(multi_cfg, net(), RunConfig::default());
         assert_eq!(plain.checksums, multi.checksums, "multicast cannot change physics");
         assert_eq!(plain.kinetic, multi.kinetic);
-        let (p_msgs, m_msgs) =
-            (plain.report.network.total_messages(), multi.report.network.total_messages());
-        assert!(
-            (m_msgs as f64) < p_msgs as f64 * 0.75,
-            "coordinate fan-out collapses per-PE: {m_msgs} vs {p_msgs}"
-        );
+        let (p_msgs, m_msgs) = (plain.report.network.total_messages(), multi.report.network.total_messages());
+        assert!((m_msgs as f64) < p_msgs as f64 * 0.75, "coordinate fan-out collapses per-PE: {m_msgs} vs {p_msgs}");
         // Bytes drop even more (shared payloads).
         let p_bytes = plain.report.network.intra_bytes + plain.report.network.cross_bytes;
         let m_bytes = multi.report.network.intra_bytes + multi.report.network.cross_bytes;
@@ -778,8 +728,7 @@ mod tests {
         // barrier while the run continues.
         let sink = Arc::new(Mutex::new(Vec::new()));
         let run_cfg = RunConfig { checkpoint_at_barrier: true, ..RunConfig::default() };
-        let ckpt_out =
-            run_sim_full(cfg.clone(), net(), run_cfg, Some(Arc::clone(&sink)), None);
+        let ckpt_out = run_sim_full(cfg.clone(), net(), run_cfg, Some(Arc::clone(&sink)), None);
         assert_eq!(ckpt_out.checksums, full.checksums, "checkpointing is transparent");
         let snaps = sink.lock().expect("sink");
         assert_eq!(snaps.len(), 1, "one barrier, one snapshot");

@@ -96,19 +96,10 @@ pub struct SeqMd {
 
 impl SeqMd {
     /// Build with deterministic initial conditions.
-    pub fn new(
-        grid: CellGrid,
-        n_atoms: usize,
-        cell_width: f64,
-        dt: f64,
-        params: ForceParams,
-        seed: u64,
-    ) -> Self {
+    pub fn new(grid: CellGrid, n_atoms: usize, cell_width: f64, dt: f64, params: ForceParams, seed: u64) -> Self {
         let pairs = grid.pairs();
         let pairs_of = CellGrid::pairs_of_cells(&pairs, grid.n_cells());
-        let cells = (0..grid.n_cells())
-            .map(|c| CellAtoms::init(grid, c, n_atoms, cell_width, seed))
-            .collect();
+        let cells = (0..grid.n_cells()).map(|c| CellAtoms::init(grid, c, n_atoms, cell_width, seed)).collect();
         SeqMd { grid, pairs, pairs_of, cells, params, cell_width, dt, last_potential: 0.0 }
     }
 
@@ -242,10 +233,7 @@ mod tests {
         md.run(100);
         let e1 = md.kinetic() + md.last_potential;
         let scale = e0.abs().max(1e-6);
-        assert!(
-            ((e1 - e0) / scale).abs() < 0.05,
-            "energy drift under 5% for small dt: {e0} -> {e1}"
-        );
+        assert!(((e1 - e0) / scale).abs() < 0.05, "energy drift under 5% for small dt: {e0} -> {e1}");
     }
 
     #[test]

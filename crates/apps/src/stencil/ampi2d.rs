@@ -101,8 +101,7 @@ pub fn run_sim(cfg: Ampi2dConfig, net: NetworkModel, run_cfg: RunConfig) -> Ampi
             let down = (bi + 1 < k).then(|| rank_of(bi + 1, bj));
             let left = (bj > 0).then(|| rank_of(bi, bj - 1));
             let right = (bj + 1 < k).then(|| rank_of(bi, bj + 1));
-            let n_neighbors =
-                [up, down, left, right].iter().filter(|n| n.is_some()).count();
+            let n_neighbors = [up, down, left, right].iter().filter(|n| n.is_some()).count();
 
             // (b+2)^2 working block with a ghost ring (zeros = boundary).
             let w = b + 2;
@@ -111,14 +110,11 @@ pub fn run_sim(cfg: Ampi2dConfig, net: NetworkModel, run_cfg: RunConfig) -> Ampi
             if cfg.compute {
                 for r in 0..b {
                     for c in 0..b {
-                        grid[(r + 1) * w + c + 1] =
-                            seq::initial_value(cfg.mesh, bi * b + r, bj * b + c);
+                        grid[(r + 1) * w + c + 1] = seq::initial_value(cfg.mesh, bi * b + r, bj * b + c);
                     }
                 }
             }
-            let col = |g: &Vec<f64>, c: usize| -> Vec<f64> {
-                (1..=b).map(|r| g[r * w + c]).collect()
-            };
+            let col = |g: &Vec<f64>, c: usize| -> Vec<f64> { (1..=b).map(|r| g[r * w + c]).collect() };
 
             for _step in 0..cfg.steps {
                 // Ordinary MPI structure: post the four sends, then the
@@ -190,8 +186,7 @@ pub fn run_sim(cfg: Ampi2dConfig, net: NetworkModel, run_cfg: RunConfig) -> Ampi
                 collected[0] = sum;
                 for _ in 1..cfg.ranks {
                     let m = rank.recv(None, Some(SUM)).await;
-                    collected[m.src as usize] =
-                        f64::from_le_bytes(m.data[..8].try_into().expect("f64"));
+                    collected[m.src as usize] = f64::from_le_bytes(m.data[..8].try_into().expect("f64"));
                 }
                 *sums.lock().expect("sums") = collected;
             } else {
@@ -219,11 +214,7 @@ mod tests {
             ranks,
             steps,
             compute,
-            cost: StencilCost {
-                ns_per_cell: 34.0,
-                msg_overhead: Dur::from_micros(30),
-                cache_effect: false,
-            },
+            cost: StencilCost { ns_per_cell: 34.0, msg_overhead: Dur::from_micros(30), cache_effect: false },
         }
     }
 

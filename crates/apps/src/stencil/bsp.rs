@@ -54,8 +54,7 @@ pub struct BspOutcome {
 /// Run the bulk-synchronous baseline under the simulation engine.
 pub fn run_sim(cfg: BspConfig, net: NetworkModel, run_cfg: RunConfig) -> BspOutcome {
     assert_eq!(cfg.mesh % cfg.ranks as usize, 0, "ranks must divide the mesh rows");
-    let checksums: Arc<Mutex<Vec<f64>>> =
-        Arc::new(Mutex::new(vec![0.0; cfg.ranks as usize]));
+    let checksums: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(vec![0.0; cfg.ranks as usize]));
     let sums = Arc::clone(&checksums);
     let cfg2 = cfg.clone();
     let body: RankBody = Arc::new(move |rank| {
@@ -67,7 +66,7 @@ pub fn run_sim(cfg: BspConfig, net: NetworkModel, run_cfg: RunConfig) -> BspOutc
             let me = rank.rank();
             let rows = n / p as usize;
             let r0 = me as usize * rows; // my first global row
-            // rows+2 working rows with halo rows above and below.
+                                         // rows+2 working rows with halo rows above and below.
             let mut grid = vec![0.0f64; (rows + 2) * n];
             let mut next = vec![0.0f64; (rows + 2) * n];
             if cfg.compute {
@@ -145,11 +144,7 @@ mod tests {
             ranks,
             steps,
             compute,
-            cost: StencilCost {
-                ns_per_cell: 34.0,
-                msg_overhead: Dur::from_micros(40),
-                cache_effect: false,
-            },
+            cost: StencilCost { ns_per_cell: 34.0, msg_overhead: Dur::from_micros(40), cache_effect: false },
         }
     }
 
@@ -183,10 +178,7 @@ mod tests {
         };
         let base = run(0);
         let slow = run(16);
-        assert!(
-            slow - base > 16.0,
-            "each step pays at least one-way latency: {base:.3} -> {slow:.3}"
-        );
+        assert!(slow - base > 16.0, "each step pays at least one-way latency: {base:.3} -> {slow:.3}");
     }
 
     #[test]

@@ -31,8 +31,7 @@ const START: EntryId = EntryId(1);
 const HALO: EntryId = EntryId(2);
 
 /// The eight neighbour directions (row delta, col delta).
-const DIRS: [(i8, i8); 8] =
-    [(-1, 0), (1, 0), (0, -1), (0, 1), (-1, -1), (-1, 1), (1, -1), (1, 1)];
+const DIRS: [(i8, i8); 8] = [(-1, 0), (1, 0), (0, -1), (0, 1), (-1, -1), (-1, 1), (1, -1), (1, 1)];
 
 /// Configuration for a ghost-zone stencil run.
 #[derive(Clone, Debug)]
@@ -101,8 +100,7 @@ impl GhostBlock {
         if cfg.compute {
             for r in 0..b {
                 for c in 0..b {
-                    grid[(r + g) * w + (c + g)] =
-                        seq::initial_value(cfg.mesh, bi * b + r, bj * b + c);
+                    grid[(r + g) * w + (c + g)] = seq::initial_value(cfg.mesh, bi * b + r, bj * b + c);
                 }
             }
         }
@@ -148,8 +146,20 @@ impl GhostBlock {
         }
         let w = b + 2 * g;
         let (dr, dc) = DIRS[d];
-        let rows = if dr == 0 { g..g + b } else if dr < 0 { g..2 * g } else { g + b - g..g + b };
-        let cols = if dc == 0 { g..g + b } else if dc < 0 { g..2 * g } else { g + b - g..g + b };
+        let rows = if dr == 0 {
+            g..g + b
+        } else if dr < 0 {
+            g..2 * g
+        } else {
+            g + b - g..g + b
+        };
+        let cols = if dc == 0 {
+            g..g + b
+        } else if dc < 0 {
+            g..2 * g
+        } else {
+            g + b - g..g + b
+        };
         let mut out = Vec::with_capacity(rows.len() * cols.len());
         for r in rows {
             for c in cols.clone() {
@@ -168,8 +178,20 @@ impl GhostBlock {
         let g = self.cfg.layers;
         let w = b + 2 * g;
         let (dr, dc) = DIRS[d];
-        let rows = if dr == 0 { g..g + b } else if dr < 0 { 0..g } else { g + b..w };
-        let cols = if dc == 0 { g..g + b } else if dc < 0 { 0..g } else { g + b..w };
+        let rows = if dr == 0 {
+            g..g + b
+        } else if dr < 0 {
+            0..g
+        } else {
+            g + b..w
+        };
+        let cols = if dc == 0 {
+            g..g + b
+        } else if dc < 0 {
+            0..g
+        } else {
+            g + b..w
+        };
         assert_eq!(data.len(), rows.len() * cols.len(), "halo strip size");
         let mut it = data.iter();
         for r in rows {
@@ -355,11 +377,7 @@ mod tests {
             layers,
             steps,
             compute: true,
-            cost: StencilCost {
-                ns_per_cell: 10.0,
-                msg_overhead: Dur::from_micros(5),
-                cache_effect: false,
-            },
+            cost: StencilCost { ns_per_cell: 10.0, msg_overhead: Dur::from_micros(5), cache_effect: false },
         }
     }
 
@@ -408,10 +426,7 @@ mod tests {
         // well below the plain stencil's.
         let mk_net = || NetworkModel::two_cluster_sweep(4, Dur::from_millis(1));
         let gcfg = GhostConfig { compute: false, ..cfg(16, 4, 16, 64) };
-        let ghost_msgs = run_sim(gcfg, mk_net(), RunConfig::default())
-            .report
-            .network
-            .total_messages();
+        let ghost_msgs = run_sim(gcfg, mk_net(), RunConfig::default()).report.network.total_messages();
         let pcfg = super::super::StencilConfig {
             mesh: 64,
             objects: 16,
@@ -421,10 +436,7 @@ mod tests {
             mapping: mdo_core::Mapping::Block,
             lb_period: None,
         };
-        let plain_msgs = super::super::run_sim(pcfg, mk_net(), RunConfig::default())
-            .report
-            .network
-            .total_messages();
+        let plain_msgs = super::super::run_sim(pcfg, mk_net(), RunConfig::default()).report.network.total_messages();
         assert!(
             (ghost_msgs as f64) < plain_msgs as f64 * 0.5,
             "ghost zones cut message count: {ghost_msgs} vs {plain_msgs}"

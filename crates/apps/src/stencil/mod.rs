@@ -255,7 +255,7 @@ impl Block {
             DOWN => (1..=b).map(|c| self.grid[b * w + c]).collect(),
             LEFT => (1..=b).map(|r| self.grid[r * w + 1]).collect(),
             RIGHT => (1..=b).map(|r| self.grid[r * w + b]).collect(),
-        _ => unreachable!(),
+            _ => unreachable!(),
         }
     }
 
@@ -292,15 +292,9 @@ impl Block {
                     assert_eq!(edge.len(), b, "ghost edge length");
                     match slot {
                         UP => edge.iter().enumerate().for_each(|(c, &v)| self.grid[c + 1] = v),
-                        DOWN => edge
-                            .iter()
-                            .enumerate()
-                            .for_each(|(c, &v)| self.grid[(b + 1) * w + c + 1] = v),
+                        DOWN => edge.iter().enumerate().for_each(|(c, &v)| self.grid[(b + 1) * w + c + 1] = v),
                         LEFT => edge.iter().enumerate().for_each(|(r, &v)| self.grid[(r + 1) * w] = v),
-                        RIGHT => edge
-                            .iter()
-                            .enumerate()
-                            .for_each(|(r, &v)| self.grid[(r + 1) * w + b + 1] = v),
+                        RIGHT => edge.iter().enumerate().for_each(|(r, &v)| self.grid[(r + 1) * w + b + 1] = v),
                         _ => unreachable!(),
                     }
                 }
@@ -522,12 +516,7 @@ pub fn run_sim_full(
 }
 
 /// Run under the threaded engine (real injected latency).
-pub fn run_threaded(
-    cfg: StencilConfig,
-    topo: Topology,
-    latency: LatencyMatrix,
-    run_cfg: RunConfig,
-) -> StencilOutcome {
+pub fn run_threaded(cfg: StencilConfig, topo: Topology, latency: LatencyMatrix, run_cfg: RunConfig) -> StencilOutcome {
     run_threaded_with(cfg, topo.clone(), ThreadedConfig::new(latency), run_cfg)
 }
 

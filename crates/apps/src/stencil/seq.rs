@@ -66,13 +66,8 @@ impl SeqStencil {
         let n = self.n as isize;
         for r in 0..n {
             for c in 0..n {
-                let v = update(
-                    self.at(r, c),
-                    self.at(r - 1, c),
-                    self.at(r + 1, c),
-                    self.at(r, c - 1),
-                    self.at(r, c + 1),
-                );
+                let v =
+                    update(self.at(r, c), self.at(r - 1, c), self.at(r + 1, c), self.at(r, c - 1), self.at(r, c + 1));
                 self.next[(r * n + c) as usize] = v;
             }
         }
@@ -146,9 +141,11 @@ mod tests {
         // With zero Dirichlet boundary and an averaging stencil, the max
         // absolute value cannot grow.
         let mut s = SeqStencil::new(32);
-        let max0 = (0..32).flat_map(|r| (0..32).map(move |c| (r, c))).map(|(r, c)| s.get(r, c).abs()).fold(0.0, f64::max);
+        let max0 =
+            (0..32).flat_map(|r| (0..32).map(move |c| (r, c))).map(|(r, c)| s.get(r, c).abs()).fold(0.0, f64::max);
         s.run(50);
-        let max1 = (0..32).flat_map(|r| (0..32).map(move |c| (r, c))).map(|(r, c)| s.get(r, c).abs()).fold(0.0, f64::max);
+        let max1 =
+            (0..32).flat_map(|r| (0..32).map(move |c| (r, c))).map(|(r, c)| s.get(r, c).abs()).fold(0.0, f64::max);
         assert!(max1 <= max0 + 1e-12, "{max1} <= {max0}");
     }
 

@@ -242,10 +242,7 @@ mod tests {
         };
         let unbalanced = run(LbChoice::Identity, None);
         let balanced = run(LbChoice::Greedy, Some(2));
-        assert!(
-            balanced < unbalanced,
-            "balancing pays: {balanced:?} < {unbalanced:?}"
-        );
+        assert!(balanced < unbalanced, "balancing pays: {balanced:?} < {unbalanced:?}");
     }
 
     #[test]

@@ -10,6 +10,7 @@ use mdo_apps::leanmd::kernels::{forces_between, ForceParams};
 use mdo_apps::leanmd::seq::CellAtoms;
 use mdo_apps::leanmd::{self, geometry::CellGrid, MdConfig};
 use mdo_apps::stencil::{self, seq::SeqStencil, StencilConfig};
+use mdo_core::checkpoint::{ArraySnapshot, Snapshot};
 use mdo_core::envelope::{Envelope, MsgBody, ReduceData, ReduceOp};
 use mdo_core::ids::{ArrayId, ElemId, EntryId, ObjKey};
 use mdo_core::program::RunConfig;
@@ -17,7 +18,6 @@ use mdo_core::queue::SchedQueue;
 use mdo_core::reduction::combine;
 use mdo_netsim::network::NetworkModel;
 use mdo_netsim::{Dur, EventQueue, Pe, Time};
-use mdo_core::checkpoint::{ArraySnapshot, Snapshot};
 use mdo_vmi::devices::cipher;
 use mdo_vmi::devices::crc::crc32;
 use mdo_vmi::devices::rle;
@@ -43,9 +43,7 @@ fn bench_wire(c: &mut Criterion) {
         let bytes = env.encode();
         g.throughput(Throughput::Bytes(bytes.len() as u64));
         g.bench_function(format!("encode_{len}B"), |b| b.iter(|| black_box(&env).encode()));
-        g.bench_function(format!("decode_{len}B"), |b| {
-            b.iter(|| Envelope::decode(black_box(&bytes)).unwrap())
-        });
+        g.bench_function(format!("decode_{len}B"), |b| b.iter(|| Envelope::decode(black_box(&bytes)).unwrap()));
     }
     g.finish();
 }
@@ -54,11 +52,15 @@ fn bench_queues(c: &mut Criterion) {
     let mut g = c.benchmark_group("queues");
     g.bench_function("sched_queue_push_pop_1k", |b| {
         b.iter_batched(
-            || (0..1000).map(|i| {
-                let mut e = app_envelope(16);
-                e.priority = (i % 7) - 3;
-                e
-            }).collect::<Vec<_>>(),
+            || {
+                (0..1000)
+                    .map(|i| {
+                        let mut e = app_envelope(16);
+                        e.priority = (i % 7) - 3;
+                        e
+                    })
+                    .collect::<Vec<_>>()
+            },
             |envs| {
                 let mut q = SchedQueue::new();
                 for e in envs {
@@ -102,24 +104,14 @@ fn bench_checkpoint(c: &mut Criterion) {
     // A LeanMD-sized snapshot: 216 + 3024 elements, realistic byte sizes.
     let snap = Snapshot {
         arrays: vec![
-            ArraySnapshot {
-                array: ArrayId(0),
-                red_next: 0,
-                elems: (0..216).map(|i| vec![i as u8; 3400]).collect(),
-            },
-            ArraySnapshot {
-                array: ArrayId(1),
-                red_next: 0,
-                elems: (0..3024).map(|i| vec![i as u8; 8]).collect(),
-            },
+            ArraySnapshot { array: ArrayId(0), red_next: 0, elems: (0..216).map(|i| vec![i as u8; 3400]).collect() },
+            ArraySnapshot { array: ArrayId(1), red_next: 0, elems: (0..3024).map(|i| vec![i as u8; 8]).collect() },
         ],
     };
     let bytes = snap.encode();
     g.throughput(Throughput::Bytes(bytes.len() as u64));
     g.bench_function("encode_leanmd_sized", |b| b.iter(|| black_box(&snap).encode()));
-    g.bench_function("decode_leanmd_sized", |b| {
-        b.iter(|| Snapshot::decode(black_box(&bytes)).unwrap())
-    });
+    g.bench_function("decode_leanmd_sized", |b| b.iter(|| Snapshot::decode(black_box(&bytes)).unwrap()));
     g.finish();
 }
 

@@ -37,13 +37,7 @@ fn main() {
     for &lat in FIG3_LATENCIES_MS.iter() {
         let mut cells = vec![lat.to_string()];
         for &ranks in &rank_counts {
-            let cfg = Ampi2dConfig {
-                mesh: 2048,
-                ranks,
-                steps,
-                compute: false,
-                cost: StencilCost::default(),
-            };
+            let cfg = Ampi2dConfig { mesh: 2048, ranks, steps, compute: false, cost: StencilCost::default() };
             let net = NetworkModel::two_cluster_sweep(pes, Dur::from_millis(lat));
             let out = ampi2d::run_sim(cfg, net, RunConfig::default());
             cells.push(ms(out.ms_per_step));

@@ -28,13 +28,8 @@ fn main() {
     println!("Ablation A2: message-driven ({objects} objects) vs bulk-synchronous");
     println!("(1 rank/PE) five-point stencil on {pes} PEs, 2048x2048, {steps} steps\n");
 
-    let mut table = Table::new(vec![
-        "latency_ms",
-        "msg-driven ms/step",
-        "BSP ms/step",
-        "msg-driven slowdown",
-        "BSP slowdown",
-    ]);
+    let mut table =
+        Table::new(vec!["latency_ms", "msg-driven ms/step", "BSP ms/step", "msg-driven slowdown", "BSP slowdown"]);
 
     let md_run = |lat: u64| {
         let cfg = StencilConfig::paper(objects, steps);
@@ -42,13 +37,7 @@ fn main() {
         stencil::run_sim(cfg, net, RunConfig::default()).ms_per_step
     };
     let bsp_run = |lat: u64| {
-        let cfg = BspConfig {
-            mesh: 2048,
-            ranks: pes,
-            steps,
-            compute: false,
-            cost: StencilCost::default(),
-        };
+        let cfg = BspConfig { mesh: 2048, ranks: pes, steps, compute: false, cost: StencilCost::default() };
         let net = NetworkModel::two_cluster_sweep(pes, Dur::from_millis(lat));
         bsp::run_sim(cfg, net, RunConfig::default()).ms_per_step
     };
@@ -58,13 +47,7 @@ fn main() {
     for &lat in FIG3_LATENCIES_MS.iter() {
         let md = md_run(lat);
         let bs = bsp_run(lat);
-        table.row(vec![
-            lat.to_string(),
-            ms(md),
-            ms(bs),
-            ratio(md / md0),
-            ratio(bs / bsp0),
-        ]);
+        table.row(vec![lat.to_string(), ms(md), ms(bs), ratio(md / md0), ratio(bs / bsp0)]);
     }
     println!("{}", if csv { table.render_csv() } else { table.render() });
     println!("(slowdowns are relative to each variant's own zero-latency step time)");

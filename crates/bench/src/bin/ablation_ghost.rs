@@ -21,8 +21,7 @@ use mdo_netsim::Dur;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let pes: u32 = arg_value(&args, "--pes").map(|s| s.parse().expect("--pes N")).unwrap_or(16);
-    let steps: u32 =
-        arg_value(&args, "--steps").map(|s| s.parse().expect("--steps N")).unwrap_or(16);
+    let steps: u32 = arg_value(&args, "--steps").map(|s| s.parse().expect("--steps N")).unwrap_or(16);
     let csv = arg_flag(&args, "--csv");
     let layers = [1usize, 2, 4, 8];
     let virt_objects = 256usize;
@@ -37,11 +36,7 @@ fn main() {
     for &lat in FIG3_LATENCIES_MS.iter() {
         let net = || NetworkModel::two_cluster_sweep(pes, Dur::from_millis(lat));
         let mut cells = vec![lat.to_string()];
-        let virt = stencil::run_sim(
-            StencilConfig::paper(virt_objects, steps),
-            net(),
-            RunConfig::default(),
-        );
+        let virt = stencil::run_sim(StencilConfig::paper(virt_objects, steps), net(), RunConfig::default());
         cells.push(ms(virt.ms_per_step));
         for &g in layers.iter() {
             let cfg = GhostConfig {

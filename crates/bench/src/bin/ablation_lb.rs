@@ -19,10 +19,8 @@ use mdo_netsim::Dur;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let objects: u32 =
-        arg_value(&args, "--objects").map(|s| s.parse().expect("--objects N")).unwrap_or(64);
-    let rounds: u32 =
-        arg_value(&args, "--rounds").map(|s| s.parse().expect("--rounds N")).unwrap_or(24);
+    let objects: u32 = arg_value(&args, "--objects").map(|s| s.parse().expect("--objects N")).unwrap_or(64);
+    let rounds: u32 = arg_value(&args, "--rounds").map(|s| s.parse().expect("--rounds N")).unwrap_or(24);
     let csv = arg_flag(&args, "--csv");
     let pes = 8u32;
 
@@ -30,14 +28,7 @@ fn main() {
     println!("({objects} objects with hot spots, {rounds} rounds, {pes} PEs across 2 clusters,");
     println!(" cross-cluster peer traffic each round, 4 ms one-way WAN latency)\n");
 
-    let mut table = Table::new(vec![
-        "strategy",
-        "makespan ms",
-        "vs none",
-        "lb rounds",
-        "migrations",
-        "cross msgs",
-    ]);
+    let mut table = Table::new(vec!["strategy", "makespan ms", "vs none", "lb rounds", "migrations", "cross msgs"]);
 
     #[allow(clippy::type_complexity)]
     let strategies: Vec<(&str, LbChoice, Option<u32>)> = vec![
@@ -84,13 +75,7 @@ fn main() {
     // round trips into wide-area ones; the Grid-aware balancer never does.
     println!("Scenario 2: blocking stride-1 peer round trips, 16 ms one-way WAN latency");
     println!("(every round waits for a peer acknowledgement; peers start local)\n");
-    let mut table = Table::new(vec![
-        "strategy",
-        "makespan ms",
-        "vs none",
-        "migrations",
-        "cross msgs",
-    ]);
+    let mut table = Table::new(vec!["strategy", "makespan ms", "vs none", "migrations", "cross msgs"]);
     let mut baseline: Option<f64> = None;
     for (name, choice, period) in strategies {
         let cfg = SyntheticConfig {

@@ -48,13 +48,7 @@ fn main() {
     println!("Ablation A7 (§5.3 conjecture): LeanMD on {pes} PEs with a skewed initial");
     println!("pair placement, {steps} steps, 4 ms one-way WAN latency, LB after step 2\n");
 
-    let mut table = Table::new(vec![
-        "configuration",
-        "s/step",
-        "vs balanced",
-        "migrations",
-        "cross msgs",
-    ]);
+    let mut table = Table::new(vec!["configuration", "s/step", "vs balanced", "migrations", "cross msgs"]);
 
     // Reference: the well-balanced Block mapping, no LB.
     let balanced = {

@@ -25,15 +25,7 @@ fn main() {
     println!("Ablation A8: LeanMD coordinate fan-out, per-pair sends vs section");
     println!("multicast ({steps} steps, 4 ms one-way WAN latency)\n");
 
-    let mut table = Table::new(vec![
-        "P",
-        "p2p s/step",
-        "mcast s/step",
-        "p2p msgs",
-        "mcast msgs",
-        "p2p MB",
-        "mcast MB",
-    ]);
+    let mut table = Table::new(vec!["P", "p2p s/step", "mcast s/step", "p2p msgs", "mcast msgs", "p2p MB", "mcast MB"]);
     for &p in &[8u32, 16, 32, 64] {
         let run = |multicast: bool| {
             let mut cfg = MdConfig::paper(steps);
@@ -43,9 +35,7 @@ fn main() {
         };
         let p2p = run(false);
         let mc = run(true);
-        let mb = |o: &leanmd::MdOutcome| {
-            (o.report.network.intra_bytes + o.report.network.cross_bytes) as f64 / 1e6
-        };
+        let mb = |o: &leanmd::MdOutcome| (o.report.network.intra_bytes + o.report.network.cross_bytes) as f64 / 1e6;
         table.row(vec![
             p.to_string(),
             ms(p2p.s_per_step),

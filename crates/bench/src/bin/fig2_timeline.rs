@@ -13,12 +13,12 @@
 //!
 //! Usage: `fig2_timeline [--latency-ms N] [--no-local-work]`
 
+use mdo_bench::{arg_flag, arg_value};
 use mdo_core::chare::{Chare, Ctx};
 use mdo_core::ids::{ElemId, EntryId};
 use mdo_core::prelude::*;
 use mdo_core::program::RunConfig;
 use mdo_core::SimEngine;
-use mdo_bench::{arg_flag, arg_value};
 use mdo_netsim::network::NetworkModel;
 use mdo_netsim::topology::ClusterSpec;
 use mdo_netsim::{Dur, LatencyMatrix, WanContention};
@@ -94,15 +94,12 @@ impl Chare for Actor {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let latency_ms: u64 =
-        arg_value(&args, "--latency-ms").map(|s| s.parse().expect("--latency-ms N")).unwrap_or(16);
+    let latency_ms: u64 = arg_value(&args, "--latency-ms").map(|s| s.parse().expect("--latency-ms N")).unwrap_or(16);
     let local_work = !arg_flag(&args, "--no-local-work");
 
     // Processors A and B on cluster one, C on cluster two (Figure 2).
-    let topo = Topology::new(vec![
-        ClusterSpec { name: "one".into(), pes: 2 },
-        ClusterSpec { name: "two".into(), pes: 1 },
-    ]);
+    let topo =
+        Topology::new(vec![ClusterSpec { name: "one".into(), pes: 2 }, ClusterSpec { name: "two".into(), pes: 1 }]);
     let latency = LatencyMatrix::uniform(&topo, Dur::from_micros(10), Dur::from_millis(latency_ms));
     let contention = WanContention::disabled(&topo);
     let net = NetworkModel::new(topo, latency, contention, 0);

@@ -25,8 +25,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let steps: u32 = arg_value(&args, "--steps").map(|s| s.parse().expect("--steps N")).unwrap_or(3);
     let csv = arg_flag(&args, "--csv");
-    let contention: Option<f64> =
-        arg_value(&args, "--contention").map(|s| s.parse().expect("--contention gbit"));
+    let contention: Option<f64> = arg_value(&args, "--contention").map(|s| s.parse().expect("--contention gbit"));
 
     println!("Figure 4: LeanMD (216 cells, 3024 cell-pairs), {steps} steps per run");
     println!("(seconds/step vs one-way latency; two clusters, PEs split evenly)\n");
@@ -60,11 +59,7 @@ fn main() {
         for &p in &[16u32, 32, 64] {
             let lat = Dur::from_millis(2);
             let cfg = MdConfig::paper(steps);
-            let free = leanmd::run_sim(
-                cfg.clone(),
-                NetworkModel::two_cluster_sweep(p, lat),
-                RunConfig::default(),
-            );
+            let free = leanmd::run_sim(cfg.clone(), NetworkModel::two_cluster_sweep(p, lat), RunConfig::default());
             let limited = leanmd::run_sim(
                 cfg,
                 NetworkModel::two_cluster_contended(p, lat, LinkModel::gbit(gbit, Dur::ZERO)),

@@ -18,11 +18,7 @@ fn main() {
     let quick = arg_flag(&args, "--quick");
     std::fs::create_dir_all(&out_dir).expect("create output directory");
 
-    let exe_dir = std::env::current_exe()
-        .expect("own path")
-        .parent()
-        .expect("bin directory")
-        .to_path_buf();
+    let exe_dir = std::env::current_exe().expect("own path").parent().expect("bin directory").to_path_buf();
 
     // (binary, output file, extra args, quick extra args)
     let jobs: Vec<(&str, &str, Vec<&str>, Vec<&str>)> = vec![
@@ -42,11 +38,7 @@ fn main() {
 
     for (bin, out_file, full_args, quick_args) in jobs {
         let exe = exe_dir.join(bin);
-        assert!(
-            exe.exists(),
-            "{} not built; run `cargo build --release -p mdo-bench` first",
-            exe.display()
-        );
+        assert!(exe.exists(), "{} not built; run `cargo build --release -p mdo-bench` first", exe.display());
         let extra = if quick { &quick_args } else { &full_args };
         print!("running {bin:<22} -> {} ... ", out_dir.join(out_file).display());
         let output = Command::new(&exe).args(extra.iter()).output().expect("spawn bench binary");

@@ -26,22 +26,14 @@ use mdo_netsim::{Dur, LatencyMatrix, Topology};
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let steps: u32 = arg_value(&args, "--steps").map(|s| s.parse().expect("--steps N")).unwrap_or(10);
-    let real_steps: u32 =
-        arg_value(&args, "--real-steps").map(|s| s.parse().expect("--real-steps N")).unwrap_or(5);
+    let real_steps: u32 = arg_value(&args, "--real-steps").map(|s| s.parse().expect("--real-steps N")).unwrap_or(5);
     let skip_real = arg_flag(&args, "--skip-real");
     let csv = arg_flag(&args, "--csv");
 
     println!("Table 1: five-point stencil at the TeraGrid latency (1.725 ms one-way)");
     println!("(sim = virtual-time engine; real = threaded engine w/ real delay device)\n");
 
-    let mut table = Table::new(vec![
-        "P",
-        "objects",
-        "sim ms/step",
-        "real ms/step",
-        "paper artif.",
-        "paper real",
-    ]);
+    let mut table = Table::new(vec!["P", "objects", "sim ms/step", "real ms/step", "paper artif.", "paper real"]);
 
     for (p, objects) in FIG3_OBJECTS.iter() {
         for &objs in objects.iter() {
@@ -60,10 +52,8 @@ fn main() {
                 ms(out.ms_per_step)
             };
 
-            let paper_row = paper::TABLE1
-                .iter()
-                .find(|&&(tp, to, _, _)| tp == *p && to == objs)
-                .expect("grid covered by Table 1");
+            let paper_row =
+                paper::TABLE1.iter().find(|&&(tp, to, _, _)| tp == *p && to == objs).expect("grid covered by Table 1");
             table.row(vec![
                 p.to_string(),
                 objs.to_string(),

@@ -65,8 +65,7 @@ mod tests {
 
     #[test]
     fn arg_parsing() {
-        let args: Vec<String> =
-            ["--steps", "12", "--csv"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["--steps", "12", "--csv"].iter().map(|s| s.to_string()).collect();
         assert_eq!(arg_value(&args, "--steps").as_deref(), Some("12"));
         assert_eq!(arg_value(&args, "--missing"), None);
         assert!(arg_flag(&args, "--csv"));

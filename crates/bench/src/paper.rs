@@ -72,10 +72,7 @@ mod tests {
     fn tables_cover_the_experiment_grid() {
         for (p, objs) in crate::FIG3_OBJECTS {
             for o in objs {
-                assert!(
-                    table1_artificial(p, o).is_some(),
-                    "Table 1 must have a row for ({p}, {o})"
-                );
+                assert!(table1_artificial(p, o).is_some(), "Table 1 must have a row for ({p}, {o})");
             }
         }
         for p in crate::PROCESSORS {
@@ -87,11 +84,7 @@ mod tests {
     fn paper_trends_hold_in_transcription() {
         // Scaling: stencil best ms/step falls as P grows.
         let best = |p: u32| -> f64 {
-            TABLE1
-                .iter()
-                .filter(|&&(tp, _, _, _)| tp == p)
-                .map(|&(_, _, a, _)| a)
-                .fold(f64::INFINITY, f64::min)
+            TABLE1.iter().filter(|&&(tp, _, _, _)| tp == p).map(|&(_, _, a, _)| a).fold(f64::INFINITY, f64::min)
         };
         assert!(best(2) > best(8));
         assert!(best(8) > best(64));

@@ -70,11 +70,7 @@ impl ArrayLocal {
 
     /// Elements currently placed on `pe`.
     pub fn elems_on(&self, pe: Pe) -> impl Iterator<Item = ElemId> + '_ {
-        self.location
-            .iter()
-            .enumerate()
-            .filter(move |&(_, &p)| p == pe)
-            .map(|(i, _)| ElemId(i as u32))
+        self.location.iter().enumerate().filter(move |&(_, &p)| p == pe).map(|(i, _)| ElemId(i as u32))
     }
 
     /// Number of elements on `pe`.
@@ -110,10 +106,7 @@ pub mod petree {
     /// Children of `pe` among `n` PEs.
     pub fn children(pe: Pe, n: usize) -> impl Iterator<Item = Pe> {
         let base = pe.0 as u64 * 2;
-        (1..=2u64)
-            .map(move |k| base + k)
-            .filter(move |&c| (c as usize) < n)
-            .map(|c| Pe(c as u32))
+        (1..=2u64).map(move |k| base + k).filter(move |&c| (c as usize) < n).map(|c| Pe(c as u32))
     }
 
     /// All PEs in the subtree rooted at `pe` (including `pe`).

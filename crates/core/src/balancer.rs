@@ -65,24 +65,11 @@ pub trait Strategy: Send + Sync {
 /// exactly once, placements in range, non-migratable objects untouched.
 pub fn run_strategy(strategy: &dyn Strategy, input: &LbInput<'_>) -> Vec<(ObjKey, Pe)> {
     let mut placement = strategy.assign(input);
-    let by_key: HashMap<ObjKey, usize> =
-        placement.iter().enumerate().map(|(i, (k, _))| (*k, i)).collect();
-    assert_eq!(
-        by_key.len(),
-        placement.len(),
-        "strategy {} placed an object twice",
-        strategy.name()
-    );
-    assert_eq!(
-        placement.len(),
-        input.objs.len(),
-        "strategy {} did not place every object",
-        strategy.name()
-    );
+    let by_key: HashMap<ObjKey, usize> = placement.iter().enumerate().map(|(i, (k, _))| (*k, i)).collect();
+    assert_eq!(by_key.len(), placement.len(), "strategy {} placed an object twice", strategy.name());
+    assert_eq!(placement.len(), input.objs.len(), "strategy {} did not place every object", strategy.name());
     for m in input.objs {
-        let idx = *by_key
-            .get(&m.key)
-            .unwrap_or_else(|| panic!("strategy {} dropped {:?}", strategy.name(), m.key));
+        let idx = *by_key.get(&m.key).unwrap_or_else(|| panic!("strategy {} dropped {:?}", strategy.name(), m.key));
         let (_, pe) = &mut placement[idx];
         assert!(pe.index() < input.topo.num_pes(), "placement out of range: {pe:?}");
         if !m.migratable {
@@ -114,11 +101,7 @@ impl Strategy for GreedyLB {
                 out.push((m.key, m.current_pe));
                 continue;
             }
-            let (pe, _) = pe_load
-                .iter()
-                .enumerate()
-                .min_by_key(|&(i, &l)| (l, i))
-                .expect("at least one PE");
+            let (pe, _) = pe_load.iter().enumerate().min_by_key(|&(i, &l)| (l, i)).expect("at least one PE");
             pe_load[pe] += m.load_ns;
             out.push((m.key, Pe(pe as u32)));
         }
@@ -147,8 +130,7 @@ impl Strategy for RefineLB {
 
     fn assign(&self, input: &LbInput<'_>) -> Vec<(ObjKey, Pe)> {
         let n_pes = input.topo.num_pes();
-        let mut placement: HashMap<ObjKey, Pe> =
-            input.objs.iter().map(|m| (m.key, m.current_pe)).collect();
+        let mut placement: HashMap<ObjKey, Pe> = input.objs.iter().map(|m| (m.key, m.current_pe)).collect();
         let mut pe_load = vec![0u64; n_pes];
         for m in input.objs {
             pe_load[m.current_pe.index()] += m.load_ns;
@@ -169,13 +151,11 @@ impl Strategy for RefineLB {
         }
 
         loop {
-            let (donor, &dload) =
-                pe_load.iter().enumerate().max_by_key(|&(i, &l)| (l, i)).expect("PEs exist");
+            let (donor, &dload) = pe_load.iter().enumerate().max_by_key(|&(i, &l)| (l, i)).expect("PEs exist");
             if (dload as f64) <= threshold {
                 break;
             }
-            let (recip, &rload) =
-                pe_load.iter().enumerate().min_by_key(|&(i, &l)| (l, i)).expect("PEs exist");
+            let (recip, &rload) = pe_load.iter().enumerate().min_by_key(|&(i, &l)| (l, i)).expect("PEs exist");
             // Move the heaviest donor object that doesn't overshoot.
             let gap = dload - rload;
             let pick = on_pe[donor].iter().position(|m| m.load_ns > 0 && m.load_ns < gap);
@@ -224,11 +204,8 @@ impl Strategy for GridCommLB {
             let pes: Vec<Pe> = input.topo.pes_in(cluster).collect();
             let mut pe_load: HashMap<Pe, u64> = pes.iter().map(|&p| (p, 0)).collect();
 
-            let members: Vec<&ObjMeasurement> = input
-                .objs
-                .iter()
-                .filter(|m| input.topo.cluster_of(m.current_pe) == cluster)
-                .collect();
+            let members: Vec<&ObjMeasurement> =
+                input.objs.iter().filter(|m| input.topo.cluster_of(m.current_pe) == cluster).collect();
 
             // Pin non-migratable members first.
             let mut border = Vec::new();
@@ -265,10 +242,7 @@ impl Strategy for GridCommLB {
             // Interior objects: greedy onto the least-loaded cluster PE.
             interior.sort_by(|a, b| b.load_ns.cmp(&a.load_ns).then(a.key.cmp(&b.key)));
             for m in interior {
-                let (&pe, _) = pe_load
-                    .iter()
-                    .min_by_key(|&(p, &l)| (l, p.index()))
-                    .expect("cluster has PEs");
+                let (&pe, _) = pe_load.iter().min_by_key(|&(p, &l)| (l, p.index())).expect("cluster has PEs");
                 *pe_load.get_mut(&pe).expect("pe in cluster") += m.load_ns;
                 out.push((m.key, pe));
             }
@@ -288,11 +262,7 @@ impl Strategy for RotateLB {
 
     fn assign(&self, input: &LbInput<'_>) -> Vec<(ObjKey, Pe)> {
         let p = input.topo.num_pes() as u32;
-        input
-            .objs
-            .iter()
-            .map(|m| (m.key, Pe((m.current_pe.0 + 1) % p)))
-            .collect()
+        input.objs.iter().map(|m| (m.key, Pe((m.current_pe.0 + 1) % p))).collect()
     }
 }
 
@@ -378,11 +348,7 @@ mod tests {
         let placement = run_strategy(&GridCommLB, &LbInput { topo: &topo, objs: &objs });
         for (k, pe) in &placement {
             let orig = objs.iter().find(|m| m.key == *k).unwrap().current_pe;
-            assert_eq!(
-                topo.cluster_of(*pe),
-                topo.cluster_of(orig),
-                "{k:?} must stay in its home cluster"
-            );
+            assert_eq!(topo.cluster_of(*pe), topo.cluster_of(orig), "{k:?} must stay in its home cluster");
         }
     }
 
@@ -396,11 +362,7 @@ mod tests {
         }
         objs.push(obj(100, 4, 100)); // the remote peer
         let placement = run_strategy(&GridCommLB, &LbInput { topo: &topo, objs: &objs });
-        let border_pes: Vec<Pe> = placement
-            .iter()
-            .filter(|(k, _)| k.elem.0 < 4)
-            .map(|&(_, pe)| pe)
-            .collect();
+        let border_pes: Vec<Pe> = placement.iter().filter(|(k, _)| k.elem.0 < 4).map(|&(_, pe)| pe).collect();
         let distinct: std::collections::HashSet<_> = border_pes.iter().collect();
         assert_eq!(distinct.len(), 4, "4 border objects spread over 4 distinct PEs: {border_pes:?}");
     }

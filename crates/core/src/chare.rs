@@ -136,14 +136,7 @@ impl<'a> Ctx<'a> {
     }
 
     /// Like [`Ctx::send`] with an explicit priority (smaller = more urgent).
-    pub fn send_prio(
-        &mut self,
-        array: ArrayId,
-        elem: ElemId,
-        entry: EntryId,
-        payload: Vec<u8>,
-        priority: i32,
-    ) {
+    pub fn send_prio(&mut self, array: ArrayId, elem: ElemId, entry: EntryId, payload: Vec<u8>, priority: i32) {
         let at_charge = self.sink.charged;
         self.sink.out.push(CtxOut::Send {
             target: ObjKey::new(array, elem),

@@ -53,11 +53,7 @@ impl Snapshot {
 
     /// The packed state of one element.
     pub fn elem_state(&self, array: ArrayId, elem: ElemId) -> Option<&[u8]> {
-        self.arrays
-            .iter()
-            .find(|a| a.array == array)
-            .and_then(|a| a.elems.get(elem.index()))
-            .map(Vec::as_slice)
+        self.arrays.iter().find(|a| a.array == array).and_then(|a| a.elems.get(elem.index())).map(Vec::as_slice)
     }
 
     /// Serialize to bytes (suitable for a file).
@@ -106,8 +102,7 @@ impl Snapshot {
     /// Read from a file.
     pub fn load(path: &std::path::Path) -> std::io::Result<Snapshot> {
         let bytes = std::fs::read(path)?;
-        Snapshot::decode(&bytes)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+        Snapshot::decode(&bytes).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
     }
 }
 
@@ -170,11 +165,7 @@ mod tests {
     fn sample() -> Snapshot {
         Snapshot {
             arrays: vec![
-                ArraySnapshot {
-                    array: ArrayId(0),
-                    red_next: 3,
-                    elems: vec![b"e0".to_vec(), b"e1-longer".to_vec()],
-                },
+                ArraySnapshot { array: ArrayId(0), red_next: 3, elems: vec![b"e0".to_vec(), b"e1-longer".to_vec()] },
                 ArraySnapshot { array: ArrayId(1), red_next: 0, elems: vec![vec![]] },
             ],
         }
@@ -214,12 +205,8 @@ mod tests {
     fn assembly_collects_and_validates() {
         let mut asm = CkptAssembly::default();
         asm.begin();
-        asm.add(vec![
-            (ObjKey::new(ArrayId(0), ElemId(1)), Bytes::from_static(b"one")),
-        ]);
-        asm.add(vec![
-            (ObjKey::new(ArrayId(0), ElemId(0)), Bytes::from_static(b"zero")),
-        ]);
+        asm.add(vec![(ObjKey::new(ArrayId(0), ElemId(1)), Bytes::from_static(b"one"))]);
+        asm.add(vec![(ObjKey::new(ArrayId(0), ElemId(0)), Bytes::from_static(b"zero"))]);
         assert_eq!(asm.reports, 2);
         let snap = asm.finish(&[(ArrayId(0), 2, 7)]);
         assert_eq!(snap.arrays[0].elems, vec![b"zero".to_vec(), b"one".to_vec()]);

@@ -17,7 +17,7 @@
 use std::sync::Arc;
 
 use mdo_netsim::network::{DeliveryOracle, NetworkModel};
-use mdo_netsim::{Dur, EventQueue, Pe, Time};
+use mdo_netsim::{DeliveryPlan, Dur, EventQueue, FaultModel, FaultModelStats, Pe, Time, TransportError};
 
 use crate::envelope::{Envelope, MsgBody, SYSTEM_PRIORITY};
 use crate::node::{split_program, HostParts, Node, NodeHooks};
@@ -85,6 +85,10 @@ impl SimEngine {
         let topo = net.topology().clone();
         let n_pes = topo.num_pes();
         let trace_on = cfg.trace;
+        // The same plan the threaded engine would wire into its device
+        // chain, collapsed here into virtual-time delivery decisions.
+        let mut faults = cfg.fault_plan.clone().map(FaultModel::new);
+        let mut transport_error: Option<TransportError> = None;
         let (shared, host) = split_program(program, topo, cfg);
 
         let mut host = Some(host);
@@ -97,8 +101,7 @@ impl SimEngine {
             })
             .collect();
 
-        let mut pes: Vec<PeState> =
-            (0..n_pes).map(|_| PeState { queue: SchedQueue::new(), busy: false }).collect();
+        let mut pes: Vec<PeState> = (0..n_pes).map(|_| PeState { queue: SchedQueue::new(), busy: false }).collect();
         let mut events: EventQueue<Event> = EventQueue::new();
         let mut pe_busy = vec![Dur::ZERO; n_pes];
         let mut trace = trace_on.then(Trace::new);
@@ -157,7 +160,23 @@ impl SimEngine {
                 let outcome = nodes[pe.index()].handle(env, &mut hooks);
                 for (env, after) in hooks.out {
                     let depart = now + after;
-                    let arrival = net.delivery_time(env.src, env.dst, depart, env.wire_size());
+                    let mut arrival = net.delivery_time(env.src, env.dst, depart, env.wire_size());
+                    if let Some(fm) = faults.as_mut() {
+                        if shared.topo.crosses_wan(env.src, env.dst) {
+                            match fm.plan_delivery(env.src, env.dst, depart) {
+                                DeliveryPlan::Deliver { extra_delay, .. } => arrival += extra_delay,
+                                DeliveryPlan::Exhausted { attempts, seq } => {
+                                    // The reliable layer gave up on this
+                                    // message: abort with a structured error
+                                    // instead of simulating on partial state.
+                                    transport_error =
+                                        Some(TransportError { src: env.src, dst: env.dst, seq, attempts });
+                                    final_time = now;
+                                    break 'main;
+                                }
+                            }
+                        }
+                    }
                     events.schedule(arrival.max(now), Event::Arrive(env));
                 }
                 pe_busy[pe.index()] += outcome.charged;
@@ -192,6 +211,8 @@ impl SimEngine {
             trace,
             lb_rounds: nodes[0].lb_rounds(),
             migrations: nodes[0].migrations(),
+            faults: faults.map(|fm| *fm.stats()).unwrap_or_else(FaultModelStats::default),
+            transport_error,
         }
     }
 }
@@ -231,7 +252,7 @@ mod tests {
                         ctx.contribute_f64(ReduceOp::MaxF64, &[ctx.now().as_secs_f64()]);
                     }
                 }
-            _ => unreachable!(),
+                _ => unreachable!(),
             }
         }
     }
@@ -239,9 +260,8 @@ mod tests {
     fn pingpong_run(cross_ms: u64, rounds: u32) -> (Time, RunReport) {
         let net = NetworkModel::two_cluster_sweep(2, Dur::from_millis(cross_ms));
         let mut p = Program::new();
-        let arr = p.array("pp", 2, Mapping::Block, move |_| {
-            Box::new(PingPong { rounds_left: rounds }) as Box<dyn Chare>
-        });
+        let arr =
+            p.array("pp", 2, Mapping::Block, move |_| Box::new(PingPong { rounds_left: rounds }) as Box<dyn Chare>);
         static DONE_AT: AtomicU64 = AtomicU64::new(0);
         DONE_AT.store(0, Ordering::SeqCst);
         p.on_startup(move |ctl| ctl.send(arr, ElemId(1), PING, vec![]));
@@ -434,8 +454,7 @@ mod tests {
             let net = NetworkModel::two_cluster_sweep(2, Dur::from_millis(latency_ms));
             let mut p = Program::new();
             let arr = p.array("m", 2, Mapping::Block, move |_| {
-                Box::new(Obj { churns_left: churns, got_reply: false, want_reply })
-                    as Box<dyn Chare>
+                Box::new(Obj { churns_left: churns, got_reply: false, want_reply }) as Box<dyn Chare>
             });
             p.on_startup(move |ctl| ctl.send(arr, ElemId(0), START, vec![]));
             let report = SimEngine::new(net, RunConfig::default()).run(p);
@@ -448,12 +467,52 @@ mod tests {
         let churn_only = run(8, 16, false); // no WAN wait at all
         assert!((idle - 16.0).abs() < 0.5, "idle run = RTT, got {idle}");
         assert!((churn_only - 16.0).abs() < 0.5, "churn alone = 16 ms, got {churn_only}");
-        assert!(
-            masked < idle + 1.5,
-            "16 ms of churn hidden inside the 16 ms RTT: {masked} vs {idle}"
-        );
+        assert!(masked < idle + 1.5, "16 ms of churn hidden inside the 16 ms RTT: {masked} vs {idle}");
         // Sanity: the naive (blocking) expectation would be ~32 ms.
         assert!(masked < 20.0);
+    }
+
+    #[test]
+    fn faults_delay_but_do_not_change_results() {
+        use mdo_netsim::FaultPlan;
+        // Same seed, same program: a lossy WAN must only stretch the
+        // makespan (retransmission delays), never change what arrives.
+        let run = |plan: Option<FaultPlan>| {
+            let net = NetworkModel::two_cluster_sweep(2, Dur::from_millis(4));
+            let mut p = Program::new();
+            let arr = p.array("pp", 2, Mapping::Block, |_| Box::new(PingPong { rounds_left: 6 }) as Box<dyn Chare>);
+            p.on_startup(move |ctl| ctl.send(arr, ElemId(1), PING, vec![]));
+            p.on_reduction(arr, |_s, _d, ctl| ctl.exit());
+            let cfg = RunConfig { fault_plan: plan, ..RunConfig::default() };
+            SimEngine::new(net, cfg).run(p)
+        };
+        let clean = run(None);
+        let plan =
+            FaultPlan::loss(0.25).with_duplicate(0.05).with_reorder(0.05).with_seed(17).with_rto(Dur::from_millis(10));
+        let faulty = run(Some(plan));
+        assert_eq!(clean.pe_messages, faulty.pe_messages, "identical application traffic");
+        assert!(faulty.transport_error.is_none());
+        assert!(faulty.faults.dropped > 0, "losses occurred: {:?}", faulty.faults);
+        assert!(faulty.faults.retransmits > 0);
+        assert!(faulty.end_time > clean.end_time, "recovery time shows up in the makespan");
+        assert_eq!(clean.faults, mdo_netsim::FaultModelStats::default());
+    }
+
+    #[test]
+    fn retry_exhaustion_is_a_structured_error() {
+        use mdo_netsim::FaultPlan;
+        let net = NetworkModel::two_cluster_sweep(2, Dur::from_millis(1));
+        let mut p = Program::new();
+        let arr = p.array("pp", 2, Mapping::Block, |_| Box::new(PingPong { rounds_left: 2 }) as Box<dyn Chare>);
+        p.on_startup(move |ctl| ctl.send(arr, ElemId(1), PING, vec![]));
+        p.on_reduction(arr, |_s, _d, ctl| ctl.exit());
+        let plan = FaultPlan::loss(1.0).with_max_retries(3);
+        let cfg = RunConfig { fault_plan: Some(plan), ..RunConfig::default() };
+        let report = SimEngine::new(net, cfg).run(p);
+        let err = report.transport_error.expect("total loss must surface an error");
+        assert_eq!(err.attempts, 4);
+        assert_eq!(err.seq, 0);
+        assert!(err.to_string().contains("gave up"));
     }
 
     #[test]

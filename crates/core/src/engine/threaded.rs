@@ -15,8 +15,8 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use mdo_netsim::network::NetworkStats;
-use mdo_netsim::{Dur, LatencyMatrix, Pe, Time, Topology};
-use mdo_vmi::{Packet, Transport, TransportConfig};
+use mdo_netsim::{Dur, FaultModelStats, LatencyMatrix, Pe, Time, Topology};
+use mdo_vmi::{CrcDevice, FaultDevice, Packet, ReliableTransport, Transport, TransportConfig};
 
 use crate::envelope::{Envelope, MsgBody, SYSTEM_PRIORITY};
 use crate::node::{split_program, HostParts, Node, NodeHooks};
@@ -64,7 +64,7 @@ pub struct ThreadedEngine {
 struct ThreadHooks {
     t0: Instant,
     pe: Pe,
-    transport: Arc<Transport>,
+    transport: Arc<ReliableTransport>,
 }
 
 impl NodeHooks for ThreadHooks {
@@ -73,8 +73,7 @@ impl NodeHooks for ThreadHooks {
     }
     fn emit(&mut self, env: Envelope, _after: Dur) {
         debug_assert_eq!(env.src, self.pe);
-        let pkt =
-            Packet::with_priority(env.src, env.dst, env.priority, Bytes::from(env.encode()));
+        let pkt = Packet::with_priority(env.src, env.dst, env.priority, Bytes::from(env.encode()));
         self.transport.send(pkt);
     }
 }
@@ -100,9 +99,27 @@ impl ThreadedEngine {
         let ThreadedEngine { topo, tcfg, cfg } = self;
         let n_pes = topo.num_pes();
         let trace_on = cfg.trace;
+        let fault_plan = cfg.fault_plan.clone();
         let (shared, host) = split_program(program, topo.clone(), cfg);
 
-        let transport = Transport::new(TransportConfig::new(topo.clone(), tcfg.latency.clone()));
+        // With a fault plan the cross-cluster chain becomes
+        // checksum → fault injection → verify → delay: an injected
+        // corruption fails the CRC and is dropped (counted), so it reaches
+        // the reliable layer as a plain loss.  Without a plan the chain and
+        // the transport wrapper are both zero-overhead passthroughs.
+        let mut tc = TransportConfig::new(topo.clone(), tcfg.latency.clone());
+        let injected = fault_plan.clone().map(|plan| {
+            let fault = FaultDevice::for_reliable(plan);
+            let verify = CrcDevice::verifier();
+            tc.cross_extra = vec![CrcDevice::appender(), fault.clone(), verify.clone()];
+            (fault, verify)
+        });
+        let raw = Transport::new(tc);
+        let transport = match fault_plan {
+            Some(plan) => ReliableTransport::with_plan(Arc::clone(&raw), plan),
+            None => ReliableTransport::passthrough(Arc::clone(&raw)),
+        };
+        let decode_rejected = Arc::new(AtomicU64::new(0));
         let stop = Arc::new(AtomicBool::new(false));
         let exit_announced = Arc::new(AtomicBool::new(false));
         let end_ns = Arc::new(AtomicU64::new(0));
@@ -117,6 +134,7 @@ impl ThreadedEngine {
             let stop = Arc::clone(&stop);
             let exit_announced = Arc::clone(&exit_announced);
             let end_ns = Arc::clone(&end_ns);
+            let decode_rejected = Arc::clone(&decode_rejected);
             let topo = topo.clone();
             let compute_sleep = tcfg.compute_sleep;
             handles.push(
@@ -130,6 +148,7 @@ impl ThreadedEngine {
                             stop,
                             exit_announced,
                             end_ns,
+                            decode_rejected,
                             t0,
                             topo,
                             trace_on,
@@ -141,39 +160,30 @@ impl ThreadedEngine {
         }
 
         // Boot the program.
-        let startup = Envelope {
-            src: Pe(0),
-            dst: Pe(0),
-            priority: SYSTEM_PRIORITY,
-            sent_at_ns: 0,
-            body: MsgBody::Startup,
-        };
+        let startup =
+            Envelope { src: Pe(0), dst: Pe(0), priority: SYSTEM_PRIORITY, sent_at_ns: 0, body: MsgBody::Startup };
         transport.send(Packet::with_priority(Pe(0), Pe(0), SYSTEM_PRIORITY, Bytes::from(startup.encode())));
 
-        // Wall-clock watchdog.
+        // Wall-clock watchdog; also trips when the reliable layer reports
+        // retry exhaustion (the run cannot complete, so abort cleanly).
         let deadline = t0 + tcfg.max_wall;
         while !stop.load(Ordering::Acquire) {
-            if Instant::now() >= deadline {
+            if Instant::now() >= deadline || transport.error().is_some() {
                 stop.store(true, Ordering::Release);
                 break;
             }
             std::thread::sleep(Duration::from_millis(2));
         }
-        // Wake every thread and wind down.
+        // Stop retransmissions, then wake every thread and wind down.
         transport.shutdown();
+        raw.shutdown();
 
-        let mut results: Vec<PeResult> =
-            handles.into_iter().map(|h| h.join().expect("PE thread panicked")).collect();
+        let mut results: Vec<PeResult> = handles.into_iter().map(|h| h.join().expect("PE thread panicked")).collect();
         results.sort_by_key(|r| r.pe);
 
-        let (intra_pkts, intra_bytes) = transport.intra_traffic();
-        let (cross_pkts, cross_bytes) = transport.cross_traffic();
-        let network = NetworkStats {
-            intra_messages: intra_pkts,
-            intra_bytes,
-            cross_messages: cross_pkts,
-            cross_bytes,
-        };
+        let (intra_pkts, intra_bytes) = raw.intra_traffic();
+        let (cross_pkts, cross_bytes) = raw.cross_traffic();
+        let network = NetworkStats { intra_messages: intra_pkts, intra_bytes, cross_messages: cross_pkts, cross_bytes };
 
         let end = end_ns.load(Ordering::Acquire);
         let end_time = if end > 0 {
@@ -190,8 +200,17 @@ impl ThreadedEngine {
             }
         }
 
-        let pe_max_queue_depth =
-            topo.pes().map(|pe| transport.mailbox(pe).max_depth()).collect();
+        let (dev_stats, crc_rejected) =
+            injected.map(|(fault, verify)| (fault.stats(), verify.rejected())).unwrap_or_default();
+        let faults = FaultModelStats {
+            dropped: dev_stats.dropped,
+            corrupt_rejected: crc_rejected + decode_rejected.load(Ordering::Relaxed),
+            dup_dropped: transport.dup_dropped(),
+            reordered: dev_stats.reordered,
+            retransmits: transport.retransmits(),
+        };
+
+        let pe_max_queue_depth = topo.pes().map(|pe| raw.mailbox(pe).max_depth()).collect();
         RunReport {
             end_time,
             pe_busy: results.iter().map(|r| r.busy).collect(),
@@ -201,6 +220,8 @@ impl ThreadedEngine {
             trace,
             lb_rounds: results[0].lb_rounds,
             migrations: results[0].migrations,
+            faults,
+            transport_error: transport.error(),
         }
     }
 }
@@ -209,10 +230,11 @@ impl ThreadedEngine {
 fn pe_thread(
     pe: Pe,
     mut node: Node,
-    transport: Arc<Transport>,
+    transport: Arc<ReliableTransport>,
     stop: Arc<AtomicBool>,
     exit_announced: Arc<AtomicBool>,
     end_ns: Arc<AtomicU64>,
+    decode_rejected: Arc<AtomicU64>,
     t0: Instant,
     topo: Topology,
     trace_on: bool,
@@ -231,7 +253,19 @@ fn pe_thread(
         let Some(pkt) = transport.recv_timeout(pe, Duration::from_millis(20)) else {
             continue;
         };
-        let env = Envelope::decode(&pkt.payload).expect("transport carries valid envelopes");
+        let env = match Envelope::decode(&pkt.payload) {
+            Ok(env) => env,
+            Err(e) => {
+                // A packet that survived the transport but does not parse
+                // is rejected and counted, never fatal: with fault
+                // injection the sender's retransmission carries an intact
+                // copy, and without it one bad packet must not take down
+                // the whole PE.
+                decode_rejected.fetch_add(1, Ordering::Relaxed);
+                eprintln!("mdo-pe{}: dropping undecodable packet from {}: {e:?}", pe.0, pkt.src);
+                continue;
+            }
+        };
         let started = Instant::now();
         let start_time = Time::from_nanos(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
         let sent_at = Time::from_nanos(env.sent_at_ns);
@@ -247,19 +281,10 @@ fn pe_thread(
             trace.push_segment(pe, outcome.spans.first().and_then(|s| s.0), start_time, start_time + took);
         }
         if outcome.exit && !exit_announced.swap(true, Ordering::AcqRel) {
-            end_ns.store(
-                u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
-                Ordering::Release,
-            );
+            end_ns.store(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX), Ordering::Release);
             // Tell everyone (including ourselves — harmless) to stop.
             for dst in topo.pes() {
-                let bye = Envelope {
-                    src: pe,
-                    dst,
-                    priority: SYSTEM_PRIORITY,
-                    sent_at_ns: 0,
-                    body: MsgBody::Exit,
-                };
+                let bye = Envelope { src: pe, dst, priority: SYSTEM_PRIORITY, sent_at_ns: 0, body: MsgBody::Exit };
                 transport.send(Packet::with_priority(pe, dst, SYSTEM_PRIORITY, Bytes::from(bye.encode())));
             }
             stop.store(true, Ordering::Release);
@@ -315,12 +340,10 @@ mod tests {
         let topo = Topology::two_cluster(2);
         let latency = LatencyMatrix::uniform(&topo, Dur::ZERO, cross);
         let mut p = Program::new();
-        let arr = p.array("pp", 2, Mapping::Block, move |_| {
-            Box::new(PingPong { rounds_left: rounds }) as Box<dyn Chare>
-        });
+        let arr =
+            p.array("pp", 2, Mapping::Block, move |_| Box::new(PingPong { rounds_left: rounds }) as Box<dyn Chare>);
         p.on_startup(move |ctl| ctl.send(arr, ElemId(0), PING, vec![]));
-        let engine =
-            ThreadedEngine::new(topo, ThreadedConfig::new(latency), RunConfig::default());
+        let engine = ThreadedEngine::new(topo, ThreadedConfig::new(latency), RunConfig::default());
         let report = engine.run(p);
         report.end_time - Time::ZERO
     }
@@ -329,10 +352,7 @@ mod tests {
     fn real_delay_device_shapes_wall_time() {
         // 5 rounds * 2 crossings * 10 ms = ≥100 ms of injected latency.
         let slow = pingpong_wall(Dur::from_millis(10), 5);
-        assert!(
-            slow >= Dur::from_millis(100),
-            "injected latency must dominate wall time, got {slow}"
-        );
+        assert!(slow >= Dur::from_millis(100), "injected latency must dominate wall time, got {slow}");
         let fast = pingpong_wall(Dur::ZERO, 5);
         assert!(fast < Dur::from_millis(100), "no injected latency: quick, got {fast}");
     }
@@ -359,8 +379,7 @@ mod tests {
             }
             ctl.exit();
         });
-        let report =
-            ThreadedEngine::new(topo, ThreadedConfig::new(latency), RunConfig::default()).run(p);
+        let report = ThreadedEngine::new(topo, ThreadedConfig::new(latency), RunConfig::default()).run(p);
         assert_eq!(*SUM.lock().unwrap(), (1..=16).sum::<i32>() as f64);
         assert!(report.network.cross_messages > 0);
     }
@@ -428,9 +447,69 @@ mod tests {
             w.str("over the wire").f64_slice(&[2.5; 100]);
             ctl.send(arr, ElemId(1), ECHO, w.finish());
         });
-        let report =
-            ThreadedEngine::new(topo, ThreadedConfig::new(latency), RunConfig::default()).run(p);
+        let report = ThreadedEngine::new(topo, ThreadedConfig::new(latency), RunConfig::default()).run(p);
         assert!(report.end_time > Time::ZERO);
+    }
+
+    #[test]
+    fn lossy_wan_still_computes_the_exact_reduction() {
+        use mdo_netsim::FaultPlan;
+        static SUM: Mutex<f64> = Mutex::new(0.0);
+        *SUM.lock().unwrap() = 0.0;
+        struct One;
+        impl Chare for One {
+            fn receive(&mut self, _e: EntryId, _p: &[u8], ctx: &mut Ctx<'_>) {
+                ctx.contribute_f64(ReduceOp::SumF64, &[1.0 + ctx.my_elem().0 as f64]);
+            }
+        }
+        let topo = Topology::two_cluster(4);
+        let latency = LatencyMatrix::uniform(&topo, Dur::ZERO, Dur::from_millis(1));
+        let mut p = Program::new();
+        let arr = p.array("ones", 16, Mapping::RoundRobin, |_| Box::new(One) as Box<dyn Chare>);
+        p.on_startup(move |ctl| ctl.broadcast(arr, PING, vec![]));
+        p.on_reduction(arr, |_s, d, ctl| {
+            if let ReduceData::F64(v) = d {
+                *SUM.lock().unwrap() = v[0];
+            }
+            ctl.exit();
+        });
+        // Drop a quarter of the WAN traffic, duplicate and reorder some
+        // more, and flip bytes in a few packets: the reliable layer must
+        // hide all of it from the application.
+        let plan = FaultPlan::loss(0.25)
+            .with_duplicate(0.1)
+            .with_reorder(0.1)
+            .with_corrupt(0.05)
+            .with_seed(42)
+            .with_rto(Dur::from_millis(20));
+        let cfg = RunConfig { fault_plan: Some(plan), ..RunConfig::default() };
+        let report = ThreadedEngine::new(topo, ThreadedConfig::new(latency), cfg).run(p);
+        assert_eq!(*SUM.lock().unwrap(), (1..=16).sum::<i32>() as f64);
+        assert!(report.transport_error.is_none());
+        assert!(
+            report.faults.dropped + report.faults.corrupt_rejected > 0,
+            "the plan injected faults: {:?}",
+            report.faults
+        );
+        assert!(report.faults.retransmits > 0, "recovery ran: {:?}", report.faults);
+    }
+
+    #[test]
+    fn total_loss_surfaces_transport_error_not_hang() {
+        use mdo_netsim::FaultPlan;
+        let topo = Topology::two_cluster(2);
+        let latency = LatencyMatrix::uniform(&topo, Dur::ZERO, Dur::ZERO);
+        let mut p = Program::new();
+        let arr = p.array("pp", 2, Mapping::Block, |_| Box::new(PingPong { rounds_left: 2 }) as Box<dyn Chare>);
+        p.on_startup(move |ctl| ctl.send(arr, ElemId(0), PING, vec![]));
+        let plan = FaultPlan::loss(1.0).with_rto(Dur::from_millis(5)).with_max_retries(2);
+        let tcfg = ThreadedConfig { latency, max_wall: Duration::from_secs(10), compute_sleep: false };
+        let cfg = RunConfig { fault_plan: Some(plan), ..RunConfig::default() };
+        let started = Instant::now();
+        let report = ThreadedEngine::new(topo, tcfg, cfg).run(p);
+        let err = report.transport_error.expect("retry exhaustion must surface");
+        assert_eq!(err.attempts, 3);
+        assert!(started.elapsed() < Duration::from_secs(8), "engine wound down on the error, not the watchdog ceiling");
     }
 
     #[test]
@@ -450,11 +529,7 @@ mod tests {
         let mut p = Program::new();
         let arr = p.array("boom", 2, Mapping::Block, |_| Box::new(Exploder) as Box<dyn Chare>);
         p.on_startup(move |ctl| ctl.send(arr, ElemId(1), PING, vec![]));
-        let tcfg = ThreadedConfig {
-            latency,
-            max_wall: Duration::from_millis(300),
-            compute_sleep: false,
-        };
+        let tcfg = ThreadedConfig { latency, max_wall: Duration::from_millis(300), compute_sleep: false };
         let _ = ThreadedEngine::new(topo, tcfg, RunConfig::default()).run(p);
     }
 
@@ -471,11 +546,7 @@ mod tests {
         let mut p = Program::new();
         let arr = p.array("s", 2, Mapping::Block, |_| Box::new(Silent) as Box<dyn Chare>);
         p.on_startup(move |ctl| ctl.send(arr, ElemId(1), PING, vec![]));
-        let tcfg = ThreadedConfig {
-            latency,
-            max_wall: Duration::from_millis(200),
-            compute_sleep: false,
-        };
+        let tcfg = ThreadedConfig { latency, max_wall: Duration::from_millis(200), compute_sleep: false };
         let started = Instant::now();
         let _report = ThreadedEngine::new(topo, tcfg, RunConfig::default()).run(p);
         assert!(started.elapsed() < Duration::from_secs(5), "watchdog fired");

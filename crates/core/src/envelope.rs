@@ -220,19 +220,13 @@ impl Envelope {
                     ReduceData::Gathered(g) => g.iter().map(|(_, b)| 8 + b.len() as u64).sum(),
                 }
             }
-            MsgBody::AtSyncReady { stats } => {
-                stats.iter().map(|s| 16 + s.comm.len() as u64 * 16).sum::<u64>() + 4
-            }
+            MsgBody::AtSyncReady { stats } => stats.iter().map(|s| 16 + s.comm.len() as u64 * 16).sum::<u64>() + 4,
             MsgBody::LbAssign { assignments } => assignments.len() as u64 * 12 + 4,
             MsgBody::MigrateState { state, .. } => state.len() as u64 + 8,
             MsgBody::LbArrived | MsgBody::LbResume | MsgBody::Startup | MsgBody::Exit => 1,
             MsgBody::CkptCollect | MsgBody::RestoreResume => 1,
-            MsgBody::Multi { elems, payload, .. } => {
-                payload.len() as u64 + elems.len() as u64 * 4 + 10
-            }
-            MsgBody::CkptData { states } => {
-                states.iter().map(|(_, s)| 12 + s.len() as u64).sum::<u64>() + 4
-            }
+            MsgBody::Multi { elems, payload, .. } => payload.len() as u64 + elems.len() as u64 * 4 + 10,
+            MsgBody::CkptData { states } => states.iter().map(|(_, s)| 12 + s.len() as u64).sum::<u64>() + 4,
             MsgBody::QdProbe { .. } => 5,
             MsgBody::QdReply { .. } => 22,
         };
@@ -453,12 +447,7 @@ fn decode_body(r: &mut WireReader) -> Result<MsgBody, WireError> {
         6 => MsgBody::LbArrived,
         7 => MsgBody::LbResume,
         8 => MsgBody::QdProbe { phase: r.u32()? },
-        9 => MsgBody::QdReply {
-            phase: r.u32()?,
-            sent: r.u64()?,
-            processed: r.u64()?,
-            active: r.bool()?,
-        },
+        9 => MsgBody::QdReply { phase: r.u32()?, sent: r.u64()?, processed: r.u64()?, active: r.bool()? },
         10 => MsgBody::Startup,
         11 => MsgBody::Exit,
         12 => MsgBody::CkptCollect,
@@ -521,11 +510,8 @@ mod tests {
 
     #[test]
     fn broadcast_roundtrip() {
-        match roundtrip(MsgBody::Broadcast {
-            array: ArrayId(2),
-            entry: EntryId(1),
-            payload: Bytes::from_static(b"x"),
-        }) {
+        match roundtrip(MsgBody::Broadcast { array: ArrayId(2), entry: EntryId(1), payload: Bytes::from_static(b"x") })
+        {
             MsgBody::Broadcast { array, entry, payload } => {
                 assert_eq!((array, entry), (ArrayId(2), EntryId(1)));
                 assert_eq!(&payload[..], b"x");
@@ -674,13 +660,7 @@ mod tests {
 
     #[test]
     fn decode_rejects_trailing_bytes() {
-        let env = Envelope {
-            src: Pe(0),
-            dst: Pe(1),
-            priority: 0,
-            sent_at_ns: 0,
-            body: MsgBody::Exit,
-        };
+        let env = Envelope { src: Pe(0), dst: Pe(1), priority: 0, sent_at_ns: 0, body: MsgBody::Exit };
         let mut bytes = env.encode();
         bytes.push(0);
         assert!(Envelope::decode(&bytes).is_err());
@@ -693,11 +673,7 @@ mod tests {
             dst: Pe(1),
             priority: 0,
             sent_at_ns: 0,
-            body: MsgBody::App {
-                target: ObjKey::new(ArrayId(1), ElemId(0)),
-                entry: EntryId(0),
-                payload: Bytes::new(),
-            },
+            body: MsgBody::App { target: ObjKey::new(ArrayId(1), ElemId(0)), entry: EntryId(0), payload: Bytes::new() },
         };
         assert!(!app.is_system());
         let sys = Envelope { body: MsgBody::QdProbe { phase: 0 }, ..app.clone() };

@@ -24,13 +24,9 @@ use crate::array::{petree, ArrayLocal, ArraySpec};
 use crate::balancer::{run_strategy, LbInput, ObjMeasurement, Strategy};
 use crate::chare::{Chare, Ctx, CtxOut, CtxSink};
 use crate::checkpoint::CkptAssembly;
-use crate::envelope::{
-    Envelope, LbObjStat, MsgBody, ReduceData, APP_PRIORITY, SYSTEM_PRIORITY,
-};
+use crate::envelope::{Envelope, LbObjStat, MsgBody, ReduceData, APP_PRIORITY, SYSTEM_PRIORITY};
 use crate::ids::{ArrayId, EntryId, ObjKey};
-use crate::program::{
-    CheckpointClient, Program, QuiescenceClient, ReductionClient, RunConfig, StartupFn,
-};
+use crate::program::{CheckpointClient, Program, QuiescenceClient, ReductionClient, RunConfig, StartupFn};
 use crate::wire::{WireReader, WireWriter};
 
 /// Priority given to cross-cluster application messages when the §6
@@ -84,12 +80,7 @@ pub struct HostParts {
 impl HostParts {
     /// Empty host state (for PEs other than 0).
     pub fn empty() -> Self {
-        HostParts {
-            startup: None,
-            reduction_clients: HashMap::new(),
-            quiescence_client: None,
-            checkpoint_client: None,
-        }
+        HostParts { startup: None, reduction_clients: HashMap::new(), quiescence_client: None, checkpoint_client: None }
     }
 
     /// Extract the host side of a program (the array specs go to
@@ -108,8 +99,7 @@ impl HostParts {
 pub fn split_program(mut p: Program, topo: Topology, cfg: RunConfig) -> (Arc<NodeShared>, HostParts) {
     let host = HostParts::from_program(&mut p);
     let restore = p.restore.take();
-    let shared =
-        Arc::new(NodeShared { topo, arrays: std::mem::take(&mut p.arrays), cfg, restore });
+    let shared = Arc::new(NodeShared { topo, arrays: std::mem::take(&mut p.arrays), cfg, restore });
     (shared, host)
 }
 
@@ -191,9 +181,11 @@ impl Node {
                         elems.insert(key, (local.spec.factory)(elem));
                     }
                     Some(snapshot) => {
-                        let unpacker = local.spec.unpacker.as_ref().unwrap_or_else(|| {
-                            panic!("restore requires migratable arrays ({})", local.spec.name)
-                        });
+                        let unpacker = local
+                            .spec
+                            .unpacker
+                            .as_ref()
+                            .unwrap_or_else(|| panic!("restore requires migratable arrays ({})", local.spec.name));
                         let state = snapshot
                             .elem_state(local.spec.id, elem)
                             .unwrap_or_else(|| panic!("snapshot missing {key:?}"));
@@ -297,11 +289,8 @@ impl Node {
                         Dur::ZERO,
                     );
                 }
-                let locals: Vec<ObjKey> = self
-                    .arrays[array.0 as usize]
-                    .elems_on(self.pe)
-                    .map(|e| ObjKey::new(array, e))
-                    .collect();
+                let locals: Vec<ObjKey> =
+                    self.arrays[array.0 as usize].elems_on(self.pe).map(|e| ObjKey::new(array, e)).collect();
                 for key in locals {
                     // Route through deliver_app: an element assigned here
                     // whose state is still in flight (mid-migration) gets
@@ -376,13 +365,8 @@ impl Node {
                     let shared = Arc::clone(&self.shared);
                     let mut sink = CtxSink::default();
                     if let Some(client) = self.host.checkpoint_client.as_mut() {
-                        let mut ctx = Ctx {
-                            now: hooks.now(),
-                            pe: self.pe,
-                            topo: &shared.topo,
-                            me: None,
-                            sink: &mut sink,
-                        };
+                        let mut ctx =
+                            Ctx { now: hooks.now(), pe: self.pe, topo: &shared.topo, me: None, sink: &mut sink };
                         client(&snapshot, &mut ctx);
                     }
                     self.process_sink(None, sink, hooks, &mut outcome);
@@ -420,13 +404,8 @@ impl Node {
                     let shared = Arc::clone(&self.shared);
                     let mut sink = CtxSink::default();
                     {
-                        let mut ctx = Ctx {
-                            now: hooks.now(),
-                            pe: self.pe,
-                            topo: &shared.topo,
-                            me: None,
-                            sink: &mut sink,
-                        };
+                        let mut ctx =
+                            Ctx { now: hooks.now(), pe: self.pe, topo: &shared.topo, me: None, sink: &mut sink };
                         startup(&mut ctx);
                     }
                     self.process_sink(None, sink, hooks, &mut outcome);
@@ -506,8 +485,7 @@ impl Node {
         let shared = Arc::clone(&self.shared);
         let mut sink = CtxSink::default();
         {
-            let mut ctx =
-                Ctx { now: hooks.now(), pe: self.pe, topo: &shared.topo, me: Some(key), sink: &mut sink };
+            let mut ctx = Ctx { now: hooks.now(), pe: self.pe, topo: &shared.topo, me: Some(key), sink: &mut sink };
             chare.receive(entry, payload, &mut ctx);
         }
         self.elems.insert(key, chare);
@@ -542,12 +520,7 @@ impl Node {
                     });
                     self.qd.sent += 1;
                     if let Some(from) = owner {
-                        *self
-                            .obj_comm
-                            .entry(from)
-                            .or_default()
-                            .entry(target)
-                            .or_insert(0) += 1;
+                        *self.obj_comm.entry(from).or_default().entry(target).or_insert(0) += 1;
                     }
                     self.emit_env(hooks, dst, prio, MsgBody::App { target, entry, payload }, at_charge);
                 }
@@ -565,8 +538,7 @@ impl Node {
                         by_pe.entry(local.location(elem)).or_default().push(elem);
                     }
                     for (dst, group) in by_pe {
-                        let prio = if self.shared.cfg.grid_prio && self.topo().crosses_wan(self.pe, dst)
-                        {
+                        let prio = if self.shared.cfg.grid_prio && self.topo().crosses_wan(self.pe, dst) {
                             GRID_PRIORITY
                         } else {
                             APP_PRIORITY
@@ -574,12 +546,8 @@ impl Node {
                         self.qd.sent += 1;
                         if let Some(from) = owner {
                             for &elem in &group {
-                                *self
-                                    .obj_comm
-                                    .entry(from)
-                                    .or_default()
-                                    .entry(ObjKey::new(array, elem))
-                                    .or_insert(0) += 1;
+                                *self.obj_comm.entry(from).or_default().entry(ObjKey::new(array, elem)).or_insert(0) +=
+                                    1;
                             }
                         }
                         self.emit_env(
@@ -609,13 +577,7 @@ impl Node {
     }
 
     fn emit_env(&self, hooks: &mut dyn NodeHooks, dst: Pe, priority: i32, body: MsgBody, after: Dur) {
-        let env = Envelope {
-            src: self.pe,
-            dst,
-            priority,
-            sent_at_ns: (hooks.now() + after).as_nanos(),
-            body,
-        };
+        let env = Envelope { src: self.pe, dst, priority, sent_at_ns: (hooks.now() + after).as_nanos(), body };
         hooks.emit(env, after);
     }
 
@@ -624,10 +586,7 @@ impl Node {
     /// Elements of `array` hosted in this PE's spanning-tree subtree.
     fn subtree_expected(&self, array: ArrayId) -> u64 {
         let local = &self.arrays[array.0 as usize];
-        petree::subtree(self.pe, self.num_pes())
-            .into_iter()
-            .map(|pe| local.count_on(pe) as u64)
-            .sum()
+        petree::subtree(self.pe, self.num_pes()).into_iter().map(|pe| local.count_on(pe) as u64).sum()
     }
 
     fn flush_reductions(&mut self, array: ArrayId, hooks: &mut dyn NodeHooks, outcome: &mut HandleOutcome) {
@@ -666,8 +625,7 @@ impl Node {
         let shared = Arc::clone(&self.shared);
         let mut sink = CtxSink::default();
         if let Some(client) = self.host.reduction_clients.get_mut(&array) {
-            let mut ctx =
-                Ctx { now: hooks.now(), pe: self.pe, topo: &shared.topo, me: None, sink: &mut sink };
+            let mut ctx = Ctx { now: hooks.now(), pe: self.pe, topo: &shared.topo, me: None, sink: &mut sink };
             client(seq, &data, &mut ctx);
         }
         self.process_sink(None, sink, hooks, outcome);
@@ -707,10 +665,7 @@ impl Node {
     /// PEs expected to report at a barrier: those hosting at least one
     /// element (empty PEs never learn the barrier started).
     fn reporting_pes(&self) -> usize {
-        self.topo()
-            .pes()
-            .filter(|&pe| self.arrays.iter().any(|a| a.count_on(pe) > 0))
-            .count()
+        self.topo().pes().filter(|&pe| self.arrays.iter().any(|a| a.count_on(pe) > 0)).count()
     }
 
     fn maybe_run_balancer(&mut self, hooks: &mut dyn NodeHooks) {
@@ -733,19 +688,11 @@ impl Node {
             })
             .collect();
         let placement = run_strategy(self.strategy.as_ref(), &LbInput { topo: self.topo(), objs: &objs });
-        let moved = placement
-            .iter()
-            .filter(|(k, pe)| self.arrays[k.array.0 as usize].location(k.elem) != *pe)
-            .count() as u64;
+        let moved =
+            placement.iter().filter(|(k, pe)| self.arrays[k.array.0 as usize].location(k.elem) != *pe).count() as u64;
         self.lb.migrations += moved;
         for pe in self.topo().pes().collect::<Vec<_>>() {
-            self.emit_env(
-                hooks,
-                pe,
-                SYSTEM_PRIORITY,
-                MsgBody::LbAssign { assignments: placement.clone() },
-                Dur::ZERO,
-            );
+            self.emit_env(hooks, pe, SYSTEM_PRIORITY, MsgBody::LbAssign { assignments: placement.clone() }, Dur::ZERO);
         }
     }
 
@@ -865,13 +812,7 @@ impl Node {
             let mut chare = self.elems.remove(&key).expect("local element");
             let mut sink = CtxSink::default();
             {
-                let mut ctx = Ctx {
-                    now: hooks.now(),
-                    pe: self.pe,
-                    topo: &shared.topo,
-                    me: Some(key),
-                    sink: &mut sink,
-                };
+                let mut ctx = Ctx { now: hooks.now(), pe: self.pe, topo: &shared.topo, me: Some(key), sink: &mut sink };
                 chare.resume_from_sync(&mut ctx);
             }
             self.elems.insert(key, chare);
@@ -938,8 +879,7 @@ impl Node {
             let shared = Arc::clone(&self.shared);
             let mut sink = CtxSink::default();
             if let Some(client) = self.host.quiescence_client.as_mut() {
-                let mut ctx =
-                    Ctx { now: hooks.now(), pe: self.pe, topo: &shared.topo, me: None, sink: &mut sink };
+                let mut ctx = Ctx { now: hooks.now(), pe: self.pe, topo: &shared.topo, me: None, sink: &mut sink };
                 client(&mut ctx);
             } else {
                 // No client: quiescence simply ends the run.
@@ -1052,9 +992,7 @@ mod tests {
         let topo = Topology::two_cluster(4);
         let mut p = Program::new();
         let n = 8u32;
-        let arr = p.array("ring", n as usize, Mapping::Block, move |_| {
-            Box::new(Hopper { n_elems: n, hops_seen: 0 })
-        });
+        let arr = p.array("ring", n as usize, Mapping::Block, move |_| Box::new(Hopper { n_elems: n, hops_seen: 0 }));
         p.on_startup(move |ctl| {
             // One 20-hop token starting at element 0, plus one zero-hop
             // ping to every element so that each contributes once to the
@@ -1403,9 +1341,7 @@ mod tests {
     fn restoring_non_migratable_arrays_is_rejected() {
         let topo = Topology::two_cluster(2);
         let mut p = Program::new();
-        let _ = p.array("plain", 2, Mapping::Block, |_| {
-            Box::new(Counter { count: 0 }) as Box<dyn Chare>
-        });
+        let _ = p.array("plain", 2, Mapping::Block, |_| Box::new(Counter { count: 0 }) as Box<dyn Chare>);
         p.restore_from(crate::checkpoint::Snapshot {
             arrays: vec![crate::checkpoint::ArraySnapshot {
                 array: ArrayId(0),
@@ -1430,13 +1366,7 @@ mod tests {
         let mut hooks = FifoHooks { out: Vec::new() };
         // Startup launches probe wave 0 (2 probes out).
         node.handle(
-            Envelope {
-                src: Pe(0),
-                dst: Pe(0),
-                priority: SYSTEM_PRIORITY,
-                sent_at_ns: 0,
-                body: MsgBody::Startup,
-            },
+            Envelope { src: Pe(0), dst: Pe(0), priority: SYSTEM_PRIORITY, sent_at_ns: 0, body: MsgBody::Startup },
             &mut hooks,
         );
         let probes = hooks.out.iter().filter(|e| matches!(e.body, MsgBody::QdProbe { .. })).count();
@@ -1490,9 +1420,7 @@ mod tests {
         let topo = Topology::two_cluster(4);
         let mut p = Program::new();
         // RoundRobin: elems 1,5 -> pe1; 2 -> pe2; 3,7 -> pe3 (elem 0 -> pe0).
-        let arr = p.array("sect", 8, Mapping::RoundRobin, |_| {
-            Box::new(SectionDemo { hits: 0 }) as Box<dyn Chare>
-        });
+        let arr = p.array("sect", 8, Mapping::RoundRobin, |_| Box::new(SectionDemo { hits: 0 }) as Box<dyn Chare>);
         p.on_startup(move |ctl| ctl.send(arr, crate::ids::ElemId(0), MSEND, vec![]));
         p.on_reduction(arr, |_s, _d, _ctl| {});
         let (shared, host) = split_program(p, topo, RunConfig::default());
@@ -1522,11 +1450,7 @@ mod tests {
             },
             &mut hooks,
         );
-        let multis: Vec<&Envelope> = hooks
-            .out
-            .iter()
-            .filter(|e| matches!(e.body, MsgBody::Multi { .. }))
-            .collect();
+        let multis: Vec<&Envelope> = hooks.out.iter().filter(|e| matches!(e.body, MsgBody::Multi { .. })).collect();
         assert_eq!(multis.len(), 3, "5 section members on 3 PEs -> 3 wire messages");
         // Deliver them and count element hits.
         let mut total_hits = 0u64;
@@ -1599,9 +1523,7 @@ mod tests {
     fn message_for_absent_element_is_forwarded() {
         let topo = Topology::two_cluster(2);
         let mut p = Program::new();
-        let _ = p.array("a", 2, Mapping::Block, |_| {
-            Box::new(Counter { count: 0 }) as Box<dyn Chare>
-        });
+        let _ = p.array("a", 2, Mapping::Block, |_| Box::new(Counter { count: 0 }) as Box<dyn Chare>);
         let (shared, host) = split_program(p, topo, RunConfig::default());
         // Node for PE 0 hosts element 0; a stale message for element 1
         // (which lives on PE 1) must be forwarded there, not crash.

@@ -10,7 +10,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use mdo_netsim::network::NetworkStats;
-use mdo_netsim::{Dur, Time};
+use mdo_netsim::{Dur, FaultModelStats, FaultPlan, Time, TransportError};
 
 use crate::array::ArraySpec;
 use crate::balancer::{GreedyLB, GridCommLB, RefineLB, RotateLB, Strategy};
@@ -97,14 +97,7 @@ impl Program {
     ) -> ArrayId {
         assert!(n_elems > 0, "array {name:?} must have at least one element");
         let id = ArrayId(self.arrays.len() as u32);
-        self.arrays.push(Arc::new(ArraySpec {
-            id,
-            name: name.to_string(),
-            n_elems,
-            factory,
-            unpacker,
-            mapping,
-        }));
+        self.arrays.push(Arc::new(ArraySpec { id, name: name.to_string(), n_elems, factory, unpacker, mapping }));
         id
     }
 
@@ -190,10 +183,7 @@ impl LbChoice {
             fn name(&self) -> &str {
                 "IdentityLB"
             }
-            fn assign(
-                &self,
-                input: &crate::balancer::LbInput<'_>,
-            ) -> Vec<(crate::ids::ObjKey, mdo_netsim::Pe)> {
+            fn assign(&self, input: &crate::balancer::LbInput<'_>) -> Vec<(crate::ids::ObjKey, mdo_netsim::Pe)> {
                 input.objs.iter().map(|m| (m.key, m.current_pe)).collect()
             }
         }
@@ -240,6 +230,12 @@ pub struct RunConfig {
     pub checkpoint_at_barrier: bool,
     /// Seed for any runtime randomness (network jitter, tie-breaking).
     pub seed: u64,
+    /// Unreliable-WAN fault injection: when set, cross-cluster traffic is
+    /// subjected to the plan's drop/duplicate/reorder/corrupt probabilities
+    /// and carried by the reliable delivery layer (threaded engine) or the
+    /// equivalent virtual-time fault model (simulation engine).  `None`
+    /// leaves both engines exactly as they are without fault injection.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for RunConfig {
@@ -251,6 +247,7 @@ impl Default for RunConfig {
             detect_quiescence: false,
             checkpoint_at_barrier: false,
             seed: 0,
+            fault_plan: None,
         }
     }
 }
@@ -278,6 +275,13 @@ pub struct RunReport {
     pub lb_rounds: u32,
     /// Objects that changed PE across all barriers.
     pub migrations: u64,
+    /// What the fault injection did to cross-cluster traffic (all zero when
+    /// [`RunConfig::fault_plan`] is `None`).
+    pub faults: FaultModelStats,
+    /// Set when the reliable delivery layer exhausted its retransmission
+    /// budget for some message and the run was aborted; results are
+    /// incomplete in that case.
+    pub transport_error: Option<TransportError>,
 }
 
 impl RunReport {
@@ -359,6 +363,8 @@ mod tests {
             trace: None,
             lb_rounds: 0,
             migrations: 0,
+            faults: FaultModelStats::default(),
+            transport_error: None,
         };
         assert!((report.mean_utilization() - 0.75).abs() < 1e-12);
     }

@@ -158,12 +158,7 @@ impl PeReductions {
     /// Remove and return every reduction whose partial now covers
     /// `expected` contributions (the element count of this PE's subtree).
     pub fn take_complete(&mut self, expected: u64) -> Vec<(u32, Partial)> {
-        let done: Vec<u32> = self
-            .pending
-            .iter()
-            .filter(|(_, p)| p.count >= expected)
-            .map(|(&s, _)| s)
-            .collect();
+        let done: Vec<u32> = self.pending.iter().filter(|(_, p)| p.count >= expected).map(|(&s, _)| s).collect();
         done.into_iter()
             .map(|s| {
                 let p = self.pending.remove(&s).expect("key just observed");

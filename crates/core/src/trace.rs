@@ -205,11 +205,7 @@ impl Trace {
             ));
         }
         let cross = self.messages.iter().filter(|m| m.cross).count();
-        out.push_str(&format!(
-            "messages: {} total, {} cross-cluster\n",
-            self.messages.len(),
-            cross
-        ));
+        out.push_str(&format!("messages: {} total, {} cross-cluster\n", self.messages.len(), cross));
         out
     }
 }

@@ -235,20 +235,14 @@ impl<'a> WireReader<'a> {
     pub fn f64_vec(&mut self) -> Result<Vec<f64>, WireError> {
         let n = self.u32()? as usize;
         let raw = self.take(n.checked_mul(8).ok_or(WireError { context: "f64 vec size" })?, "f64 vec body")?;
-        Ok(raw
-            .chunks_exact(8)
-            .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
-            .collect())
+        Ok(raw.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes"))).collect())
     }
 
     /// Read a count-prefixed `u32` vector.
     pub fn u32_vec(&mut self) -> Result<Vec<u32>, WireError> {
         let n = self.u32()? as usize;
         let raw = self.take(n.checked_mul(4).ok_or(WireError { context: "u32 vec size" })?, "u32 vec body")?;
-        Ok(raw
-            .chunks_exact(4)
-            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
-            .collect())
+        Ok(raw.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes"))).collect())
     }
 }
 

@@ -183,7 +183,7 @@ mod tests {
         let wan = LinkModel::gbit(1.0, Dur::ZERO);
         let mut c = WanContention::new(&topo, wan, LinkModel::INFINITE);
         c.occupy(&topo, Pe(0), Pe(1), Time::ZERO, 125_000_000); // busy until 1s
-        // Arriving at t=2s: pipe is idle again, only serialization applies.
+                                                                // Arriving at t=2s: pipe is idle again, only serialization applies.
         let d = c.occupy(&topo, Pe(0), Pe(1), Time::ZERO + Dur::from_secs(2), 125_000_000);
         assert_eq!(d, Dur::from_secs(1));
     }

@@ -42,10 +42,7 @@ impl<E> PartialOrd for Entry<E> {
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -67,13 +64,7 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// An empty queue with the clock at t=0.
     pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
-            cancelled: HashSet::new(),
-            now: Time::ZERO,
-            popped: 0,
-        }
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, cancelled: HashSet::new(), now: Time::ZERO, popped: 0 }
     }
 
     /// The current virtual time: the timestamp of the most recently popped
@@ -91,12 +82,7 @@ impl<E> EventQueue<E> {
     ///
     /// Panics if `at` is in the simulated past — time only moves forward.
     pub fn schedule(&mut self, at: Time, payload: E) -> EventId {
-        assert!(
-            at >= self.now,
-            "cannot schedule into the past: {:?} < now {:?}",
-            at,
-            self.now
-        );
+        assert!(at >= self.now, "cannot schedule into the past: {:?} < now {:?}", at, self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { time: at, seq, payload });

@@ -211,10 +211,7 @@ mod tests {
     #[test]
     fn jitter_bounded_and_deterministic() {
         let topo = Topology::two_cluster(2);
-        let m = LatencyMatrixBuilder::new(2)
-            .cross(Dur::from_millis(4))
-            .jitter(Dur::from_micros(100))
-            .build();
+        let m = LatencyMatrixBuilder::new(2).cross(Dur::from_millis(4)).jitter(Dur::from_micros(100)).build();
         let mut r1 = Xoshiro256::new(1);
         let mut r2 = Xoshiro256::new(1);
         for _ in 0..100 {

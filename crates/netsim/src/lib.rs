@@ -48,6 +48,7 @@
 
 pub mod bandwidth;
 pub mod event;
+pub mod fault;
 pub mod latency;
 pub mod network;
 pub mod rng;
@@ -57,6 +58,7 @@ pub mod topology;
 
 pub use bandwidth::{LinkModel, WanContention};
 pub use event::{EventId, EventQueue};
+pub use fault::{DeliveryPlan, FaultModel, FaultModelStats, FaultPlan, TransportError};
 pub use latency::{LatencyMatrix, LatencyMatrixBuilder};
 pub use network::{DeliveryOracle, NetworkModel, NetworkStats};
 pub use rng::{SplitMix64, Xoshiro256};

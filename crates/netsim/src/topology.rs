@@ -106,11 +106,7 @@ impl Topology {
     /// `n_clusters` clusters of `pes_each` PEs.
     pub fn uniform(n_clusters: u16, pes_each: u32) -> Self {
         assert!(n_clusters > 0);
-        Topology::new(
-            (0..n_clusters)
-                .map(|i| ClusterSpec { name: format!("C{i}"), pes: pes_each })
-                .collect(),
-        )
+        Topology::new((0..n_clusters).map(|i| ClusterSpec { name: format!("C{i}"), pes: pes_each }).collect())
     }
 
     /// Total number of PEs in the job.

@@ -91,8 +91,7 @@ impl Device for CipherDevice {
                 next.deliver(pkt);
             }
             Direction::Open => {
-                let body = open(self.key, &pkt.payload)
-                    .expect("cipher device: packet shorter than a nonce");
+                let body = open(self.key, &pkt.payload).expect("cipher device: packet shorter than a nonce");
                 pkt.payload = Bytes::from(body);
                 next.deliver(pkt);
             }

@@ -4,8 +4,8 @@
 //! useful for verifying routing decisions (e.g. "how much traffic actually
 //! crossed the wide-area chain?") and for the harness's traffic reports.
 
-use std::sync::Arc;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::device::{Device, Forwarder};
 use crate::packet::Packet;
@@ -58,8 +58,9 @@ mod tests {
         let counter = CounterDevice::new("wan");
         let delivered = Arc::new(AtomicU64::new(0));
         let d2 = Arc::clone(&delivered);
-        let sink: Arc<dyn Forwarder> =
-            Arc::new(FnForwarder(move |_| { d2.fetch_add(1, Ordering::Relaxed); }));
+        let sink: Arc<dyn Forwarder> = Arc::new(FnForwarder(move |_| {
+            d2.fetch_add(1, Ordering::Relaxed);
+        }));
         let chain = Chain::new(vec![counter.clone() as Arc<dyn Device>], sink);
         chain.send(Packet::new(Pe(0), Pe(1), Bytes::from_static(b"12345")));
         chain.send(Packet::new(Pe(0), Pe(1), Bytes::from_static(b"678")));

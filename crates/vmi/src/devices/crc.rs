@@ -4,6 +4,7 @@
 //! The CRC is the standard reflected CRC-32 (IEEE 802.3, polynomial
 //! 0xEDB88320), computed with a build-once lookup table.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::sync::OnceLock;
 
@@ -49,19 +50,27 @@ pub enum CrcDirection {
 /// The integrity device.
 pub struct CrcDevice {
     direction: CrcDirection,
+    rejected: AtomicU64,
 }
 
 impl CrcDevice {
     /// An appending instance for a send chain.
     pub fn appender() -> Arc<Self> {
-        Arc::new(CrcDevice { direction: CrcDirection::Append })
+        Arc::new(CrcDevice { direction: CrcDirection::Append, rejected: AtomicU64::new(0) })
     }
 
-    /// A verifying instance for a receive chain.  Panics the delivering
-    /// thread on corruption — in this in-process testbed a checksum failure
-    /// is always a bug, never line noise.
+    /// A verifying instance for a receive chain.  A checksum mismatch (or a
+    /// packet too short to carry one) is a counted rejection: the packet is
+    /// dropped, [`CrcDevice::rejected`] increments, and the chain stays up —
+    /// with fault injection upstream a corrupted frame becomes a loss the
+    /// reliable layer recovers by retransmission.
     pub fn verifier() -> Arc<Self> {
-        Arc::new(CrcDevice { direction: CrcDirection::Verify })
+        Arc::new(CrcDevice { direction: CrcDirection::Verify, rejected: AtomicU64::new(0) })
+    }
+
+    /// Packets dropped by this verifier for failing the integrity check.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
     }
 }
 
@@ -84,11 +93,16 @@ impl Device for CrcDevice {
             }
             CrcDirection::Verify => {
                 let payload = &pkt.payload;
-                assert!(payload.len() >= 4, "CRC device: packet shorter than checksum");
+                if payload.len() < 4 {
+                    self.rejected.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
                 let (body, trailer) = payload.split_at(payload.len() - 4);
                 let expected = u32::from_le_bytes(trailer.try_into().expect("4-byte trailer"));
-                let actual = crc32(body);
-                assert_eq!(actual, expected, "CRC mismatch: payload corrupted in transit");
+                if crc32(body) != expected {
+                    self.rejected.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
                 pkt.payload = pkt.payload.slice(0..payload.len() - 4);
                 next.deliver(pkt);
             }
@@ -122,8 +136,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "CRC mismatch")]
-    fn corruption_detected() {
+    fn corruption_is_a_counted_rejection() {
         struct FlipBit;
         impl Device for FlipBit {
             fn name(&self) -> &str {
@@ -136,9 +149,26 @@ mod tests {
                 next.deliver(pkt);
             }
         }
-        let sink: Arc<dyn Forwarder> = Arc::new(FnForwarder(|_| {}));
-        let chain = Chain::new(vec![CrcDevice::appender(), Arc::new(FlipBit), CrcDevice::verifier()], sink);
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let out2 = Arc::clone(&out);
+        let sink: Arc<dyn Forwarder> = Arc::new(FnForwarder(move |p: Packet| out2.lock().push(p)));
+        let verify = CrcDevice::verifier();
+        let chain = Chain::new(vec![CrcDevice::appender(), Arc::new(FlipBit), verify.clone()], sink);
         chain.send(Packet::new(Pe(0), Pe(1), Bytes::from_static(b"data")));
+        assert!(out.lock().is_empty(), "corrupted packet is dropped, not delivered");
+        assert_eq!(verify.rejected(), 1);
+    }
+
+    #[test]
+    fn runt_packet_is_rejected_not_fatal() {
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let out2 = Arc::clone(&out);
+        let sink: Arc<dyn Forwarder> = Arc::new(FnForwarder(move |p: Packet| out2.lock().push(p)));
+        let verify = CrcDevice::verifier();
+        let chain = Chain::new(vec![verify.clone()], sink);
+        chain.send(Packet::new(Pe(0), Pe(1), Bytes::from_static(b"ab")));
+        assert!(out.lock().is_empty());
+        assert_eq!(verify.rejected(), 1);
     }
 
     #[test]

@@ -102,9 +102,7 @@ impl DelayDevice {
     fn delay_for(&self, pkt: &Packet) -> Duration {
         match &self.policy {
             Policy::Fixed(d) => *d,
-            Policy::Matrix { topo, matrix } => {
-                matrix.base_latency(topo, pkt.src, pkt.dst).to_std()
-            }
+            Policy::Matrix { topo, matrix } => matrix.base_latency(topo, pkt.src, pkt.dst).to_std(),
         }
     }
 

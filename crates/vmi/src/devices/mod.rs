@@ -8,6 +8,8 @@
 //!   the data are possible", §2.2).
 //! * [`crc`] — integrity checking ("modules can intercept and manipulate
 //!   message data", §2.2).
+//! * [`fault`] — unreliable-WAN injection: seeded per-pair
+//!   drop/duplicate/reorder/corrupt faults and link-down windows.
 //! * [`stripe`] — fragments a packet so it could be striped across multiple
 //!   interconnects, with reassembly on the receive chain.
 //! * [`counter`] — transparent traffic accounting.
@@ -16,5 +18,6 @@ pub mod cipher;
 pub mod counter;
 pub mod crc;
 pub mod delay;
+pub mod fault;
 pub mod rle;
 pub mod stripe;

@@ -16,8 +16,8 @@
 //! ```
 
 use std::collections::HashMap;
-use std::sync::Arc;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use bytes::Bytes;
 use mdo_netsim::Pe;
@@ -191,10 +191,7 @@ mod tests {
         let (out, sink) = collect();
         // Manually stripe, then deliver fragments in reverse.
         let (frag_out, frag_sink) = collect();
-        StripeDevice::new(4).handle(
-            Packet::new(Pe(0), Pe(1), Bytes::from((0u8..100).collect::<Vec<u8>>())),
-            frag_sink,
-        );
+        StripeDevice::new(4).handle(Packet::new(Pe(0), Pe(1), Bytes::from((0u8..100).collect::<Vec<u8>>())), frag_sink);
         let mut frags = frag_out.lock().clone();
         frags.reverse();
         for f in frags {

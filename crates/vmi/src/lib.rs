@@ -18,6 +18,9 @@
 //!   CRC32 integrity, striping/reassembly, and byte-counting devices.
 //! * [`mailbox`] — per-PE blocking priority mailboxes (the terminal
 //!   "network driver" of every chain).
+//! * [`reliable`] — sequence numbers, cumulative acks and timer-driven
+//!   retransmission layered over the unreliable cross-cluster chain when a
+//!   fault plan is active.
 //! * [`transport`] — routes each packet through the intra-cluster or
 //!   cross-cluster chain based on the job topology, exactly like VMI's
 //!   affiliation mechanism.
@@ -52,6 +55,7 @@ pub mod device;
 pub mod devices;
 pub mod mailbox;
 pub mod packet;
+pub mod reliable;
 pub mod transport;
 
 pub use device::{Chain, Device, Forwarder};
@@ -59,8 +63,10 @@ pub use devices::cipher::CipherDevice;
 pub use devices::counter::CounterDevice;
 pub use devices::crc::CrcDevice;
 pub use devices::delay::DelayDevice;
+pub use devices::fault::{FaultDevice, FaultDeviceStats};
 pub use devices::rle::RleDevice;
 pub use devices::stripe::{ReassembleDevice, StripeDevice};
 pub use mailbox::Mailbox;
 pub use packet::Packet;
+pub use reliable::ReliableTransport;
 pub use transport::{Transport, TransportConfig};

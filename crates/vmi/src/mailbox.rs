@@ -64,13 +64,7 @@ impl Mailbox {
     /// An empty, open mailbox.
     pub fn new() -> Self {
         Mailbox {
-            inner: Mutex::new(Inner {
-                heap: BinaryHeap::new(),
-                next_seq: 0,
-                closed: false,
-                posted: 0,
-                max_depth: 0,
-            }),
+            inner: Mutex::new(Inner { heap: BinaryHeap::new(), next_seq: 0, closed: false, posted: 0, max_depth: 0 }),
             cond: Condvar::new(),
         }
     }

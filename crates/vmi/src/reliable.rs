@@ -1,0 +1,481 @@
+//! Reliable delivery over an unreliable cross-cluster chain.
+//!
+//! When a run injects faults (see [`crate::devices::fault::FaultDevice`]),
+//! cross-WAN packets are wrapped in small framed messages carrying a
+//! per-(src, dst) sequence number.  [`ReliableTransport`] layers on top of
+//! the raw [`Transport`]:
+//!
+//! * **sender** — assigns sequence numbers, keeps unacknowledged frames in
+//!   a retransmit queue, and a background timer resends them with
+//!   exponential backoff until a cumulative ack arrives or the retry
+//!   ceiling is hit (then a structured
+//!   [`TransportError`](mdo_netsim::TransportError) is surfaced — never a
+//!   panic);
+//! * **receiver** — acknowledges every data frame with the pair's
+//!   cumulative ack (so lost acks are repaired by any later ack),
+//!   discards duplicates, buffers out-of-order arrivals and releases them
+//!   in sequence order.
+//!
+//! Intra-cluster packets bypass the layer entirely — both sides consult
+//! the topology, exactly like the transport's own affiliation routing.
+//! Acks are control traffic: the fault device spares them (and draws
+//! nothing for them), so recovery is driven purely by data-frame loss.
+//!
+//! Only framed application data ever comes out of [`ReliableTransport`]'s
+//! receive calls; acks, duplicates and retransmissions are absorbed here.
+//! Anything above this layer — the engine's scheduler, quiescence
+//! detection — therefore counts application-level deliveries only, by
+//! construction.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use mdo_netsim::{FaultPlan, Pe, TransportError};
+use parking_lot::Mutex;
+
+use crate::packet::Packet;
+use crate::transport::Transport;
+
+/// Frame tag for application data (`[tag, seq: u64 LE, payload…]`).
+pub const KIND_DATA: u8 = 0xD7;
+/// Frame tag for a standalone cumulative ack (`[tag, cum: u64 LE]`).
+pub const KIND_ACK: u8 = 0xA7;
+/// Bytes of framing prepended to a data payload.
+pub const HEADER_LEN: usize = 1 + 8;
+
+/// Mailbox priority for acks: ahead of everything, so a blocked sender
+/// learns about progress as soon as possible.
+const ACK_PRIORITY: i32 = i32::MIN;
+
+/// Wrap an application payload into a data frame.
+pub fn encode_data(seq: u64, payload: &[u8]) -> Bytes {
+    let mut v = Vec::with_capacity(HEADER_LEN + payload.len());
+    v.push(KIND_DATA);
+    v.extend_from_slice(&seq.to_le_bytes());
+    v.extend_from_slice(payload);
+    Bytes::from(v)
+}
+
+/// Build a standalone cumulative-ack frame ("every seq below `cum` has
+/// been received").
+pub fn encode_ack(cum: u64) -> Bytes {
+    let mut v = Vec::with_capacity(HEADER_LEN);
+    v.push(KIND_ACK);
+    v.extend_from_slice(&cum.to_le_bytes());
+    Bytes::from(v)
+}
+
+/// Parse a frame: `(kind, seq-or-cum, payload)`.  `None` for anything too
+/// short or with an unknown tag (a mangled frame that slipped past the
+/// checksum is treated as loss).
+pub fn decode_frame(payload: &[u8]) -> Option<(u8, u64, &[u8])> {
+    if payload.len() < HEADER_LEN {
+        return None;
+    }
+    let kind = payload[0];
+    if kind != KIND_DATA && kind != KIND_ACK {
+        return None;
+    }
+    let num = u64::from_le_bytes(payload[1..HEADER_LEN].try_into().expect("8-byte field"));
+    Some((kind, num, &payload[HEADER_LEN..]))
+}
+
+/// True if `payload` starts like a control (ack) frame — used by the fault
+/// device to spare control traffic.
+pub fn is_control_frame(payload: &[u8]) -> bool {
+    payload.first() == Some(&KIND_ACK)
+}
+
+/// An unacknowledged data frame awaiting an ack or its next retransmission.
+struct Pending {
+    pkt: Packet,
+    deadline: Instant,
+    retries: u32,
+}
+
+/// Sender-side state of one ordered (src, dst) pair.
+#[derive(Default)]
+struct SendPair {
+    next_seq: u64,
+    pending: BTreeMap<u64, Pending>,
+}
+
+/// Receiver-side state of one incoming pair (keyed by source PE).
+struct RecvPair {
+    expected: u64,
+    buffer: BTreeMap<u64, Packet>,
+}
+
+/// Receiver-side state of one destination PE (touched only by that PE's
+/// thread, but locked for uniformity with the drain path).
+#[derive(Default)]
+struct RecvSide {
+    pairs: HashMap<u32, RecvPair>,
+    ready: VecDeque<Packet>,
+}
+
+/// Everything the retransmit timer shares with the front object.
+struct Shared {
+    inner: Arc<Transport>,
+    plan: FaultPlan,
+    send: Mutex<HashMap<(u32, u32), SendPair>>,
+    error: Mutex<Option<TransportError>>,
+    retransmits: AtomicU64,
+    dup_dropped: AtomicU64,
+    stop: AtomicBool,
+}
+
+/// The reliable layer.  Built with [`ReliableTransport::passthrough`] it
+/// delegates straight to the raw transport (zero overhead, no framing, no
+/// timer thread); built with [`ReliableTransport::with_plan`] it frames
+/// and recovers cross-WAN traffic as described in the module docs.
+pub struct ReliableTransport {
+    inner: Arc<Transport>,
+    layer: Option<Layer>,
+}
+
+struct Layer {
+    shared: Arc<Shared>,
+    recv: Vec<Mutex<RecvSide>>,
+    timer: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl ReliableTransport {
+    /// No fault plan: a transparent wrapper around `inner`.
+    pub fn passthrough(inner: Arc<Transport>) -> Arc<Self> {
+        Arc::new(ReliableTransport { inner, layer: None })
+    }
+
+    /// Reliable delivery configured from `plan` (its `rto` and
+    /// `max_retries` drive the retransmission schedule).
+    pub fn with_plan(inner: Arc<Transport>, plan: FaultPlan) -> Arc<Self> {
+        let n = inner.topology().num_pes();
+        let shared = Arc::new(Shared {
+            inner: Arc::clone(&inner),
+            plan,
+            send: Mutex::new(HashMap::new()),
+            error: Mutex::new(None),
+            retransmits: AtomicU64::new(0),
+            dup_dropped: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+        });
+        let timer = spawn_retransmit_timer(Arc::clone(&shared));
+        let layer = Layer {
+            shared,
+            recv: (0..n).map(|_| Mutex::new(RecvSide::default())).collect(),
+            timer: Mutex::new(Some(timer)),
+        };
+        Arc::new(ReliableTransport { inner, layer: Some(layer) })
+    }
+
+    /// The raw transport underneath (counters, mailboxes, topology).
+    pub fn inner(&self) -> &Arc<Transport> {
+        &self.inner
+    }
+
+    /// Send a packet: framed + tracked if it crosses the WAN and the layer
+    /// is active, raw otherwise.
+    pub fn send(&self, pkt: Packet) {
+        let Some(layer) = &self.layer else {
+            self.inner.send(pkt);
+            return;
+        };
+        if !self.inner.topology().crosses_wan(pkt.src, pkt.dst) {
+            self.inner.send(pkt);
+            return;
+        }
+        let sh = &layer.shared;
+        let framed = {
+            let mut send = sh.send.lock();
+            let pair = send.entry((pkt.src.0, pkt.dst.0)).or_default();
+            let seq = pair.next_seq;
+            pair.next_seq += 1;
+            let framed =
+                Packet { src: pkt.src, dst: pkt.dst, priority: pkt.priority, payload: encode_data(seq, &pkt.payload) };
+            pair.pending.insert(
+                seq,
+                Pending { pkt: framed.clone(), deadline: Instant::now() + sh.plan.rto.to_std(), retries: 0 },
+            );
+            framed
+        };
+        self.inner.send(framed);
+    }
+
+    /// Receive for `pe`, blocking up to `timeout`: returns the next
+    /// application packet (in per-pair sequence order for cross-WAN
+    /// traffic), or `None` on timeout/shutdown.
+    pub fn recv_timeout(&self, pe: Pe, timeout: Duration) -> Option<Packet> {
+        let Some(layer) = &self.layer else {
+            return self.inner.recv_timeout(pe, timeout);
+        };
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(p) = layer.recv[pe.index()].lock().ready.pop_front() {
+                return Some(p);
+            }
+            let now = Instant::now();
+            let remaining = deadline.checked_duration_since(now).unwrap_or(Duration::ZERO);
+            let pkt = self.inner.recv_timeout(pe, remaining)?;
+            self.absorb(layer, pe, pkt);
+        }
+    }
+
+    /// Non-blocking receive for `pe`.
+    pub fn try_recv(&self, pe: Pe) -> Option<Packet> {
+        let Some(layer) = &self.layer else {
+            return self.inner.try_recv(pe);
+        };
+        loop {
+            if let Some(p) = layer.recv[pe.index()].lock().ready.pop_front() {
+                return Some(p);
+            }
+            let pkt = self.inner.try_recv(pe)?;
+            self.absorb(layer, pe, pkt);
+        }
+    }
+
+    /// Process one raw packet for `pe`: passthrough intra traffic to the
+    /// ready queue, fold frames into the pair state.
+    fn absorb(&self, layer: &Layer, pe: Pe, pkt: Packet) {
+        if !self.inner.topology().crosses_wan(pkt.src, pkt.dst) {
+            layer.recv[pe.index()].lock().ready.push_back(pkt);
+            return;
+        }
+        let sh = &layer.shared;
+        match decode_frame(&pkt.payload) {
+            Some((KIND_ACK, cum, _)) => {
+                // Ack from pkt.src for data this PE sent to pkt.src.
+                let mut send = sh.send.lock();
+                if let Some(pair) = send.get_mut(&(pe.0, pkt.src.0)) {
+                    pair.pending = pair.pending.split_off(&cum);
+                }
+            }
+            Some((KIND_DATA, seq, body)) => {
+                let cum = {
+                    let mut side = layer.recv[pe.index()].lock();
+                    let pair = side
+                        .pairs
+                        .entry(pkt.src.0)
+                        .or_insert_with(|| RecvPair { expected: 0, buffer: BTreeMap::new() });
+                    if seq < pair.expected || pair.buffer.contains_key(&seq) {
+                        sh.dup_dropped.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        let app = Packet {
+                            src: pkt.src,
+                            dst: pkt.dst,
+                            priority: pkt.priority,
+                            payload: Bytes::from(body.to_vec()),
+                        };
+                        pair.buffer.insert(seq, app);
+                        let mut released = Vec::new();
+                        while let Some(p) = pair.buffer.remove(&pair.expected) {
+                            released.push(p);
+                            pair.expected += 1;
+                        }
+                        let cum_now = pair.expected;
+                        side.ready.extend(released);
+                        drop(side);
+                        self.inner.send(Packet::with_priority(pe, pkt.src, ACK_PRIORITY, encode_ack(cum_now)));
+                        return;
+                    }
+                    pair.expected
+                };
+                // Duplicate: re-ack so a sender whose acks were lost stops
+                // retransmitting.
+                self.inner.send(Packet::with_priority(pe, pkt.src, ACK_PRIORITY, encode_ack(cum)));
+            }
+            // Mangled beyond recognition — equivalent to a loss; the
+            // sender's retransmission recovers it.
+            _ => {}
+        }
+    }
+
+    /// First retry-exhaustion error, if any occurred.
+    pub fn error(&self) -> Option<TransportError> {
+        self.layer.as_ref().and_then(|l| *l.shared.error.lock())
+    }
+
+    /// Retransmissions performed so far.
+    pub fn retransmits(&self) -> u64 {
+        self.layer.as_ref().map_or(0, |l| l.shared.retransmits.load(Ordering::Relaxed))
+    }
+
+    /// Wire-level duplicates discarded by receiver-side dedup so far.
+    pub fn dup_dropped(&self) -> u64 {
+        self.layer.as_ref().map_or(0, |l| l.shared.dup_dropped.load(Ordering::Relaxed))
+    }
+
+    /// Stop the retransmit timer (idempotent).  Call before shutting down
+    /// the underlying transport.
+    pub fn shutdown(&self) {
+        if let Some(layer) = &self.layer {
+            layer.shared.stop.store(true, Ordering::Release);
+            if let Some(h) = layer.timer.lock().take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+impl Drop for ReliableTransport {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn spawn_retransmit_timer(shared: Arc<Shared>) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("mdo-retransmit".into())
+        .spawn(move || {
+            let tick = (shared.plan.rto.to_std() / 4).max(Duration::from_millis(1));
+            while !shared.stop.load(Ordering::Acquire) {
+                std::thread::sleep(tick);
+                let now = Instant::now();
+                let mut resend = Vec::new();
+                {
+                    let mut send = shared.send.lock();
+                    for (&(src, dst), pair) in send.iter_mut() {
+                        let mut exhausted = Vec::new();
+                        for (&seq, p) in pair.pending.iter_mut() {
+                            if p.deadline > now {
+                                continue;
+                            }
+                            if p.retries >= shared.plan.max_retries {
+                                let mut err = shared.error.lock();
+                                if err.is_none() {
+                                    *err = Some(TransportError {
+                                        src: Pe(src),
+                                        dst: Pe(dst),
+                                        seq,
+                                        attempts: p.retries + 1,
+                                    });
+                                }
+                                exhausted.push(seq);
+                            } else {
+                                p.retries += 1;
+                                // Exponential backoff: attempt i waits 2^i * rto.
+                                let backoff =
+                                    shared.plan.rto.checked_mul(1u64 << p.retries.min(20)).unwrap_or(shared.plan.rto);
+                                p.deadline = now + backoff.to_std();
+                                shared.retransmits.fetch_add(1, Ordering::Relaxed);
+                                resend.push(p.pkt.clone());
+                            }
+                        }
+                        for seq in exhausted {
+                            pair.pending.remove(&seq);
+                        }
+                    }
+                }
+                // Send outside the lock: the delay device and mailboxes
+                // take their own locks downstream.
+                for pkt in resend {
+                    shared.inner.send(pkt);
+                }
+            }
+        })
+        .expect("spawn retransmit timer")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::crc::CrcDevice;
+    use crate::devices::fault::FaultDevice;
+    use crate::transport::TransportConfig;
+    use mdo_netsim::{Dur, LatencyMatrix, Topology};
+
+    fn rig(plan: FaultPlan, cross_ms: u64) -> Arc<ReliableTransport> {
+        let topo = Topology::two_cluster(2);
+        let latency = LatencyMatrix::uniform(&topo, Dur::ZERO, Dur::from_millis(cross_ms));
+        let mut cfg = TransportConfig::new(topo, latency);
+        cfg.cross_extra = vec![CrcDevice::appender(), FaultDevice::for_reliable(plan.clone()), CrcDevice::verifier()];
+        ReliableTransport::with_plan(Transport::new(cfg), plan)
+    }
+
+    #[test]
+    fn frame_codec_roundtrip() {
+        let data = encode_data(42, b"hello");
+        assert_eq!(decode_frame(&data), Some((KIND_DATA, 42, &b"hello"[..])));
+        let ack = encode_ack(7);
+        assert_eq!(decode_frame(&ack), Some((KIND_ACK, 7, &b""[..])));
+        assert!(is_control_frame(&ack));
+        assert!(!is_control_frame(&data));
+        assert_eq!(decode_frame(b"xx"), None);
+        assert_eq!(decode_frame(&[0x00; 16]), None);
+    }
+
+    #[test]
+    fn lossy_channel_delivers_everything_in_order() {
+        let plan =
+            FaultPlan::loss(0.3).with_duplicate(0.1).with_reorder(0.1).with_seed(99).with_rto(Dur::from_millis(8));
+        let rt = rig(plan, 1);
+        let n = 60u64;
+        for i in 0..n {
+            rt.send(Packet::new(Pe(0), Pe(1), Bytes::from(i.to_le_bytes().to_vec())));
+        }
+        let mut got = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while (got.len() as u64) < n && Instant::now() < deadline {
+            if let Some(p) = rt.recv_timeout(Pe(1), Duration::from_millis(50)) {
+                got.push(u64::from_le_bytes(p.payload[..8].try_into().unwrap()));
+            }
+        }
+        assert_eq!(got, (0..n).collect::<Vec<_>>(), "every message exactly once, in order");
+        assert!(rt.retransmits() > 0, "losses forced retransmissions");
+        assert!(rt.error().is_none());
+        rt.shutdown();
+        rt.inner().shutdown();
+    }
+
+    #[test]
+    fn total_loss_surfaces_structured_error() {
+        let plan = FaultPlan::loss(1.0).with_rto(Dur::from_millis(2)).with_max_retries(3);
+        let rt = rig(plan, 0);
+        rt.send(Packet::new(Pe(0), Pe(1), Bytes::from_static(b"doomed")));
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while rt.error().is_none() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let err = rt.error().expect("retry ceiling produces a structured error");
+        assert_eq!((err.src, err.dst, err.seq, err.attempts), (Pe(0), Pe(1), 0, 4));
+        assert!(err.to_string().contains("gave up"));
+        rt.shutdown();
+        rt.inner().shutdown();
+    }
+
+    #[test]
+    fn passthrough_is_transparent() {
+        let topo = Topology::two_cluster(2);
+        let latency = LatencyMatrix::uniform(&topo, Dur::ZERO, Dur::ZERO);
+        let rt = ReliableTransport::passthrough(Transport::new(TransportConfig::new(topo, latency)));
+        rt.send(Packet::new(Pe(0), Pe(1), Bytes::from_static(b"raw")));
+        let got = rt.recv_timeout(Pe(1), Duration::from_secs(1)).expect("delivered");
+        assert_eq!(&got.payload[..], b"raw", "no framing in passthrough mode");
+        assert_eq!(rt.retransmits(), 0);
+        rt.inner().shutdown();
+    }
+
+    #[test]
+    fn intra_cluster_traffic_is_never_framed() {
+        let plan = FaultPlan::loss(0.9);
+        let rt = rig(plan, 0);
+        // Pe(0) -> Pe(0) is same-cluster in two_cluster(2)? No: clusters
+        // are {0} and {1}, so use a 4-PE topology for an intra pair.
+        let topo = Topology::two_cluster(4);
+        let latency = LatencyMatrix::uniform(&topo, Dur::ZERO, Dur::ZERO);
+        let plan2 = FaultPlan::loss(1.0);
+        let mut cfg = TransportConfig::new(topo, latency);
+        cfg.cross_extra = vec![FaultDevice::for_reliable(plan2.clone())];
+        let rt2 = ReliableTransport::with_plan(Transport::new(cfg), plan2);
+        rt2.send(Packet::new(Pe(0), Pe(1), Bytes::from_static(b"local")));
+        let got = rt2.recv_timeout(Pe(1), Duration::from_secs(1)).expect("intra unaffected by loss");
+        assert_eq!(&got.payload[..], b"local");
+        rt2.shutdown();
+        rt2.inner().shutdown();
+        rt.shutdown();
+        rt.inner().shutdown();
+    }
+}

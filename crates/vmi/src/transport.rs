@@ -76,15 +76,7 @@ impl Transport {
         cross_devices.push(delay.clone());
         let cross_chain = Chain::new(cross_devices, sink);
 
-        Arc::new(Transport {
-            topo: cfg.topo,
-            mailboxes,
-            intra_chain,
-            cross_chain,
-            delay,
-            intra_counter,
-            cross_counter,
-        })
+        Arc::new(Transport { topo: cfg.topo, mailboxes, intra_chain, cross_chain, delay, intra_counter, cross_counter })
     }
 
     /// Route a packet through the appropriate chain.
@@ -231,12 +223,8 @@ mod tests {
         let latency = LatencyMatrix::uniform(&topo, Dur::ZERO, Dur::from_millis(5));
         let mut cfg = TransportConfig::new(topo, latency);
         // Compress + checksum on the WAN, transparently undone before delivery.
-        cfg.cross_extra = vec![
-            RleDevice::compressor(),
-            CrcDevice::appender(),
-            CrcDevice::verifier(),
-            RleDevice::decompressor(),
-        ];
+        cfg.cross_extra =
+            vec![RleDevice::compressor(), CrcDevice::appender(), CrcDevice::verifier(), RleDevice::decompressor()];
         let t = Transport::new(cfg);
         let payload = Bytes::from(vec![9u8; 4096]);
         t.send(Packet::new(Pe(0), Pe(1), payload.clone()));

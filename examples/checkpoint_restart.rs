@@ -23,11 +23,8 @@ fn main() {
     println!("LeanMD, 27 cells + 378 cell-pairs, real force kernels, 8 steps\n");
 
     // Reference: uninterrupted 8-step run on 4 PEs.
-    let full = leanmd::run_sim(
-        cfg.clone(),
-        NetworkModel::two_cluster_sweep(4, Dur::from_millis(2)),
-        RunConfig::default(),
-    );
+    let full =
+        leanmd::run_sim(cfg.clone(), NetworkModel::two_cluster_sweep(4, Dur::from_millis(2)), RunConfig::default());
     println!("[1] uninterrupted run (4 PEs)    : kinetic = {:.9}", full.kinetic);
 
     // Run again, snapshotting at the step-4 barrier; pretend we crash

@@ -44,10 +44,7 @@ fn main() {
     let verdict = |t: f64| if t <= deadline_s { "MEETS deadline" } else { "misses deadline" };
     println!("  option A: 8 local PEs           -> {local_total:6.2} s   {}", verdict(local_total));
     println!("  option B: 8+8 across the Grid   -> {coalloc_total:6.2} s   {}", verdict(coalloc_total));
-    println!(
-        "\nco-allocation speedup {:.2}x despite {latency} ms of WAN latency",
-        local_total / coalloc_total
-    );
+    println!("\nco-allocation speedup {:.2}x despite {latency} ms of WAN latency", local_total / coalloc_total);
     println!("(the message-driven scheduler is what makes option B viable at all —");
     println!(" a lockstep code would forfeit most of the extra processors to latency)");
 

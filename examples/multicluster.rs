@@ -29,25 +29,11 @@ fn main() {
         .cross(Dur::from_millis(latency))
         .pair(ClusterId(0), ClusterId(3), Dur::from_millis(2 * latency))
         .build();
-    println!(
-        "4 clusters x {pes_per_site} PEs; cross-site latency {latency} ms (site 0<->3: {} ms)\n",
-        2 * latency
-    );
+    println!("4 clusters x {pes_per_site} PEs; cross-site latency {latency} ms (site 0<->3: {} ms)\n", 2 * latency);
 
     let run = |k: usize| {
-        let cfg = Jacobi3dConfig {
-            mesh: 192,
-            k,
-            steps: 8,
-            compute: false,
-            cost: StencilCost::default(),
-        };
-        let net = NetworkModel::new(
-            topo.clone(),
-            latency_matrix.clone(),
-            WanContention::disabled(&topo),
-            0,
-        );
+        let cfg = Jacobi3dConfig { mesh: 192, k, steps: 8, compute: false, cost: StencilCost::default() };
+        let net = NetworkModel::new(topo.clone(), latency_matrix.clone(), WanContention::disabled(&topo), 0);
         jacobi3d::run_sim(cfg, net, RunConfig::default())
     };
 

@@ -26,10 +26,7 @@ fn main() {
     let out = stencil::run_sim(cfg, net, run_cfg);
     let trace = out.report.trace.as_ref().expect("tracing enabled");
 
-    println!(
-        "stencil: {objects} objects, {pes} PEs, {latency} ms one-way -> {:.3} ms/step\n",
-        out.ms_per_step
-    );
+    println!("stencil: {objects} objects, {pes} PEs, {latency} ms one-way -> {:.3} ms/step\n", out.ms_per_step);
     print!("{}", trace.ascii_timeline(pes as usize, 72));
 
     println!("\nutilization profile (10 windows, % busy):");

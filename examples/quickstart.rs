@@ -41,10 +41,7 @@ impl Chare for Worker {
             }
             REPLY => {
                 self.got_reply = true;
-                println!(
-                    "  reply arrived at t = {:.1} ms (one-way latency was 25 ms)",
-                    ctx.now().as_millis_f64()
-                );
+                println!("  reply arrived at t = {:.1} ms (one-way latency was 25 ms)", ctx.now().as_millis_f64());
                 if self.churn_left == 0 {
                     ctx.exit();
                 }

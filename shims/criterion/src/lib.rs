@@ -1,0 +1,223 @@
+//! Offline shim for `criterion`: runs each benchmark a fixed number of
+//! timed iterations after a short warm-up and prints the mean per
+//! iteration (plus throughput when configured).  No statistics, plots or
+//! HTML reports — just enough to keep `cargo bench` useful offline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup { _parent: self, name, throughput: None, sample_size: 32 }
+    }
+
+    /// Run a standalone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self {
+        run_one(&id.into(), 32, None, &mut f);
+        self
+    }
+}
+
+/// How to express per-iteration throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` amortises setup cost; the shim runs one setup per
+/// iteration regardless, so the variants only document intent.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small inputs: many per batch.
+    SmallInput,
+    /// Large inputs: few per batch.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// A named set of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the throughput used to report rates for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Set how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(&id, self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    /// Finish the group (prints nothing extra; exists for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; collects the timed routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, called `self.iters` times back to back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup time excluded.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Human-friendly duration (ns/µs/ms/s).
+struct Pretty(f64);
+
+impl fmt::Display for Pretty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns < 1_000.0 {
+            write!(f, "{ns:.1} ns")
+        } else if ns < 1_000_000.0 {
+            write!(f, "{:.2} µs", ns / 1_000.0)
+        } else if ns < 1_000_000_000.0 {
+            write!(f, "{:.2} ms", ns / 1_000_000.0)
+        } else {
+            write!(f, "{:.3} s", ns / 1_000_000_000.0)
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: usize, throughput: Option<Throughput>, f: &mut F) {
+    // Warm-up pass (also primes caches / JIT-like effects such as lazy init).
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut b);
+
+    let mut b = Bencher { iters: samples as u64, elapsed: Duration::ZERO };
+    f(&mut b);
+    let per_iter_ns = b.elapsed.as_nanos() as f64 / b.iters.max(1) as f64;
+
+    match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / (per_iter_ns / 1e9) / (1024.0 * 1024.0);
+            println!("  {id}: {} /iter ({rate:.1} MiB/s)", Pretty(per_iter_ns));
+        }
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / (per_iter_ns / 1e9);
+            println!("  {id}: {} /iter ({rate:.0} elem/s)", Pretty(per_iter_ns));
+        }
+        None => println!("  {id}: {} /iter", Pretty(per_iter_ns)),
+    }
+}
+
+/// Declare a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the benchmark `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        {
+            let mut g = c.benchmark_group("shim");
+            g.throughput(Throughput::Bytes(64)).sample_size(4);
+            g.bench_function("count", |b| b.iter(|| calls += 1));
+            g.finish();
+        }
+        // 1 warm-up iteration + 4 timed iterations.
+        assert_eq!(calls, 5);
+    }
+
+    #[test]
+    fn iter_batched_gets_fresh_inputs() {
+        let mut c = Criterion::default();
+        let mut seen = Vec::new();
+        let mut n = 0u32;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    n += 1;
+                    n
+                },
+                |v| seen.push(v),
+                BatchSize::SmallInput,
+            )
+        });
+        assert!(seen.len() >= 2, "routine ran with fresh setup each iteration");
+    }
+
+    #[test]
+    fn pretty_units() {
+        assert_eq!(format!("{}", Pretty(12.3)), "12.3 ns");
+        assert_eq!(format!("{}", Pretty(4_500.0)), "4.50 µs");
+        assert_eq!(format!("{}", Pretty(7_800_000.0)), "7.80 ms");
+    }
+}

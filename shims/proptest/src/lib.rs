@@ -1,0 +1,372 @@
+//! Offline shim for `proptest`: deterministic, shrinkless property testing.
+//!
+//! Provides the `proptest!` macro, `prop_assert*`, `any::<T>()`, integer
+//! range strategies, `prop::collection::vec`, `prop::sample::Index`, tuple
+//! strategies and a tiny `.{m,n}`-pattern string strategy — the exact
+//! surface this workspace's property tests use.  Each property runs a
+//! fixed number of cases from an RNG seeded by the property name, so
+//! failures are reproducible; there is no shrinking (the failing values
+//! are printed instead).
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner {
+    //! Case RNG and failure plumbing used by the generated test bodies.
+
+    use std::fmt;
+
+    /// Deterministic case RNG (SplitMix64), seeded per property.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG seeded by hashing the property name (FNV-1a).
+        pub fn for_property(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be positive.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "below(0)");
+            // Multiply-shift; bias is irrelevant for test-case generation.
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+    }
+
+    /// Why a case failed (carried to the panic at the end of the run).
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        msg: String,
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError { msg: msg.into() }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.msg)
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// Number of cases each property runs.
+pub const CASES: u32 = 96;
+
+/// A source of values for one `name in strategy` binding.
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Types with a canonical "anything goes" strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Produce one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`: uniformly random bit patterns.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo + 1) as u64;
+                (lo + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Any bit pattern: exercises codecs with infinities and NaNs too.
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+
+/// String strategy from a `.{m,n}` pattern (the only regex form the
+/// workspace uses); any other pattern generates its own literal text.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        if let Some((lo, hi)) = parse_dot_repeat(self) {
+            let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+            (0..len)
+                .map(|_| {
+                    // Printable ASCII, plus the occasional multibyte char so
+                    // UTF-8 handling is exercised.
+                    match rng.below(20) {
+                        0 => 'λ',
+                        1 => '∞',
+                        _ => (b' ' + rng.below(95) as u8) as char,
+                    }
+                })
+                .collect()
+        } else {
+            (*self).to_string()
+        }
+    }
+}
+
+/// Parse `.{m,n}` into `(m, n)`.
+fn parse_dot_repeat(pat: &str) -> Option<(usize, usize)> {
+    let rest = pat.strip_prefix(".{")?.strip_suffix('}')?;
+    let (lo, hi) = rest.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for vectors with element strategy `S` and a length range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// A vector whose length is drawn from `len` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling helpers (`Index`).
+
+    use super::{Arbitrary, TestRng};
+
+    /// An index into a collection of yet-unknown size.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Resolve against a collection of `len` elements (`len > 0`).
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+pub mod prop {
+    //! The `prop::` namespace mirror of the real crate.
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+pub mod prelude {
+    //! Everything a property-test module needs.
+    pub use crate::test_runner::{TestCaseError, TestRng};
+    pub use crate::{any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Strategy};
+}
+
+/// Define property tests: each `fn name(binding in strategy, ...) { body }`
+/// becomes a `#[test]`-able function running [`CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut rng = $crate::test_runner::TestRng::for_property(stringify!($name));
+            for case in 0..$crate::CASES {
+                $(let $arg = $crate::Strategy::generate(&$strat, &mut rng);)+
+                let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = result {
+                    panic!("property {} failed at case {}/{}: {}", stringify!($name), case + 1, $crate::CASES, e);
+                }
+            }
+        }
+    )*};
+}
+
+/// `assert!` that fails the current case instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+/// `assert_ne!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {} (both {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::for_property("x");
+        let mut b = TestRng::for_property("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_property("y");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn dot_repeat_pattern_parses() {
+        let mut rng = TestRng::for_property("p");
+        for _ in 0..100 {
+            let s = Strategy::generate(&".{0,40}", &mut rng);
+            assert!(s.chars().count() <= 40);
+        }
+        assert_eq!(Strategy::generate(&"literal", &mut rng), "literal");
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(a in 3u32..8, b in 1u8..=255, c in -5i32..5,
+                                 v in prop::collection::vec(any::<u8>(), 2..6)) {
+            prop_assert!((3..8).contains(&a));
+            prop_assert!(b >= 1);
+            prop_assert!((-5..5).contains(&c));
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+        }
+
+        #[test]
+        fn tuples_and_index(t in (0u32..4, any::<u64>()), idx in any::<prop::sample::Index>()) {
+            prop_assert!(t.0 < 4);
+            prop_assert!(idx.index(7) < 7);
+            prop_assert_ne!(idx.index(1), 1);
+            prop_assert_eq!(idx.index(1), 0);
+        }
+    }
+}

@@ -28,5 +28,5 @@ pub mod prelude {
     pub use mdo_core::program::{LbChoice, RunConfig};
     pub use mdo_core::{SimEngine, ThreadedConfig, ThreadedEngine};
     pub use mdo_netsim::network::NetworkModel;
-    pub use mdo_netsim::{Dur, LatencyMatrix, Pe, Time, Topology};
+    pub use mdo_netsim::{Dur, FaultPlan, LatencyMatrix, Pe, Time, Topology, TransportError};
 }

@@ -15,11 +15,8 @@ fn sim_checkpoint_restores_under_threaded_engine() {
     cfg.lb_period = Some(3);
 
     // Reference: uninterrupted simulation run.
-    let full = leanmd::run_sim(
-        cfg.clone(),
-        NetworkModel::two_cluster_sweep(4, Dur::from_millis(2)),
-        RunConfig::default(),
-    );
+    let full =
+        leanmd::run_sim(cfg.clone(), NetworkModel::two_cluster_sweep(4, Dur::from_millis(2)), RunConfig::default());
 
     // Checkpoint at the step-3 barrier under the simulation engine.
     let sink: Arc<Mutex<Vec<Snapshot>>> = Arc::new(Mutex::new(Vec::new()));
@@ -37,13 +34,8 @@ fn sim_checkpoint_restores_under_threaded_engine() {
     // real injected delay.
     let topo = Topology::two_cluster(2);
     let latency = LatencyMatrix::uniform(&topo, Dur::ZERO, Dur::from_micros(400));
-    let restored = leanmd::run_threaded_full(
-        cfg,
-        topo,
-        ThreadedConfig::new(latency),
-        RunConfig::default(),
-        Some(snapshot),
-    );
+    let restored =
+        leanmd::run_threaded_full(cfg, topo, ThreadedConfig::new(latency), RunConfig::default(), Some(snapshot));
     assert_eq!(restored.checksums, full.checksums, "cross-engine restart is bit-exact");
     assert_eq!(restored.kinetic, full.kinetic);
 }

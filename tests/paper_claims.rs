@@ -24,10 +24,7 @@ fn stencil_large_grain_is_latency_insensitive() {
     for objects in [4usize, 16, 64] {
         let t0 = stencil_ms_per_step(2, objects, 0);
         let t32 = stencil_ms_per_step(2, objects, 32);
-        assert!(
-            t32 < t0 * 1.15,
-            "2 PEs, {objects} objects: near-horizontal 0..32 ms ({t0:.2} -> {t32:.2})"
-        );
+        assert!(t32 < t0 * 1.15, "2 PEs, {objects} objects: near-horizontal 0..32 ms ({t0:.2} -> {t32:.2})");
     }
 }
 
@@ -65,10 +62,7 @@ fn leanmd_two_pes_shrug_off_256ms() {
     };
     // (The paper's own curve also rises slightly at the far right; the
     // naive lockstep penalty would be the full +0.5 s.)
-    assert!(
-        slow - base < 0.35,
-        "256 ms adds far less than the naive +0.5 s: {base:.3} -> {slow:.3}"
-    );
+    assert!(slow - base < 0.35, "256 ms adds far less than the naive +0.5 s: {base:.3} -> {slow:.3}");
 }
 
 /// §5.3: "the data for 32 processors is even more impressive: with a
@@ -106,13 +100,7 @@ fn message_driven_beats_bulk_synchronous_under_latency() {
     let pes = 8u32;
     let md = |lat: u64| stencil_ms_per_step(pes, 256, lat);
     let bs = |lat: u64| {
-        let cfg = BspConfig {
-            mesh: 2048,
-            ranks: pes,
-            steps: 8,
-            compute: false,
-            cost: StencilCost::default(),
-        };
+        let cfg = BspConfig { mesh: 2048, ranks: pes, steps: 8, compute: false, cost: StencilCost::default() };
         let net = NetworkModel::two_cluster_sweep(pes, Dur::from_millis(lat));
         bsp::run_sim(cfg, net, RunConfig::default()).ms_per_step
     };
@@ -161,10 +149,7 @@ fn virtualization_deepens_scheduler_queues() {
     };
     let shallow = depth(16);
     let deep = depth(1024);
-    assert!(
-        deep > shallow * 4,
-        "1024 objects queue far more maskable work than 16: {deep} vs {shallow}"
-    );
+    assert!(deep > shallow * 4, "1024 objects queue far more maskable work than 16: {deep} vs {shallow}");
 }
 
 /// Deterministic jitter: with a seeded jittered latency matrix, repeated

@@ -3,12 +3,12 @@
 use gridmdo::apps::leanmd::geometry::CellGrid;
 use gridmdo::apps::stencil::seq::SeqStencil;
 use gridmdo::netsim::{Dur, EventQueue, LatencyMatrix, Pe, Time, Topology};
+use gridmdo::runtime::checkpoint::{ArraySnapshot, Snapshot};
 use gridmdo::runtime::envelope::{Envelope, MsgBody, ReduceData, ReduceOp};
 use gridmdo::runtime::ids::{ArrayId, ElemId, EntryId, ObjKey};
 use gridmdo::runtime::mapping::Mapping;
 use gridmdo::runtime::queue::SchedQueue;
 use gridmdo::runtime::wire::{WireReader, WireWriter};
-use gridmdo::runtime::checkpoint::{ArraySnapshot, Snapshot};
 use gridmdo::vmi::devices::cipher;
 use gridmdo::vmi::devices::crc::crc32;
 use gridmdo::vmi::devices::rle;

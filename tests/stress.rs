@@ -18,19 +18,12 @@ fn stencil_full_scale_soak() {
     assert!(out.report.pe_messages.iter().all(|&m| m > 0), "all 64 PEs participated");
     // Messages: ~1024 objects x ~4 edges x 12 steps, plus runtime traffic.
     let total = out.report.network.total_messages();
-    assert!(
-        (40_000..80_000).contains(&total),
-        "message volume in the expected envelope: {total}"
-    );
+    assert!((40_000..80_000).contains(&total), "message volume in the expected envelope: {total}");
     // The mesh interior dominates: most traffic stays intra-cluster.
     assert!(out.report.network.cross_fraction() < 0.1);
     // Utilization stays meaningful despite the 8 ms WAN (64-PE grains are
     // small, so pipeline fill/drain and partial latency exposure cap it).
-    assert!(
-        out.report.mean_utilization() > 0.25,
-        "masking keeps PEs busy: {:.2}",
-        out.report.mean_utilization()
-    );
+    assert!(out.report.mean_utilization() > 0.25, "masking keeps PEs busy: {:.2}", out.report.mean_utilization());
 }
 
 #[test]
@@ -54,11 +47,7 @@ fn leanmd_full_scale_soak_with_priority() {
     // Both finish in a plausible per-step envelope around the calibrated
     // scale (~0.12–0.30 s/step at 64 PEs with some latency exposure).
     for out in [&fifo, &prio] {
-        assert!(
-            (0.1..0.4).contains(&out.s_per_step),
-            "64-PE step time in range: {}",
-            out.s_per_step
-        );
+        assert!((0.1..0.4).contains(&out.s_per_step), "64-PE step time in range: {}", out.s_per_step);
     }
 }
 

@@ -17,10 +17,7 @@ use gridmdo::prelude::*;
 
 /// 2 PEs at the small site, 6 at the large one (¼ / ¾ capacity).
 fn uneven_topology() -> Topology {
-    Topology::new(vec![
-        ClusterSpec { name: "small".into(), pes: 2 },
-        ClusterSpec { name: "large".into(), pes: 6 },
-    ])
+    Topology::new(vec![ClusterSpec { name: "small".into(), pes: 2 }, ClusterSpec { name: "large".into(), pes: 6 }])
 }
 
 fn uneven_net(cross_ms: u64) -> NetworkModel {
@@ -76,12 +73,8 @@ fn weighted_placement_balances_uneven_capacity() {
     // spread tight.
     let out = stencil::run_sim(cfg(weighted_mapping(16)), uneven_net(5), RunConfig::default());
     let busy: Vec<f64> = out.report.pe_busy.iter().map(|d| d.as_secs_f64()).collect();
-    let (max, min) =
-        (busy.iter().cloned().fold(0.0, f64::max), busy.iter().cloned().fold(f64::MAX, f64::min));
-    assert!(
-        max / min.max(1e-12) < 1.5,
-        "weighted placement keeps per-PE work within 1.5x: {busy:?}"
-    );
+    let (max, min) = (busy.iter().cloned().fold(0.0, f64::max), busy.iter().cloned().fold(f64::MAX, f64::min));
+    assert!(max / min.max(1e-12) < 1.5, "weighted placement keeps per-PE work within 1.5x: {busy:?}");
 }
 
 #[test]
@@ -96,7 +89,6 @@ fn severely_mismatched_map_shows_up_in_utilization() {
     let mut reference = SeqStencil::new(64);
     reference.run(6);
     assert_eq!(out.block_sums, reference.block_sums(4), "still correct, just slow");
-    let large_busy: f64 =
-        out.report.pe_busy[2..].iter().map(|d| d.as_secs_f64()).sum();
+    let large_busy: f64 = out.report.pe_busy[2..].iter().map(|d| d.as_secs_f64()).sum();
     assert_eq!(large_busy, 0.0, "the large cluster did nothing");
 }
