@@ -34,6 +34,7 @@ fn main() {
         ("ablation_ampi", "ablation_ampi.txt", vec![], vec!["--steps", "4"]),
         ("ablation_md_lb", "ablation_md_lb.txt", vec![], vec!["--steps", "4"]),
         ("ablation_multicast", "ablation_multicast.txt", vec![], vec!["--steps", "2"]),
+        ("ablation_failures", "ablation_failures.txt", vec![], vec!["--steps", "20"]),
     ];
 
     for (bin, out_file, full_args, quick_args) in jobs {

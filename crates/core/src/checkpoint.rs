@@ -19,10 +19,19 @@
 //! in-flight application messages, no reductions mid-tree); take
 //! checkpoints at step boundaries.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
-use crate::ids::{ArrayId, ElemId};
+use bytes::Bytes;
+use mdo_netsim::Pe;
+use mdo_vmi::devices::crc::crc32;
+
+use crate::ids::{ArrayId, ElemId, ObjKey};
 use crate::wire::{WireError, WireReader, WireWriter};
+
+/// Magic string opening every serialized snapshot.
+const SNAPSHOT_MAGIC: &str = "gridmdo-ckpt";
+/// Current snapshot format version (v2 added the trailing CRC32).
+const SNAPSHOT_VERSION: u16 = 2;
 
 /// One array's checkpointed elements.
 #[derive(Clone, Debug, PartialEq)]
@@ -56,25 +65,42 @@ impl Snapshot {
         self.arrays.iter().find(|a| a.array == array).and_then(|a| a.elems.get(elem.index())).map(Vec::as_slice)
     }
 
-    /// Serialize to bytes (suitable for a file).
+    /// Serialize to bytes (suitable for a file): magic, format version,
+    /// body, and a trailing CRC32 over everything before it — so a
+    /// truncated or corrupted checkpoint fails structurally instead of
+    /// restoring garbage.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = WireWriter::new();
-        w.str("gridmdo-ckpt-v1").u32(self.arrays.len() as u32);
+        w.str(SNAPSHOT_MAGIC).u16(SNAPSHOT_VERSION).u32(self.arrays.len() as u32);
         for a in &self.arrays {
             w.u32(a.array.0).u32(a.red_next).u32(a.elems.len() as u32);
             for e in &a.elems {
                 w.bytes(e);
             }
         }
-        w.finish()
+        let mut bytes = w.finish();
+        let crc = crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        bytes
     }
 
-    /// Deserialize from bytes.
+    /// Deserialize from bytes, verifying the magic, version and checksum.
     pub fn decode(buf: &[u8]) -> Result<Snapshot, WireError> {
-        let mut r = WireReader::new(buf);
+        if buf.len() < 4 {
+            return Err(WireError { context: "snapshot checksum" });
+        }
+        let (body, tail) = buf.split_at(buf.len() - 4);
+        let want = u32::from_le_bytes(tail.try_into().expect("4-byte tail"));
+        if crc32(body) != want {
+            return Err(WireError { context: "snapshot checksum" });
+        }
+        let mut r = WireReader::new(body);
         let magic = r.str()?;
-        if magic != "gridmdo-ckpt-v1" {
+        if magic != SNAPSHOT_MAGIC {
             return Err(WireError { context: "snapshot magic" });
+        }
+        if r.u16()? != SNAPSHOT_VERSION {
+            return Err(WireError { context: "snapshot version" });
         }
         let n_arrays = r.u32()? as usize;
         let mut arrays = Vec::with_capacity(n_arrays);
@@ -156,6 +182,76 @@ impl CkptAssembly {
     }
 }
 
+/// One PE's contribution to a buddy-checkpoint epoch: its packed local
+/// elements, replicated on the owner and its buddy so the epoch survives
+/// any single-PE loss (runtime-internal).
+#[derive(Clone, Debug)]
+pub(crate) struct FtPiece {
+    /// Buddy-checkpoint epoch this piece belongs to.
+    pub epoch: u32,
+    /// The PE (in the *original* topology numbering) whose elements these are.
+    pub owner: Pe,
+    /// AtSync rounds completed when the piece was packed.
+    pub lb_round: u32,
+    /// (object, packed state) for every element local to `owner`.
+    pub states: Vec<(ObjKey, Bytes)>,
+    /// Per-array next reduction sequence cursors (nonempty only in PE 0's
+    /// piece, which owns the reduction roots).
+    pub red_next: Vec<u32>,
+}
+
+/// Reassemble the newest *complete* buddy snapshot from the pieces that
+/// survived a failure.  `expected` lists (array, element count) for every
+/// array.  Unlike [`CkptAssembly::finish`], missing pieces are not a bug
+/// here — they are exactly what a failure looks like — so incompleteness
+/// skips to the next-older epoch instead of panicking.  Returns the
+/// snapshot and the AtSync round it was taken at, or `None` when no epoch
+/// is complete (owner and buddy both lost, or no barrier ran yet).
+pub(crate) fn assemble_buddy_snapshot(expected: &[(ArrayId, usize)], pieces: &[FtPiece]) -> Option<(Snapshot, u32)> {
+    let mut epochs: Vec<u32> = pieces.iter().map(|p| p.epoch).collect();
+    epochs.sort_unstable();
+    epochs.dedup();
+    for &epoch in epochs.iter().rev() {
+        // The owner's local copy and the buddy's replica are identical;
+        // take the first of each owner.
+        let mut seen: BTreeSet<Pe> = BTreeSet::new();
+        let mut states: BTreeMap<(u32, u32), &Bytes> = BTreeMap::new();
+        let mut red_next: Option<&Vec<u32>> = None;
+        let mut lb_round = 0;
+        for p in pieces.iter().filter(|p| p.epoch == epoch) {
+            if !seen.insert(p.owner) {
+                continue;
+            }
+            lb_round = p.lb_round;
+            if !p.red_next.is_empty() {
+                red_next = Some(&p.red_next);
+            }
+            for (k, s) in &p.states {
+                states.insert((k.array.0, k.elem.0), s);
+            }
+        }
+        let Some(red) = red_next else { continue };
+        if red.len() != expected.len() {
+            continue;
+        }
+        let complete = expected.iter().all(|(a, n)| (0..*n as u32).all(|e| states.contains_key(&(a.0, e))));
+        if !complete {
+            continue;
+        }
+        let arrays = expected
+            .iter()
+            .enumerate()
+            .map(|(i, &(array, n))| ArraySnapshot {
+                array,
+                red_next: red[i],
+                elems: (0..n as u32).map(|e| states[&(array.0, e)].to_vec()).collect(),
+            })
+            .collect();
+        return Some((Snapshot { arrays }, lb_round));
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,9 +280,45 @@ mod tests {
     #[test]
     fn decode_rejects_garbage() {
         assert!(Snapshot::decode(b"not a snapshot").is_err());
+        assert!(Snapshot::decode(&[]).is_err());
         let mut bytes = sample().encode();
         bytes.push(0);
         assert!(Snapshot::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let bytes = sample().encode();
+        for cut in [1, 4, bytes.len() / 2, bytes.len() - 1] {
+            let err = Snapshot::decode(&bytes[..cut]).expect_err("truncated snapshot must not restore");
+            assert_eq!(err.context, "snapshot checksum");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_wrong_version() {
+        // Re-encode the sample body under a bogus version, with a valid CRC:
+        // the version check itself must fire.
+        let mut w = WireWriter::new();
+        w.str(SNAPSHOT_MAGIC).u16(99).u32(0);
+        let mut bytes = w.finish();
+        let crc = crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        let err = Snapshot::decode(&bytes).expect_err("future version rejected");
+        assert_eq!(err.context, "snapshot version");
+    }
+
+    proptest::proptest! {
+        /// Flipping any single byte of an encoded snapshot must surface as
+        /// a structured decode error, never as a silently-garbage restore.
+        #[test]
+        fn single_byte_flip_is_detected(pos in 0usize..200, bit in 0u8..8) {
+            let bytes = sample().encode();
+            let pos = pos % bytes.len();
+            let mut bad = bytes.clone();
+            bad[pos] ^= 1 << bit;
+            proptest::prop_assert!(Snapshot::decode(&bad).is_err(), "flip at {} undetected", pos);
+        }
     }
 
     #[test]
@@ -221,6 +353,44 @@ mod tests {
         asm.begin();
         asm.add(vec![(ObjKey::new(ArrayId(0), ElemId(0)), Bytes::from_static(b"x"))]);
         asm.finish(&[(ArrayId(0), 2, 0)]);
+    }
+
+    fn piece(epoch: u32, owner: u32, lb_round: u32, elems: &[(u32, u32, &str)], red: &[u32]) -> FtPiece {
+        FtPiece {
+            epoch,
+            owner: Pe(owner),
+            lb_round,
+            states: elems
+                .iter()
+                .map(|&(a, e, s)| (ObjKey::new(ArrayId(a), ElemId(e)), Bytes::from(s.as_bytes().to_vec())))
+                .collect(),
+            red_next: red.to_vec(),
+        }
+    }
+
+    #[test]
+    fn buddy_assembly_prefers_newest_complete_epoch() {
+        let expected = [(ArrayId(0), 2)];
+        // Epoch 1 is complete (both elements + PE 0's red cursor); epoch 2
+        // lost element 1 (owner and buddy both gone).
+        let pieces = vec![
+            piece(1, 0, 3, &[(0, 0, "e0@1")], &[5]),
+            piece(1, 1, 3, &[(0, 1, "e1@1")], &[]),
+            piece(1, 1, 3, &[(0, 1, "e1@1")], &[]), // buddy's replica of the same piece
+            piece(2, 0, 6, &[(0, 0, "e0@2")], &[9]),
+        ];
+        let (snap, lb_round) = assemble_buddy_snapshot(&expected, &pieces).expect("epoch 1 is complete");
+        assert_eq!(lb_round, 3);
+        assert_eq!(snap.arrays[0].red_next, 5);
+        assert_eq!(snap.arrays[0].elems, vec![b"e0@1".to_vec(), b"e1@1".to_vec()]);
+    }
+
+    #[test]
+    fn buddy_assembly_fails_when_owner_and_buddy_both_lost() {
+        let expected = [(ArrayId(0), 2)];
+        let pieces = vec![piece(1, 0, 3, &[(0, 0, "e0")], &[5])];
+        assert!(assemble_buddy_snapshot(&expected, &pieces).is_none());
+        assert!(assemble_buddy_snapshot(&expected, &[]).is_none());
     }
 
     #[test]

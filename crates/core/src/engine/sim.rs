@@ -14,13 +14,19 @@
 //! naturally overlaps that work with in-flight communication, which is the
 //! entire effect under study.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use mdo_netsim::network::{DeliveryOracle, NetworkModel};
-use mdo_netsim::{DeliveryPlan, Dur, EventQueue, FaultModel, FaultModelStats, Pe, Time, TransportError};
+use mdo_netsim::{
+    CrashTrigger, DeliveryPlan, Dur, EventQueue, FailureCause, FaultModel, FaultModelStats, Pe, PeFailed, Time,
+    TransportError, UnrecoverableError,
+};
 
+use crate::checkpoint::assemble_buddy_snapshot;
 use crate::envelope::{Envelope, MsgBody, SYSTEM_PRIORITY};
-use crate::node::{split_program, HostParts, Node, NodeHooks};
+use crate::ids::ArrayId;
+use crate::node::{split_program, HostParts, Node, NodeHooks, NodeShared};
 use crate::program::{Program, RunConfig, RunReport};
 use crate::queue::SchedQueue;
 use crate::trace::Trace;
@@ -80,16 +86,26 @@ impl SimEngine {
 
     /// Run `program` to completion (exit request, drained event queue, or a
     /// configured limit).
+    ///
+    /// When [`RunConfig::failure_plan`] is set, injected PE crashes (and
+    /// handler panics) trigger the recovery protocol: in-flight traffic is
+    /// drained, the newest complete buddy checkpoint is reassembled from
+    /// surviving PEs, the arrays are remapped over a shrunken topology, and
+    /// the run resumes from the snapshot.  Detection is exact in virtual
+    /// time — the engine *is* the failure detector here, so no heartbeat
+    /// traffic is needed.
     pub fn run(self, program: Program) -> RunReport {
         let SimEngine { mut net, cfg, sim_cfg } = self;
         let topo = net.topology().clone();
-        let n_pes = topo.num_pes();
+        let orig_n_pes = topo.num_pes();
         let trace_on = cfg.trace;
+        let failure_plan = cfg.failure_plan.clone();
+        let restart_cfg = cfg.clone();
         // The same plan the threaded engine would wire into its device
         // chain, collapsed here into virtual-time delivery decisions.
         let mut faults = cfg.fault_plan.clone().map(FaultModel::new);
         let mut transport_error: Option<TransportError> = None;
-        let (shared, host) = split_program(program, topo, cfg);
+        let (mut shared, host) = split_program(program, topo, cfg);
 
         let mut host = Some(host);
         let mut nodes: Vec<Node> = shared
@@ -101,10 +117,30 @@ impl SimEngine {
             })
             .collect();
 
-        let mut pes: Vec<PeState> = (0..n_pes).map(|_| PeState { queue: SchedQueue::new(), busy: false }).collect();
+        let mut pes: Vec<PeState> =
+            (0..orig_n_pes).map(|_| PeState { queue: SchedQueue::new(), busy: false }).collect();
         let mut events: EventQueue<Event> = EventQueue::new();
-        let mut pe_busy = vec![Dur::ZERO; n_pes];
         let mut trace = trace_on.then(Trace::new);
+
+        // Per-generation busy time (current PE numbering) and the mapping
+        // from current to original PE numbers; both restart after a shrink.
+        let mut pe_busy = vec![Dur::ZERO; orig_n_pes];
+        let mut orig: Vec<Pe> = (0..orig_n_pes as u32).map(Pe).collect();
+
+        // Cross-generation accumulators, in original PE numbering.
+        let mut pe_busy_total = vec![Dur::ZERO; orig_n_pes];
+        let mut pe_messages_total = vec![0u64; orig_n_pes];
+        let mut pe_queue_depth = vec![0usize; orig_n_pes];
+        let mut msgs_done = vec![0u64; orig_n_pes];
+        let mut lb_rounds_total = 0u32;
+        let mut migrations_total = 0u64;
+        let mut checkpoints_taken = 0u32;
+        let mut checkpoint_bytes = 0u64;
+        let mut steps_replayed = 0u32;
+        let mut recoveries = 0u32;
+        let mut failures: Vec<PeFailed> = Vec::new();
+        let mut unrecoverable: Option<UnrecoverableError> = None;
+        let mut pending = failure_plan.as_ref().map(|p| p.crashes.clone()).unwrap_or_default();
 
         // Boot: Startup on PE 0 at t=0.
         events.schedule(
@@ -131,88 +167,236 @@ impl SimEngine {
                     break;
                 }
             }
-            let pe = match event {
-                Event::Arrive(env) => {
-                    let pe = env.dst;
-                    if let Some(tr) = trace.as_mut() {
-                        tr.push_message(
-                            env.src,
-                            pe,
-                            Time::from_nanos(env.sent_at_ns),
-                            now,
-                            shared.topo.crosses_wan(env.src, pe),
-                        );
-                    }
-                    pes[pe.index()].queue.push(env);
-                    pe
-                }
-                Event::PeDone(pe) => {
-                    pes[pe.index()].busy = false;
-                    pe
-                }
-            };
 
-            // Dispatch loop: run queued messages until the PE picks up real
-            // (charged) work or drains its queue.
-            while !pes[pe.index()].busy {
-                let Some(env) = pes[pe.index()].queue.pop() else { break };
-                let mut hooks = SimHooks { t: now, out: Vec::new() };
-                let outcome = nodes[pe.index()].handle(env, &mut hooks);
-                for (env, after) in hooks.out {
-                    let depart = now + after;
-                    let mut arrival = net.delivery_time(env.src, env.dst, depart, env.wire_size());
-                    if let Some(fm) = faults.as_mut() {
-                        if shared.topo.crosses_wan(env.src, env.dst) {
-                            match fm.plan_delivery(env.src, env.dst, depart) {
-                                DeliveryPlan::Deliver { extra_delay, .. } => arrival += extra_delay,
-                                DeliveryPlan::Exhausted { attempts, seq } => {
-                                    // The reliable layer gave up on this
-                                    // message: abort with a structured error
-                                    // instead of simulating on partial state.
-                                    transport_error =
-                                        Some(TransportError { src: env.src, dst: env.dst, seq, attempts });
-                                    final_time = now;
-                                    break 'main;
+            // Fire any due injected crashes before delivering this event.
+            // Collecting every crash whose time has come in one batch means
+            // a buddy pair failing at the same instant is seen as a double
+            // failure, not two single ones.
+            let mut crashed: Vec<(Pe, FailureCause)> = Vec::new();
+            let mut i = 0;
+            while i < pending.len() {
+                let due = matches!(pending[i].trigger, CrashTrigger::AtTime(at) if Time::ZERO + at <= now);
+                if due {
+                    let spec = pending.remove(i);
+                    if let Some(cur) = orig.iter().position(|&o| o == spec.pe) {
+                        crashed.push((Pe(cur as u32), FailureCause::Injected));
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+
+            if crashed.is_empty() {
+                let pe = match event {
+                    Event::Arrive(env) => {
+                        let pe = env.dst;
+                        if let Some(tr) = trace.as_mut() {
+                            tr.push_message(
+                                env.src,
+                                pe,
+                                Time::from_nanos(env.sent_at_ns),
+                                now,
+                                shared.topo.crosses_wan(env.src, pe),
+                            );
+                        }
+                        pes[pe.index()].queue.push(env);
+                        pe
+                    }
+                    Event::PeDone(pe) => {
+                        pes[pe.index()].busy = false;
+                        pe
+                    }
+                };
+
+                // Dispatch loop: run queued messages until the PE picks up real
+                // (charged) work or drains its queue.
+                while !pes[pe.index()].busy {
+                    let Some(env) = pes[pe.index()].queue.pop() else { break };
+                    let mut hooks = SimHooks { t: now, out: Vec::new() };
+                    let caught = catch_unwind(AssertUnwindSafe(|| nodes[pe.index()].handle(env, &mut hooks)));
+                    let outcome = match caught {
+                        Ok(outcome) => outcome,
+                        Err(_) => {
+                            // A panicking handler takes down its PE, not the
+                            // process.  Without a failure plan (or when the
+                            // host PE dies) the run ends with a structured
+                            // error instead.
+                            final_time = now;
+                            if failure_plan.is_none() {
+                                unrecoverable = Some(UnrecoverableError::NoFailurePlan { pe: orig[pe.index()] });
+                                break 'main;
+                            }
+                            if pe == Pe(0) {
+                                unrecoverable = Some(UnrecoverableError::HostFailed);
+                                break 'main;
+                            }
+                            crashed.push((pe, FailureCause::Panic));
+                            break;
+                        }
+                    };
+                    msgs_done[orig[pe.index()].index()] += 1;
+                    if let Some(i) = pending.iter().position(|s| {
+                        s.pe == orig[pe.index()]
+                            && matches!(s.trigger, CrashTrigger::AfterMessages(n)
+                                if msgs_done[orig[pe.index()].index()] >= n)
+                    }) {
+                        pending.remove(i);
+                        // The PE dies right after this handler; whatever it
+                        // emitted is lost with it.
+                        crashed.push((pe, FailureCause::Injected));
+                        break;
+                    }
+                    for (env, after) in hooks.out {
+                        let depart = now + after;
+                        let mut arrival = net.delivery_time(env.src, env.dst, depart, env.wire_size());
+                        if let Some(fm) = faults.as_mut() {
+                            if shared.topo.crosses_wan(env.src, env.dst) {
+                                match fm.plan_delivery(env.src, env.dst, depart) {
+                                    DeliveryPlan::Deliver { extra_delay, .. } => arrival += extra_delay,
+                                    DeliveryPlan::Exhausted { attempts, seq } => {
+                                        // The reliable layer gave up on this
+                                        // message: abort with a structured error
+                                        // instead of simulating on partial state.
+                                        transport_error =
+                                            Some(TransportError { src: env.src, dst: env.dst, seq, attempts });
+                                        final_time = now;
+                                        break 'main;
+                                    }
                                 }
                             }
                         }
+                        events.schedule(arrival.max(now), Event::Arrive(env));
                     }
-                    events.schedule(arrival.max(now), Event::Arrive(env));
-                }
-                pe_busy[pe.index()] += outcome.charged;
-                if let Some(tr) = trace.as_mut() {
-                    let mut cursor = now;
-                    for (obj, d) in &outcome.spans {
-                        tr.push_segment(pe, *obj, cursor, cursor + *d);
-                        cursor += *d;
+                    pe_busy[pe.index()] += outcome.charged;
+                    if let Some(tr) = trace.as_mut() {
+                        let mut cursor = now;
+                        for (obj, d) in &outcome.spans {
+                            tr.push_segment(pe, *obj, cursor, cursor + *d);
+                            cursor += *d;
+                        }
                     }
-                }
-                if outcome.exit {
-                    exited = true;
-                    // The terminating handler's work still takes time.
-                    final_time = now + outcome.charged;
-                    break 'main;
-                }
-                if !outcome.charged.is_zero() {
-                    pes[pe.index()].busy = true;
-                    events.schedule(now + outcome.charged, Event::PeDone(pe));
+                    if outcome.exit {
+                        exited = true;
+                        // The terminating handler's work still takes time.
+                        final_time = now + outcome.charged;
+                        break 'main;
+                    }
+                    if !outcome.charged.is_zero() {
+                        pes[pe.index()].busy = true;
+                        events.schedule(now + outcome.charged, Event::PeDone(pe));
+                    }
                 }
             }
+
+            if !crashed.is_empty() {
+                // ---- failure detected: recover or give up ----------------
+                for &(cur, cause) in &crashed {
+                    failures.push(PeFailed { pe: orig[cur.index()], at: now, cause });
+                }
+                // Survivors drain in-flight traffic before recovering.
+                while events.pop().is_some() {}
+                let drained = events.now();
+                final_time = drained;
+
+                // Reassemble the newest complete buddy snapshot from the
+                // pieces the survivors hold.
+                let dead_cur: Vec<Pe> = crashed.iter().map(|&(cur, _)| cur).collect();
+                let mut pieces = Vec::new();
+                for node in nodes.iter_mut() {
+                    if !dead_cur.contains(&node.pe()) {
+                        pieces.extend(node.take_ft_pieces());
+                    }
+                }
+                let expected: Vec<(ArrayId, usize)> = shared.arrays.iter().map(|a| (a.id, a.n_elems)).collect();
+                let Some((snapshot, snap_round)) = assemble_buddy_snapshot(&expected, &pieces) else {
+                    unrecoverable = Some(UnrecoverableError::NoCompleteSnapshot {
+                        failed: failures.iter().map(|f| f.pe).collect(),
+                    });
+                    break 'main;
+                };
+                steps_replayed += nodes[0].lb_rounds().saturating_sub(snap_round);
+
+                // Close this generation's books (current → original PEs).
+                for (i, &o) in orig.iter().enumerate() {
+                    pe_busy_total[o.index()] += pe_busy[i];
+                    pe_messages_total[o.index()] += nodes[i].messages_processed();
+                    pe_queue_depth[o.index()] = pe_queue_depth[o.index()].max(pes[i].queue.max_depth());
+                }
+                lb_rounds_total += nodes[0].lb_rounds();
+                migrations_total += nodes[0].migrations();
+                checkpoints_taken += nodes[0].ft_epochs();
+                checkpoint_bytes += nodes.iter().map(|n| n.ft_bytes_stored()).sum::<u64>();
+
+                // Shrink the topology over the survivors and restart from
+                // the snapshot.  The host closures carry over; the startup
+                // closure is long gone, so the new PE 0 goes straight to
+                // the restore-resume broadcast.
+                let (new_topo, new_map) = shared.topo.without_pes(&dead_cur);
+                orig = new_map.iter().map(|&cur| orig[cur.index()]).collect();
+                net.set_topology(new_topo.clone());
+                let host = nodes[0].take_host();
+                shared = Arc::new(NodeShared {
+                    topo: new_topo,
+                    arrays: shared.arrays.clone(),
+                    cfg: restart_cfg.clone(),
+                    restore: Some(Arc::new(snapshot)),
+                });
+                let mut host = Some(host);
+                nodes = shared
+                    .topo
+                    .pes()
+                    .map(|pe| {
+                        let h = if pe == Pe(0) { host.take().expect("host once") } else { HostParts::empty() };
+                        Node::new(Arc::clone(&shared), pe, h)
+                    })
+                    .collect();
+                pes = (0..shared.topo.num_pes()).map(|_| PeState { queue: SchedQueue::new(), busy: false }).collect();
+                pe_busy = vec![Dur::ZERO; shared.topo.num_pes()];
+                recoveries += 1;
+                events.schedule(
+                    drained,
+                    Event::Arrive(Envelope {
+                        src: Pe(0),
+                        dst: Pe(0),
+                        priority: SYSTEM_PRIORITY,
+                        sent_at_ns: drained.as_nanos(),
+                        body: MsgBody::Startup,
+                    }),
+                );
+            }
         }
+
+        // Fold the final generation into the accumulators.
+        for (i, &o) in orig.iter().enumerate() {
+            pe_busy_total[o.index()] += pe_busy[i];
+            pe_messages_total[o.index()] += nodes[i].messages_processed();
+            pe_queue_depth[o.index()] = pe_queue_depth[o.index()].max(pes[i].queue.max_depth());
+        }
+        lb_rounds_total += nodes[0].lb_rounds();
+        migrations_total += nodes[0].migrations();
+        checkpoints_taken += nodes[0].ft_epochs();
+        checkpoint_bytes += nodes.iter().map(|n| n.ft_bytes_stored()).sum::<u64>();
 
         let end_time = events.now().max(final_time);
         let _ = exited;
         RunReport {
             end_time,
-            pe_busy,
-            pe_messages: nodes.iter().map(|n| n.messages_processed()).collect(),
-            pe_max_queue_depth: pes.iter().map(|p| p.queue.max_depth()).collect(),
+            pe_busy: pe_busy_total,
+            pe_messages: pe_messages_total,
+            pe_max_queue_depth: pe_queue_depth,
             network: net.stats().clone(),
             trace,
-            lb_rounds: nodes[0].lb_rounds(),
-            migrations: nodes[0].migrations(),
+            lb_rounds: lb_rounds_total,
+            migrations: migrations_total,
             faults: faults.map(|fm| *fm.stats()).unwrap_or_else(FaultModelStats::default),
             transport_error,
+            failures_detected: failures.len() as u32,
+            recoveries,
+            steps_replayed,
+            checkpoints_taken,
+            checkpoint_bytes,
+            failures,
+            unrecoverable,
         }
     }
 }

@@ -9,17 +9,23 @@
 //! application, same runtime, real threads, real injected delays, real
 //! elapsed time.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use mdo_netsim::network::NetworkStats;
-use mdo_netsim::{Dur, FaultModelStats, LatencyMatrix, Pe, Time, Topology};
+use mdo_netsim::{
+    CrashTrigger, Dur, FailureCause, FaultModelStats, LatencyMatrix, Pe, PeFailed, Time, Topology, TransportError,
+    UnrecoverableError,
+};
 use mdo_vmi::{CrcDevice, FaultDevice, Packet, ReliableTransport, Transport, TransportConfig};
 
+use crate::checkpoint::assemble_buddy_snapshot;
 use crate::envelope::{Envelope, MsgBody, SYSTEM_PRIORITY};
-use crate::node::{split_program, HostParts, Node, NodeHooks};
+use crate::ids::ArrayId;
+use crate::node::{split_program, HostParts, Node, NodeHooks, NodeShared};
 use crate::program::{Program, RunConfig, RunReport};
 use crate::trace::Trace;
 
@@ -79,6 +85,11 @@ impl NodeHooks for ThreadHooks {
 }
 
 /// What each PE thread reports back when it finishes.
+///
+/// Survivors also hand their [`Node`] back to the engine: recovery needs
+/// the buddy pieces stored inside it and — on PE 0 — the host closures.
+/// A PE that died (injected crash or panic) returns `node: None`; its
+/// in-memory state is gone, exactly like a real process crash.
 struct PeResult {
     pe: Pe,
     busy: Dur,
@@ -86,6 +97,58 @@ struct PeResult {
     lb_rounds: u32,
     migrations: u64,
     trace: Trace,
+    ft_epochs: u32,
+    ft_bytes: u64,
+    node: Option<Node>,
+}
+
+impl PeResult {
+    /// Placeholder for a thread that could not be joined.
+    fn lost(pe: Pe) -> Self {
+        PeResult {
+            pe,
+            busy: Dur::ZERO,
+            messages: 0,
+            lb_rounds: 0,
+            migrations: 0,
+            trace: Trace::new(),
+            ft_epochs: 0,
+            ft_bytes: 0,
+            node: None,
+        }
+    }
+}
+
+/// Per-PE liveness flags shared with the watchdog.
+const PE_ALIVE: u8 = 0;
+const PE_CRASHED: u8 = 1;
+const PE_PANICKED: u8 = 2;
+
+/// Shared wiring handed to every PE thread.
+struct ThreadCtl {
+    transport: Arc<ReliableTransport>,
+    stop: Arc<AtomicBool>,
+    exit_announced: Arc<AtomicBool>,
+    end_ns: Arc<AtomicU64>,
+    decode_rejected: Arc<AtomicU64>,
+    status: Arc<Vec<AtomicU8>>,
+    last_heard: Arc<Vec<AtomicU64>>,
+    t0: Instant,
+    topo: Topology,
+    trace_on: bool,
+    compute_sleep: bool,
+    /// Heartbeat cadence; `None` disables liveness traffic (no failure plan).
+    hb_interval: Option<Duration>,
+    /// This PE's injected crash, already translated to the current
+    /// generation's numbering.
+    crash: Option<CrashTrigger>,
+    /// Envelopes this PE had processed in previous generations (crash
+    /// triggers count across restarts).
+    msgs_before: u64,
+}
+
+fn elapsed_ns(t0: Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 impl ThreadedEngine {
@@ -95,162 +158,361 @@ impl ThreadedEngine {
     }
 
     /// Run `program` until it exits (or the wall-clock safety limit).
+    ///
+    /// With a [`mdo_netsim::FailurePlan`] armed, every PE thread mails
+    /// heartbeats to PE 0 and the watchdog turns a silent PE into failure
+    /// suspicion after `suspect_after`; suspected or panicked PEs trigger
+    /// buddy-checkpoint recovery over the survivors — the same shrink +
+    /// restore protocol as the virtual-time engine, driven by wall-clock
+    /// generations of real threads.
     pub fn run(self, program: Program) -> RunReport {
         let ThreadedEngine { topo, tcfg, cfg } = self;
-        let n_pes = topo.num_pes();
+        let orig_n_pes = topo.num_pes();
         let trace_on = cfg.trace;
         let fault_plan = cfg.fault_plan.clone();
-        let (shared, host) = split_program(program, topo.clone(), cfg);
+        let failure_plan = cfg.failure_plan.clone();
+        let restart_cfg = cfg.clone();
+        let (mut shared, host) = split_program(program, topo, cfg);
 
-        // With a fault plan the cross-cluster chain becomes
-        // checksum → fault injection → verify → delay: an injected
-        // corruption fails the CRC and is dropped (counted), so it reaches
-        // the reliable layer as a plain loss.  Without a plan the chain and
-        // the transport wrapper are both zero-overhead passthroughs.
-        let mut tc = TransportConfig::new(topo.clone(), tcfg.latency.clone());
-        let injected = fault_plan.clone().map(|plan| {
-            let fault = FaultDevice::for_reliable(plan);
-            let verify = CrcDevice::verifier();
-            tc.cross_extra = vec![CrcDevice::appender(), fault.clone(), verify.clone()];
-            (fault, verify)
-        });
-        let raw = Transport::new(tc);
-        let transport = match fault_plan {
-            Some(plan) => ReliableTransport::with_plan(Arc::clone(&raw), plan),
-            None => ReliableTransport::passthrough(Arc::clone(&raw)),
-        };
         let decode_rejected = Arc::new(AtomicU64::new(0));
-        let stop = Arc::new(AtomicBool::new(false));
         let exit_announced = Arc::new(AtomicBool::new(false));
         let end_ns = Arc::new(AtomicU64::new(0));
         let t0 = Instant::now();
+        let deadline = t0 + tcfg.max_wall;
+
+        // Cross-generation bookkeeping, indexed by ORIGINAL PE number;
+        // `orig` maps the current (post-shrink) numbering back to it.
+        let mut orig: Vec<Pe> = (0..orig_n_pes as u32).map(Pe).collect();
+        let mut pending = failure_plan.as_ref().map(|p| p.crashes.clone()).unwrap_or_default();
+        let mut pe_busy_total = vec![Dur::ZERO; orig_n_pes];
+        let mut pe_messages_total = vec![0u64; orig_n_pes];
+        let mut pe_queue_depth = vec![0usize; orig_n_pes];
+        let mut network = NetworkStats::default();
+        let mut faults_total = FaultModelStats::default();
+        let mut trace = trace_on.then(Trace::new);
+        let mut lb_rounds_total = 0u32;
+        let mut migrations_total = 0u64;
+        let mut checkpoints_taken = 0u32;
+        let mut checkpoint_bytes = 0u64;
+        let mut steps_replayed = 0u32;
+        let mut recoveries = 0u32;
+        let mut failures: Vec<PeFailed> = Vec::new();
+        let mut unrecoverable: Option<UnrecoverableError> = None;
+        let mut transport_error: Option<TransportError> = None;
 
         let mut host = Some(host);
-        let mut handles = Vec::with_capacity(n_pes);
-        for pe in topo.pes() {
-            let h = if pe == Pe(0) { host.take().expect("host once") } else { HostParts::empty() };
-            let node = Node::new(Arc::clone(&shared), pe, h);
-            let transport = Arc::clone(&transport);
-            let stop = Arc::clone(&stop);
-            let exit_announced = Arc::clone(&exit_announced);
-            let end_ns = Arc::clone(&end_ns);
-            let decode_rejected = Arc::clone(&decode_rejected);
-            let topo = topo.clone();
-            let compute_sleep = tcfg.compute_sleep;
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("mdo-pe{}", pe.0))
-                    .spawn(move || {
-                        pe_thread(
-                            pe,
-                            node,
-                            transport,
-                            stop,
-                            exit_announced,
-                            end_ns,
-                            decode_rejected,
-                            t0,
-                            topo,
-                            trace_on,
-                            compute_sleep,
-                        )
-                    })
-                    .expect("spawn PE thread"),
-            );
-        }
+        let mut nodes: Vec<Node> = shared
+            .topo
+            .pes()
+            .map(|pe| {
+                let h = if pe == Pe(0) { host.take().expect("host once") } else { HostParts::empty() };
+                Node::new(Arc::clone(&shared), pe, h)
+            })
+            .collect();
 
-        // Boot the program.
-        let startup =
-            Envelope { src: Pe(0), dst: Pe(0), priority: SYSTEM_PRIORITY, sent_at_ns: 0, body: MsgBody::Startup };
-        transport.send(Packet::with_priority(Pe(0), Pe(0), SYSTEM_PRIORITY, Bytes::from(startup.encode())));
+        'generations: loop {
+            let gen_topo = shared.topo.clone();
+            let n_pes = gen_topo.num_pes();
 
-        // Wall-clock watchdog; also trips when the reliable layer reports
-        // retry exhaustion (the run cannot complete, so abort cleanly).
-        let deadline = t0 + tcfg.max_wall;
-        while !stop.load(Ordering::Acquire) {
-            if Instant::now() >= deadline || transport.error().is_some() {
-                stop.store(true, Ordering::Release);
-                break;
+            // With a fault plan the cross-cluster chain becomes
+            // checksum → fault injection → verify → delay: an injected
+            // corruption fails the CRC and is dropped (counted), so it
+            // reaches the reliable layer as a plain loss.  Without a plan
+            // the chain and the wrapper are both zero-overhead passthroughs.
+            let mut tc = TransportConfig::new(gen_topo.clone(), tcfg.latency.clone());
+            let injected = fault_plan.clone().map(|plan| {
+                let fault = FaultDevice::for_reliable(plan);
+                let verify = CrcDevice::verifier();
+                tc.cross_extra = vec![CrcDevice::appender(), fault.clone(), verify.clone()];
+                (fault, verify)
+            });
+            let raw = Transport::new(tc);
+            let transport = match &fault_plan {
+                Some(plan) => ReliableTransport::with_plan(Arc::clone(&raw), plan.clone()),
+                None => ReliableTransport::passthrough(Arc::clone(&raw)),
+            };
+            let stop = Arc::new(AtomicBool::new(false));
+            let status: Arc<Vec<AtomicU8>> = Arc::new((0..n_pes).map(|_| AtomicU8::new(PE_ALIVE)).collect());
+            let gen_start = elapsed_ns(t0);
+            let last_heard: Arc<Vec<AtomicU64>> = Arc::new((0..n_pes).map(|_| AtomicU64::new(gen_start)).collect());
+
+            let mut handles = Vec::with_capacity(n_pes);
+            for node in nodes.drain(..) {
+                let pe = node.pe();
+                let ctl = ThreadCtl {
+                    transport: Arc::clone(&transport),
+                    stop: Arc::clone(&stop),
+                    exit_announced: Arc::clone(&exit_announced),
+                    end_ns: Arc::clone(&end_ns),
+                    decode_rejected: Arc::clone(&decode_rejected),
+                    status: Arc::clone(&status),
+                    last_heard: Arc::clone(&last_heard),
+                    t0,
+                    topo: gen_topo.clone(),
+                    trace_on,
+                    compute_sleep: tcfg.compute_sleep,
+                    hb_interval: failure_plan.as_ref().map(|p| p.hb_interval.to_std()),
+                    crash: pending.iter().find(|s| s.pe == orig[pe.index()]).map(|s| s.trigger),
+                    msgs_before: pe_messages_total[orig[pe.index()].index()],
+                };
+                handles.push((
+                    pe,
+                    std::thread::Builder::new()
+                        .name(format!("mdo-pe{}", pe.0))
+                        .spawn(move || pe_thread(pe, node, ctl))
+                        .expect("spawn PE thread"),
+                ));
             }
-            std::thread::sleep(Duration::from_millis(2));
+
+            // Boot the program (after a recovery the startup closure is
+            // gone, so PE 0 goes straight to the restore-resume broadcast).
+            let startup = Envelope {
+                src: Pe(0),
+                dst: Pe(0),
+                priority: SYSTEM_PRIORITY,
+                sent_at_ns: gen_start,
+                body: MsgBody::Startup,
+            };
+            transport.send(Packet::with_priority(Pe(0), Pe(0), SYSTEM_PRIORITY, Bytes::from(startup.encode())));
+
+            // Watchdog: wall-clock ceiling, retry exhaustion, panic flags,
+            // and (with a failure plan) heartbeat suspicion.
+            let suspect_after = failure_plan.as_ref().map(|p| p.suspect_after.as_nanos());
+            let mut flagged = vec![false; n_pes];
+            let mut gen_failed: Vec<(Pe, FailureCause)> = Vec::new();
+            loop {
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
+                if Instant::now() >= deadline {
+                    stop.store(true, Ordering::Release);
+                    break;
+                }
+                for i in 0..n_pes {
+                    if flagged[i] || status[i].load(Ordering::Acquire) != PE_PANICKED {
+                        continue;
+                    }
+                    flagged[i] = true;
+                    if failure_plan.is_none() {
+                        unrecoverable = Some(UnrecoverableError::NoFailurePlan { pe: orig[i] });
+                    } else if i == 0 {
+                        unrecoverable = Some(UnrecoverableError::HostFailed);
+                    } else {
+                        gen_failed.push((Pe(i as u32), FailureCause::Panic));
+                    }
+                }
+                if let Some(err) = transport.error() {
+                    if failure_plan.is_some() && err.dst != Pe(0) {
+                        // With fault tolerance armed, a peer that exhausts
+                        // retries is failure evidence, not a fatal error.
+                        if !flagged[err.dst.index()] {
+                            flagged[err.dst.index()] = true;
+                            gen_failed.push((err.dst, FailureCause::Unresponsive));
+                        }
+                    } else {
+                        transport_error = Some(err);
+                        stop.store(true, Ordering::Release);
+                        break;
+                    }
+                }
+                if let Some(limit) = suspect_after {
+                    let now = elapsed_ns(t0);
+                    // PE 0 is exempt: the detector runs next to it, and a
+                    // PE 0 failure is unrecoverable anyway (see DESIGN.md).
+                    for i in 1..n_pes {
+                        if flagged[i] {
+                            continue;
+                        }
+                        if now.saturating_sub(last_heard[i].load(Ordering::Acquire)) > limit {
+                            flagged[i] = true;
+                            let cause = if status[i].load(Ordering::Acquire) == PE_CRASHED {
+                                FailureCause::Injected
+                            } else {
+                                FailureCause::Unresponsive
+                            };
+                            gen_failed.push((Pe(i as u32), cause));
+                        }
+                    }
+                }
+                if unrecoverable.is_some() || !gen_failed.is_empty() {
+                    stop.store(true, Ordering::Release);
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            // Stop retransmissions, then wake every thread and wind down.
+            transport.shutdown();
+            raw.shutdown();
+
+            let mut results: Vec<PeResult> =
+                handles.into_iter().map(|(pe, h)| h.join().unwrap_or_else(|_| PeResult::lost(pe))).collect();
+            results.sort_by_key(|r| r.pe);
+
+            // A buddy pair dying at the same instant may have only one
+            // member past the suspicion threshold when the watchdog fires;
+            // the joined status flags name every casualty.
+            if failure_plan.is_some() && unrecoverable.is_none() {
+                for (i, r) in results.iter().enumerate() {
+                    let died = r.node.is_none() || status[i].load(Ordering::Acquire) != PE_ALIVE;
+                    if died && !flagged[i] && i != 0 {
+                        flagged[i] = true;
+                        let cause = if status[i].load(Ordering::Acquire) == PE_CRASHED {
+                            FailureCause::Injected
+                        } else {
+                            FailureCause::Unresponsive
+                        };
+                        gen_failed.push((Pe(i as u32), cause));
+                    }
+                }
+            }
+
+            // Close this generation's books (original PE numbering).
+            let (intra_pkts, intra_bytes) = raw.intra_traffic();
+            let (cross_pkts, cross_bytes) = raw.cross_traffic();
+            network.intra_messages += intra_pkts;
+            network.intra_bytes += intra_bytes;
+            network.cross_messages += cross_pkts;
+            network.cross_bytes += cross_bytes;
+            let (dev_stats, crc_rejected) =
+                injected.map(|(fault, verify)| (fault.stats(), verify.rejected())).unwrap_or_default();
+            faults_total.dropped += dev_stats.dropped;
+            faults_total.corrupt_rejected += crc_rejected;
+            faults_total.dup_dropped += transport.dup_dropped();
+            faults_total.reordered += dev_stats.reordered;
+            faults_total.retransmits += transport.retransmits();
+            for r in &mut results {
+                let o = orig[r.pe.index()].index();
+                pe_busy_total[o] += r.busy;
+                pe_messages_total[o] += r.messages;
+                pe_queue_depth[o] = pe_queue_depth[o].max(raw.mailbox(r.pe).max_depth());
+                if let Some(tr) = trace.as_mut() {
+                    tr.segments.append(&mut r.trace.segments);
+                    tr.messages.append(&mut r.trace.messages);
+                }
+            }
+            let gen_lb_rounds = results[0].lb_rounds;
+            lb_rounds_total += gen_lb_rounds;
+            migrations_total += results[0].migrations;
+            checkpoints_taken += results[0].ft_epochs;
+            checkpoint_bytes += results.iter().map(|r| r.ft_bytes).sum::<u64>();
+
+            let exited = exit_announced.load(Ordering::Acquire);
+            if unrecoverable.is_some() || transport_error.is_some() || exited || gen_failed.is_empty() {
+                break 'generations;
+            }
+
+            // Recover over the survivors: reassemble the newest complete
+            // buddy snapshot, shrink the topology, and restart from it.
+            let at = Time::from_nanos(elapsed_ns(t0));
+            for &(cur, cause) in &gen_failed {
+                failures.push(PeFailed { pe: orig[cur.index()], at, cause });
+            }
+            let dead_cur: Vec<Pe> = gen_failed.iter().map(|&(c, _)| c).collect();
+            let mut survivors: Vec<Node> =
+                results.into_iter().filter(|r| !dead_cur.contains(&r.pe)).filter_map(|r| r.node).collect();
+            let mut pieces = Vec::new();
+            for node in survivors.iter_mut() {
+                pieces.extend(node.take_ft_pieces());
+            }
+            let expected: Vec<(ArrayId, usize)> = shared.arrays.iter().map(|a| (a.id, a.n_elems)).collect();
+            let Some((snapshot, snap_round)) = assemble_buddy_snapshot(&expected, &pieces) else {
+                unrecoverable =
+                    Some(UnrecoverableError::NoCompleteSnapshot { failed: failures.iter().map(|f| f.pe).collect() });
+                break 'generations;
+            };
+            steps_replayed += gen_lb_rounds.saturating_sub(snap_round);
+            let host_parts = survivors.iter_mut().find(|n| n.pe() == Pe(0)).expect("PE 0 survives").take_host();
+            pending.retain(|s| !failures.iter().any(|f| f.pe == s.pe));
+            let (new_topo, new_map) = shared.topo.without_pes(&dead_cur);
+            orig = new_map.iter().map(|&cur| orig[cur.index()]).collect();
+            shared = Arc::new(NodeShared {
+                topo: new_topo,
+                arrays: shared.arrays.clone(),
+                cfg: restart_cfg.clone(),
+                restore: Some(Arc::new(snapshot)),
+            });
+            let mut host_parts = Some(host_parts);
+            nodes = shared
+                .topo
+                .pes()
+                .map(|pe| {
+                    let h = if pe == Pe(0) { host_parts.take().expect("host once") } else { HostParts::empty() };
+                    Node::new(Arc::clone(&shared), pe, h)
+                })
+                .collect();
+            recoveries += 1;
         }
-        // Stop retransmissions, then wake every thread and wind down.
-        transport.shutdown();
-        raw.shutdown();
-
-        let mut results: Vec<PeResult> = handles.into_iter().map(|h| h.join().expect("PE thread panicked")).collect();
-        results.sort_by_key(|r| r.pe);
-
-        let (intra_pkts, intra_bytes) = raw.intra_traffic();
-        let (cross_pkts, cross_bytes) = raw.cross_traffic();
-        let network = NetworkStats { intra_messages: intra_pkts, intra_bytes, cross_messages: cross_pkts, cross_bytes };
 
         let end = end_ns.load(Ordering::Acquire);
-        let end_time = if end > 0 {
-            Time::from_nanos(end)
-        } else {
-            Time::from_nanos(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX))
-        };
+        let end_time = if end > 0 { Time::from_nanos(end) } else { Time::from_nanos(elapsed_ns(t0)) };
+        faults_total.corrupt_rejected += decode_rejected.load(Ordering::Relaxed);
 
-        let mut trace = trace_on.then(Trace::new);
-        if let Some(tr) = trace.as_mut() {
-            for r in &mut results {
-                tr.segments.append(&mut r.trace.segments);
-                tr.messages.append(&mut r.trace.messages);
-            }
-        }
-
-        let (dev_stats, crc_rejected) =
-            injected.map(|(fault, verify)| (fault.stats(), verify.rejected())).unwrap_or_default();
-        let faults = FaultModelStats {
-            dropped: dev_stats.dropped,
-            corrupt_rejected: crc_rejected + decode_rejected.load(Ordering::Relaxed),
-            dup_dropped: transport.dup_dropped(),
-            reordered: dev_stats.reordered,
-            retransmits: transport.retransmits(),
-        };
-
-        let pe_max_queue_depth = topo.pes().map(|pe| raw.mailbox(pe).max_depth()).collect();
         RunReport {
             end_time,
-            pe_busy: results.iter().map(|r| r.busy).collect(),
-            pe_messages: results.iter().map(|r| r.messages).collect(),
-            pe_max_queue_depth,
+            pe_busy: pe_busy_total,
+            pe_messages: pe_messages_total,
+            pe_max_queue_depth: pe_queue_depth,
             network,
             trace,
-            lb_rounds: results[0].lb_rounds,
-            migrations: results[0].migrations,
-            faults,
-            transport_error: transport.error(),
+            lb_rounds: lb_rounds_total,
+            migrations: migrations_total,
+            faults: faults_total,
+            transport_error,
+            failures_detected: failures.len() as u32,
+            recoveries,
+            steps_replayed,
+            checkpoints_taken,
+            checkpoint_bytes,
+            failures,
+            unrecoverable,
         }
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn pe_thread(
-    pe: Pe,
-    mut node: Node,
-    transport: Arc<ReliableTransport>,
-    stop: Arc<AtomicBool>,
-    exit_announced: Arc<AtomicBool>,
-    end_ns: Arc<AtomicU64>,
-    decode_rejected: Arc<AtomicU64>,
-    t0: Instant,
-    topo: Topology,
-    trace_on: bool,
-    compute_sleep: bool,
-) -> PeResult {
+fn pe_thread(pe: Pe, mut node: Node, ctl: ThreadCtl) -> PeResult {
     let mut busy = Dur::ZERO;
     let mut trace = Trace::new();
-    let mut hooks = ThreadHooks { t0, pe, transport: Arc::clone(&transport) };
+    let mut hooks = ThreadHooks { t0: ctl.t0, pe, transport: Arc::clone(&ctl.transport) };
+    let mut died = false;
+    let mut last_hb: Option<Instant> = None;
     loop {
-        if stop.load(Ordering::Acquire) {
-            // Drain whatever is already queued, then leave.
-            if transport.try_recv(pe).is_none() {
+        // An injected crash kills the thread silently: no goodbye message,
+        // no flushing — the failure detector has to notice on its own.
+        if let Some(trigger) = ctl.crash {
+            let due = match trigger {
+                CrashTrigger::AtTime(at) => ctl.t0.elapsed() >= at.to_std(),
+                CrashTrigger::AfterMessages(n) => ctl.msgs_before + node.messages_processed() >= n,
+            };
+            if due {
+                ctl.status[pe.index()].store(PE_CRASHED, Ordering::Release);
+                died = true;
                 break;
             }
         }
-        let Some(pkt) = transport.recv_timeout(pe, Duration::from_millis(20)) else {
+        if let Some(interval) = ctl.hb_interval {
+            if pe == Pe(0) {
+                // The detector runs next to PE 0, which refreshes its own
+                // slot directly instead of mailing itself.
+                ctl.last_heard[0].store(elapsed_ns(ctl.t0), Ordering::Release);
+            } else if last_hb.is_none_or(|t| t.elapsed() >= interval) {
+                last_hb = Some(Instant::now());
+                let hb = Envelope {
+                    src: pe,
+                    dst: Pe(0),
+                    priority: SYSTEM_PRIORITY,
+                    sent_at_ns: elapsed_ns(ctl.t0),
+                    body: MsgBody::Heartbeat,
+                };
+                ctl.transport.send(Packet::with_priority(pe, Pe(0), SYSTEM_PRIORITY, Bytes::from(hb.encode())));
+            }
+        }
+        if ctl.stop.load(Ordering::Acquire) {
+            // Drain whatever is already queued, then leave.
+            if ctl.transport.try_recv(pe).is_none() {
+                break;
+            }
+        }
+        let Some(pkt) = ctl.transport.recv_timeout(pe, Duration::from_millis(20)) else {
             continue;
         };
         let env = match Envelope::decode(&pkt.payload) {
@@ -261,46 +523,58 @@ fn pe_thread(
                 // injection the sender's retransmission carries an intact
                 // copy, and without it one bad packet must not take down
                 // the whole PE.
-                decode_rejected.fetch_add(1, Ordering::Relaxed);
+                ctl.decode_rejected.fetch_add(1, Ordering::Relaxed);
                 eprintln!("mdo-pe{}: dropping undecodable packet from {}: {e:?}", pe.0, pkt.src);
                 continue;
             }
         };
+        if ctl.hb_interval.is_some() && pe == Pe(0) && matches!(env.body, MsgBody::Heartbeat) {
+            ctl.last_heard[env.src.index()].store(elapsed_ns(ctl.t0), Ordering::Release);
+            continue;
+        }
         let started = Instant::now();
-        let start_time = Time::from_nanos(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        let start_time = Time::from_nanos(elapsed_ns(ctl.t0));
         let sent_at = Time::from_nanos(env.sent_at_ns);
         let (src, dst) = (env.src, env.dst);
-        let outcome = node.handle(env, &mut hooks);
-        if compute_sleep && !outcome.charged.is_zero() {
+        // Panic isolation: a handler that panics takes down its PE, not
+        // the process — the watchdog sees the flag and either recovers
+        // (failure plan armed) or surfaces a structured error.
+        let outcome = match catch_unwind(AssertUnwindSafe(|| node.handle(env, &mut hooks))) {
+            Ok(outcome) => outcome,
+            Err(_) => {
+                ctl.status[pe.index()].store(PE_PANICKED, Ordering::Release);
+                died = true;
+                break;
+            }
+        };
+        if ctl.compute_sleep && !outcome.charged.is_zero() {
             std::thread::sleep(outcome.charged.to_std());
         }
         let took = Dur::from_std(started.elapsed());
         busy += took;
-        if trace_on {
-            trace.push_message(src, dst, sent_at, start_time, topo.crosses_wan(src, dst));
+        if ctl.trace_on {
+            trace.push_message(src, dst, sent_at, start_time, ctl.topo.crosses_wan(src, dst));
             trace.push_segment(pe, outcome.spans.first().and_then(|s| s.0), start_time, start_time + took);
         }
-        if outcome.exit && !exit_announced.swap(true, Ordering::AcqRel) {
-            end_ns.store(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX), Ordering::Release);
+        if outcome.exit && !ctl.exit_announced.swap(true, Ordering::AcqRel) {
+            ctl.end_ns.store(elapsed_ns(ctl.t0), Ordering::Release);
             // Tell everyone (including ourselves — harmless) to stop.
-            for dst in topo.pes() {
+            for dst in ctl.topo.pes() {
                 let bye = Envelope { src: pe, dst, priority: SYSTEM_PRIORITY, sent_at_ns: 0, body: MsgBody::Exit };
-                transport.send(Packet::with_priority(pe, dst, SYSTEM_PRIORITY, Bytes::from(bye.encode())));
+                ctl.transport.send(Packet::with_priority(pe, dst, SYSTEM_PRIORITY, Bytes::from(bye.encode())));
             }
-            stop.store(true, Ordering::Release);
+            ctl.stop.store(true, Ordering::Release);
         }
         if outcome.exit {
             break;
         }
     }
-    PeResult {
-        pe,
-        busy,
-        messages: node.messages_processed(),
-        lb_rounds: node.lb_rounds(),
-        migrations: node.migrations(),
-        trace,
-    }
+    let messages = node.messages_processed();
+    let lb_rounds = node.lb_rounds();
+    let migrations = node.migrations();
+    let ft_epochs = node.ft_epochs();
+    let ft_bytes = node.ft_bytes_stored();
+    PeResult { pe, busy, messages, lb_rounds, migrations, trace, ft_epochs, ft_bytes, node: (!died).then_some(node) }
 }
 
 #[cfg(test)]
@@ -513,11 +787,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "PE thread panicked")]
-    fn chare_panic_surfaces_after_watchdog() {
-        // A handler that panics kills its PE thread; the watchdog winds the
-        // rest down and the engine surfaces the panic at join time instead
-        // of hanging forever.
+    fn chare_panic_is_a_structured_error_not_a_process_abort() {
+        // A handler that panics takes down only its PE: the engine catches
+        // the unwind, winds the run down, and — with no failure plan to
+        // authorize recovery — reports a structured error instead of
+        // propagating the panic out of `run`.
         struct Exploder;
         impl Chare for Exploder {
             fn receive(&mut self, _e: EntryId, _p: &[u8], _c: &mut Ctx<'_>) {
@@ -529,8 +803,14 @@ mod tests {
         let mut p = Program::new();
         let arr = p.array("boom", 2, Mapping::Block, |_| Box::new(Exploder) as Box<dyn Chare>);
         p.on_startup(move |ctl| ctl.send(arr, ElemId(1), PING, vec![]));
-        let tcfg = ThreadedConfig { latency, max_wall: Duration::from_millis(300), compute_sleep: false };
-        let _ = ThreadedEngine::new(topo, tcfg, RunConfig::default()).run(p);
+        let tcfg = ThreadedConfig { latency, max_wall: Duration::from_secs(10), compute_sleep: false };
+        let started = Instant::now();
+        let report = ThreadedEngine::new(topo, tcfg, RunConfig::default()).run(p);
+        match report.unrecoverable {
+            Some(mdo_netsim::UnrecoverableError::NoFailurePlan { pe }) => assert_eq!(pe, Pe(1)),
+            other => panic!("expected NoFailurePlan, got {other:?}"),
+        }
+        assert!(started.elapsed() < Duration::from_secs(8), "engine wound down on the panic, not the watchdog");
     }
 
     #[test]

@@ -180,6 +180,38 @@ pub enum MsgBody {
     Startup,
     /// Engine control: stop the run.
     Exit,
+    /// Failure detector: "I am alive", sent periodically to PE 0 by the
+    /// threaded engine when a failure plan is armed.
+    Heartbeat,
+    /// PE 0 opens buddy-checkpoint epoch `epoch` at an AtSync barrier:
+    /// every PE packs its local elements and ships them to its buddy.
+    BuddyCollect {
+        /// Epoch number (monotonic within a run).
+        epoch: u32,
+        /// Completed AtSync rounds at the barrier this epoch rides on —
+        /// recorded so recovery can count replayed rounds.
+        lb_round: u32,
+    },
+    /// A PE's packed elements, shipped to its buddy for safekeeping.
+    BuddyStore {
+        /// Epoch this piece belongs to.
+        epoch: u32,
+        /// The PE whose elements these are.
+        owner: Pe,
+        /// AtSync rounds completed when the piece was packed.
+        lb_round: u32,
+        /// (object, packed state) for every element local to `owner`.
+        states: Vec<(ObjKey, Bytes)>,
+        /// Per-array next reduction sequence numbers (nonempty only in
+        /// PE 0's piece, which owns the reduction roots).
+        red_next: Vec<u32>,
+    },
+    /// A buddy acknowledges storing a piece of `epoch` (sent to PE 0;
+    /// the barrier resumes once every PE's piece is safe).
+    BuddyAck {
+        /// The epoch being acknowledged.
+        epoch: u32,
+    },
 }
 
 /// A message in flight between PEs.
@@ -229,6 +261,12 @@ impl Envelope {
             MsgBody::CkptData { states } => states.iter().map(|(_, s)| 12 + s.len() as u64).sum::<u64>() + 4,
             MsgBody::QdProbe { .. } => 5,
             MsgBody::QdReply { .. } => 22,
+            MsgBody::Heartbeat => 1,
+            MsgBody::BuddyCollect { .. } => 9,
+            MsgBody::BuddyStore { states, red_next, .. } => {
+                states.iter().map(|(_, s)| 12 + s.len() as u64).sum::<u64>() + red_next.len() as u64 * 4 + 17
+            }
+            MsgBody::BuddyAck { .. } => 5,
         };
         24 + body
     }
@@ -389,6 +427,23 @@ fn encode_body(w: &mut WireWriter, body: &MsgBody) {
             }
             w.bytes(payload);
         }
+        MsgBody::Heartbeat => {
+            w.u8(16);
+        }
+        MsgBody::BuddyCollect { epoch, lb_round } => {
+            w.u8(17).u32(*epoch).u32(*lb_round);
+        }
+        MsgBody::BuddyStore { epoch, owner, lb_round, states, red_next } => {
+            w.u8(18).u32(*epoch).u32(owner.0).u32(*lb_round).u32(states.len() as u32);
+            for (key, state) in states {
+                encode_obj(w, *key);
+                w.bytes(state);
+            }
+            w.u32_slice(red_next);
+        }
+        MsgBody::BuddyAck { epoch } => {
+            w.u8(19).u32(*epoch);
+        }
     }
 }
 
@@ -472,6 +527,22 @@ fn decode_body(r: &mut WireReader) -> Result<MsgBody, WireError> {
             let payload = Bytes::copy_from_slice(r.bytes()?);
             MsgBody::Multi { array, elems, entry, payload }
         }
+        16 => MsgBody::Heartbeat,
+        17 => MsgBody::BuddyCollect { epoch: r.u32()?, lb_round: r.u32()? },
+        18 => {
+            let epoch = r.u32()?;
+            let owner = Pe(r.u32()?);
+            let lb_round = r.u32()?;
+            let n = r.u32()? as usize;
+            let mut states = Vec::with_capacity(n);
+            for _ in 0..n {
+                let key = decode_obj(r)?;
+                states.push((key, Bytes::copy_from_slice(r.bytes()?)));
+            }
+            let red_next = r.u32_vec()?;
+            MsgBody::BuddyStore { epoch, owner, lb_round, states, red_next }
+        }
+        19 => MsgBody::BuddyAck { epoch: r.u32()? },
         _ => return Err(WireError { context: "MsgBody tag" }),
     })
 }
@@ -610,6 +681,40 @@ mod tests {
             MsgBody::CkptData { states: got } => assert_eq!(got, states),
             other => panic!("wrong body: {other:?}"),
         }
+    }
+
+    #[test]
+    fn failure_tolerance_bodies_roundtrip() {
+        assert!(matches!(roundtrip(MsgBody::Heartbeat), MsgBody::Heartbeat));
+        match roundtrip(MsgBody::BuddyCollect { epoch: 5, lb_round: 12 }) {
+            MsgBody::BuddyCollect { epoch, lb_round } => assert_eq!((epoch, lb_round), (5, 12)),
+            other => panic!("wrong body: {other:?}"),
+        }
+        let states = vec![
+            (ObjKey::new(ArrayId(0), ElemId(3)), Bytes::from_static(b"elem-3")),
+            (ObjKey::new(ArrayId(1), ElemId(0)), Bytes::new()),
+        ];
+        match roundtrip(MsgBody::BuddyStore {
+            epoch: 2,
+            owner: Pe(4),
+            lb_round: 6,
+            states: states.clone(),
+            red_next: vec![7, 0],
+        }) {
+            MsgBody::BuddyStore { epoch, owner, lb_round, states: got, red_next } => {
+                assert_eq!((epoch, owner, lb_round), (2, Pe(4), 6));
+                assert_eq!(got, states);
+                assert_eq!(red_next, vec![7, 0]);
+            }
+            other => panic!("wrong body: {other:?}"),
+        }
+        match roundtrip(MsgBody::BuddyAck { epoch: 9 }) {
+            MsgBody::BuddyAck { epoch } => assert_eq!(epoch, 9),
+            other => panic!("wrong body: {other:?}"),
+        }
+        // All fault-tolerance traffic is system traffic.
+        let env = Envelope { src: Pe(0), dst: Pe(1), priority: 0, sent_at_ns: 0, body: MsgBody::Heartbeat };
+        assert!(env.is_system());
     }
 
     #[test]

@@ -23,7 +23,7 @@ use mdo_netsim::{Dur, Pe, Time, Topology};
 use crate::array::{petree, ArrayLocal, ArraySpec};
 use crate::balancer::{run_strategy, LbInput, ObjMeasurement, Strategy};
 use crate::chare::{Chare, Ctx, CtxOut, CtxSink};
-use crate::checkpoint::CkptAssembly;
+use crate::checkpoint::{CkptAssembly, FtPiece};
 use crate::envelope::{Envelope, LbObjStat, MsgBody, ReduceData, APP_PRIORITY, SYSTEM_PRIORITY};
 use crate::ids::{ArrayId, EntryId, ObjKey};
 use crate::program::{CheckpointClient, Program, QuiescenceClient, ReductionClient, RunConfig, StartupFn};
@@ -141,6 +141,22 @@ struct LbState {
     migrations: u64,
 }
 
+/// Per-PE fault-tolerance state: buddy-checkpoint pieces held for
+/// ourselves and for the PE whose buddy we are, plus PE-0 coordination.
+#[derive(Default)]
+struct FtState {
+    /// Next checkpoint epoch to start (PE 0 only).
+    epoch: u32,
+    /// BuddyAcks received for the in-flight epoch (PE 0 only).
+    acks: usize,
+    /// Checkpoint pieces held in memory (own state + buddy's state), with
+    /// two-epoch retention so an epoch interrupted by a crash never
+    /// invalidates the previous complete one.
+    pieces: Vec<FtPiece>,
+    /// Total chare-state bytes this PE has packed into buddy checkpoints.
+    bytes_stored: u64,
+}
+
 /// The per-PE runtime core.
 pub struct Node {
     shared: Arc<NodeShared>,
@@ -157,6 +173,7 @@ pub struct Node {
     obj_load: HashMap<ObjKey, u64>,
     obj_comm: HashMap<ObjKey, HashMap<ObjKey, u64>>,
     ckpt: CkptAssembly,
+    ft: FtState,
     messages_processed: u64,
     exited: bool,
 }
@@ -222,6 +239,7 @@ impl Node {
             obj_load: HashMap::new(),
             obj_comm: HashMap::new(),
             ckpt: CkptAssembly::default(),
+            ft: FtState::default(),
             messages_processed: 0,
             exited: false,
         }
@@ -250,6 +268,29 @@ impl Node {
     /// Total object migrations across rounds (meaningful on PE 0).
     pub fn migrations(&self) -> u64 {
         self.lb.migrations
+    }
+
+    /// Buddy-checkpoint epochs started (meaningful on PE 0).
+    pub(crate) fn ft_epochs(&self) -> u32 {
+        self.ft.epoch
+    }
+
+    /// Chare-state bytes this PE packed into buddy checkpoints.
+    pub(crate) fn ft_bytes_stored(&self) -> u64 {
+        self.ft.bytes_stored
+    }
+
+    /// Drain the buddy-checkpoint pieces held here (used by engines when
+    /// reassembling a snapshot after a PE failure).
+    pub(crate) fn take_ft_pieces(&mut self) -> Vec<FtPiece> {
+        std::mem::take(&mut self.ft.pieces)
+    }
+
+    /// Extract the host closures so a recovered generation of nodes can
+    /// reuse them (the startup closure was already consumed, so the new
+    /// PE 0 goes straight to the restore-resume path).
+    pub(crate) fn take_host(&mut self) -> HostParts {
+        std::mem::replace(&mut self.host, HostParts::empty())
     }
 
     fn topo(&self) -> &Topology {
@@ -341,9 +382,7 @@ impl Node {
                             self.emit_env(hooks, pe, SYSTEM_PRIORITY, MsgBody::CkptCollect, Dur::ZERO);
                         }
                     } else {
-                        for pe in self.topo().pes().collect::<Vec<_>>() {
-                            self.emit_env(hooks, pe, SYSTEM_PRIORITY, MsgBody::LbResume, Dur::ZERO);
-                        }
+                        self.release_barrier(hooks);
                     }
                 }
             }
@@ -372,9 +411,7 @@ impl Node {
                     self.process_sink(None, sink, hooks, &mut outcome);
                     // The barrier now completes as usual.
                     if !outcome.exit {
-                        for pe in self.topo().pes().collect::<Vec<_>>() {
-                            self.emit_env(hooks, pe, SYSTEM_PRIORITY, MsgBody::LbResume, Dur::ZERO);
-                        }
+                        self.release_barrier(hooks);
                     }
                 }
             }
@@ -417,6 +454,53 @@ impl Node {
                     // Restored run: wake every element via resume_from_sync.
                     for pe in self.topo().pes().collect::<Vec<_>>() {
                         self.emit_env(hooks, pe, SYSTEM_PRIORITY, MsgBody::RestoreResume, Dur::ZERO);
+                    }
+                }
+            }
+            MsgBody::Heartbeat => {
+                // Liveness traffic is consumed by the engine's failure
+                // detector before it reaches the node; reaching here (e.g.
+                // in the virtual-time engine, where detection is exact and
+                // heartbeats are unnecessary) is a harmless no-op.
+            }
+            MsgBody::BuddyCollect { epoch, lb_round } => {
+                // Buddy-checkpoint round: pack local elements, keep one
+                // copy here, ship the other to the next PE around the ring.
+                let states = self.pack_all_local();
+                self.ft.bytes_stored += states.iter().map(|(_, s)| s.len() as u64).sum::<u64>();
+                let red_next: Vec<u32> = if self.pe == Pe(0) {
+                    (0..self.arrays.len()).map(|i| self.root[i].next_seq()).collect()
+                } else {
+                    Vec::new()
+                };
+                self.store_ft_piece(FtPiece {
+                    epoch,
+                    owner: self.pe,
+                    lb_round,
+                    states: states.clone(),
+                    red_next: red_next.clone(),
+                });
+                let buddy = Pe((self.pe.0 + 1) % self.num_pes() as u32);
+                self.emit_env(
+                    hooks,
+                    buddy,
+                    SYSTEM_PRIORITY,
+                    MsgBody::BuddyStore { epoch, owner: self.pe, lb_round, states, red_next },
+                    Dur::ZERO,
+                );
+            }
+            MsgBody::BuddyStore { epoch, owner, lb_round, states, red_next } => {
+                self.store_ft_piece(FtPiece { epoch, owner, lb_round, states, red_next });
+                self.emit_env(hooks, Pe(0), SYSTEM_PRIORITY, MsgBody::BuddyAck { epoch }, Dur::ZERO);
+            }
+            MsgBody::BuddyAck { epoch } => {
+                assert_eq!(self.pe, Pe(0), "BuddyAck must go to PE 0");
+                let _ = epoch;
+                self.ft.acks += 1;
+                if self.ft.acks == self.num_pes() {
+                    self.ft.acks = 0;
+                    for pe in self.topo().pes().collect::<Vec<_>>() {
+                        self.emit_env(hooks, pe, SYSTEM_PRIORITY, MsgBody::LbResume, Dur::ZERO);
                     }
                 }
             }
@@ -818,6 +902,36 @@ impl Node {
             self.elems.insert(key, chare);
             self.process_sink(Some(key), sink, hooks, outcome);
         }
+    }
+
+    /// Complete a barrier from PE 0: when a failure plan is armed, run a
+    /// buddy-checkpoint round first (the barrier is the only point where
+    /// every element is quiescent, so packing here is race-free); the
+    /// LbResume broadcast then follows the final BuddyAck.  Without fault
+    /// tolerance, resume immediately — byte-identical to the old path.
+    fn release_barrier(&mut self, hooks: &mut dyn NodeHooks) {
+        if self.shared.cfg.failure_plan.is_some() {
+            let epoch = self.ft.epoch;
+            self.ft.epoch += 1;
+            self.ft.acks = 0;
+            let lb_round = self.lb.rounds;
+            for pe in self.topo().pes().collect::<Vec<_>>() {
+                self.emit_env(hooks, pe, SYSTEM_PRIORITY, MsgBody::BuddyCollect { epoch, lb_round }, Dur::ZERO);
+            }
+        } else {
+            for pe in self.topo().pes().collect::<Vec<_>>() {
+                self.emit_env(hooks, pe, SYSTEM_PRIORITY, MsgBody::LbResume, Dur::ZERO);
+            }
+        }
+    }
+
+    /// Remember a checkpoint piece, discarding epochs older than the two
+    /// most recent (a crash mid-epoch must never orphan the last complete
+    /// snapshot).
+    fn store_ft_piece(&mut self, piece: FtPiece) {
+        let newest = piece.epoch;
+        self.ft.pieces.retain(|p| p.epoch + 2 > newest);
+        self.ft.pieces.push(piece);
     }
 
     /// Pack every local element in the migration byte format (reduction

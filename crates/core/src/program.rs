@@ -10,7 +10,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use mdo_netsim::network::NetworkStats;
-use mdo_netsim::{Dur, FaultModelStats, FaultPlan, Time, TransportError};
+use mdo_netsim::{Dur, FailurePlan, FaultModelStats, FaultPlan, PeFailed, Time, TransportError, UnrecoverableError};
 
 use crate::array::ArraySpec;
 use crate::balancer::{GreedyLB, GridCommLB, RefineLB, RotateLB, Strategy};
@@ -236,6 +236,12 @@ pub struct RunConfig {
     /// equivalent virtual-time fault model (simulation engine).  `None`
     /// leaves both engines exactly as they are without fault injection.
     pub fault_plan: Option<FaultPlan>,
+    /// PE-failure tolerance: when set, the engines arm the failure
+    /// detector, take buddy checkpoints at every AtSync barrier, inject
+    /// the plan's crashes, and automatically shrink-restart from the
+    /// newest complete buddy snapshot on failure.  `None` (the default)
+    /// leaves the runtime exactly as it was: a dying PE ends the run.
+    pub failure_plan: Option<FailurePlan>,
 }
 
 impl Default for RunConfig {
@@ -248,6 +254,7 @@ impl Default for RunConfig {
             checkpoint_at_barrier: false,
             seed: 0,
             fault_plan: None,
+            failure_plan: None,
         }
     }
 }
@@ -282,6 +289,22 @@ pub struct RunReport {
     /// budget for some message and the run was aborted; results are
     /// incomplete in that case.
     pub transport_error: Option<TransportError>,
+    /// Number of PE failures detected (injected, panics, timeouts).
+    pub failures_detected: u32,
+    /// Number of successful shrink-restart recoveries.
+    pub recoveries: u32,
+    /// AtSync rounds of work re-executed across all recoveries (rounds
+    /// completed after the restored snapshot was taken).
+    pub steps_replayed: u32,
+    /// Buddy-checkpoint epochs completed.
+    pub checkpoints_taken: u32,
+    /// Total packed element bytes shipped to buddies.
+    pub checkpoint_bytes: u64,
+    /// Every failure detected, in detection order (original PE numbering).
+    pub failures: Vec<PeFailed>,
+    /// Set when a failure could not be recovered from; the run ended
+    /// early (but cleanly) and results are incomplete.
+    pub unrecoverable: Option<UnrecoverableError>,
 }
 
 impl RunReport {
@@ -365,6 +388,13 @@ mod tests {
             migrations: 0,
             faults: FaultModelStats::default(),
             transport_error: None,
+            failures_detected: 0,
+            recoveries: 0,
+            steps_replayed: 0,
+            checkpoints_taken: 0,
+            checkpoint_bytes: 0,
+            failures: Vec::new(),
+            unrecoverable: None,
         };
         assert!((report.mean_utilization() - 0.75).abs() < 1e-12);
     }

@@ -48,6 +48,7 @@
 
 pub mod bandwidth;
 pub mod event;
+pub mod failure;
 pub mod fault;
 pub mod latency;
 pub mod network;
@@ -58,6 +59,7 @@ pub mod topology;
 
 pub use bandwidth::{LinkModel, WanContention};
 pub use event::{EventId, EventQueue};
+pub use failure::{CrashSpec, CrashTrigger, FailureCause, FailurePlan, PeFailed, UnrecoverableError};
 pub use fault::{DeliveryPlan, FaultModel, FaultModelStats, FaultPlan, TransportError};
 pub use latency::{LatencyMatrix, LatencyMatrixBuilder};
 pub use network::{DeliveryOracle, NetworkModel, NetworkStats};

@@ -97,6 +97,15 @@ impl NetworkModel {
     pub fn latency_matrix(&self) -> &LatencyMatrix {
         &self.latency
     }
+
+    /// Swap in a shrunken topology (see [`Topology::without_pes`]) while
+    /// keeping the latency matrix, contention state, jitter stream and
+    /// traffic statistics.  The cluster list must be unchanged — shrink
+    /// keeps emptied clusters precisely so this holds.
+    pub fn set_topology(&mut self, topo: Topology) {
+        assert_eq!(topo.num_clusters(), self.topo.num_clusters(), "shrink must preserve the cluster list");
+        self.topo = topo;
+    }
 }
 
 impl DeliveryOracle for NetworkModel {

@@ -156,6 +156,35 @@ impl Topology {
     pub fn clusters(&self) -> impl Iterator<Item = ClusterId> {
         (0..self.clusters.len() as u16).map(ClusterId)
     }
+
+    /// The shrunken topology after the PEs in `dead` are lost, plus the
+    /// new→old PE mapping (`map[new.index()] == old`).
+    ///
+    /// Clusters are **kept in place even when emptied** so that cluster
+    /// indices — and with them the per-cluster latency matrix and WAN
+    /// contention state — stay valid across a shrink.  Surviving PEs are
+    /// renumbered densely in the old global order.  Panics if every PE is
+    /// dead.
+    pub fn without_pes(&self, dead: &[Pe]) -> (Topology, Vec<Pe>) {
+        let mut clusters: Vec<ClusterSpec> =
+            self.clusters.iter().map(|c| ClusterSpec { pes: 0, ..c.clone() }).collect();
+        let mut cluster_of = Vec::new();
+        let mut first_pe = vec![0u32; clusters.len()];
+        let mut map = Vec::new();
+        for (ci, _) in self.clusters.iter().enumerate() {
+            first_pe[ci] = cluster_of.len() as u32;
+            for pe in self.pes_in(ClusterId(ci as u16)) {
+                if dead.contains(&pe) {
+                    continue;
+                }
+                clusters[ci].pes += 1;
+                cluster_of.push(ClusterId(ci as u16));
+                map.push(pe);
+            }
+        }
+        assert!(!cluster_of.is_empty(), "every PE is dead; no topology remains");
+        (Topology { clusters, cluster_of, first_pe }, map)
+    }
 }
 
 #[cfg(test)]
@@ -216,5 +245,38 @@ mod tests {
         // The paper's smallest configuration: 1+1.
         let t = Topology::two_cluster(2);
         assert!(t.crosses_wan(Pe(0), Pe(1)));
+    }
+
+    #[test]
+    fn shrink_renumbers_densely_and_keeps_clusters() {
+        let t = Topology::two_cluster(6); // A = {0,1,2}, B = {3,4,5}
+        let (s, map) = t.without_pes(&[Pe(1), Pe(4)]);
+        assert_eq!(s.num_pes(), 4);
+        assert_eq!(s.num_clusters(), 2, "cluster indices survive the shrink");
+        assert_eq!(map, vec![Pe(0), Pe(2), Pe(3), Pe(5)]);
+        assert_eq!(s.cluster_of(Pe(0)), ClusterId(0));
+        assert_eq!(s.cluster_of(Pe(1)), ClusterId(0));
+        assert_eq!(s.cluster_of(Pe(2)), ClusterId(1));
+        assert_eq!(s.cluster_of(Pe(3)), ClusterId(1));
+        assert!(s.crosses_wan(Pe(1), Pe(2)));
+    }
+
+    #[test]
+    fn shrink_can_empty_a_whole_cluster() {
+        let t = Topology::two_cluster(4); // A = {0,1}, B = {2,3}
+        let (s, map) = t.without_pes(&[Pe(2), Pe(3)]);
+        assert_eq!(s.num_pes(), 2);
+        assert_eq!(s.num_clusters(), 2);
+        assert_eq!(s.cluster_size(ClusterId(1)), 0);
+        assert_eq!(s.pes_in(ClusterId(1)).count(), 0);
+        assert_eq!(map, vec![Pe(0), Pe(1)]);
+        assert!(!s.crosses_wan(Pe(0), Pe(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "every PE is dead")]
+    fn shrink_to_nothing_panics() {
+        let t = Topology::single(2);
+        let _ = t.without_pes(&[Pe(0), Pe(1)]);
     }
 }

@@ -68,5 +68,5 @@ pub use devices::rle::RleDevice;
 pub use devices::stripe::{ReassembleDevice, StripeDevice};
 pub use mailbox::Mailbox;
 pub use packet::Packet;
-pub use reliable::ReliableTransport;
+pub use reliable::{jittered_backoff, ReliableTransport};
 pub use transport::{Transport, TransportConfig};

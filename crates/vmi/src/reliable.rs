@@ -33,7 +33,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use mdo_netsim::{FaultPlan, Pe, TransportError};
+use mdo_netsim::{Dur, FaultPlan, Pe, SplitMix64, TransportError};
 use parking_lot::Mutex;
 
 use crate::packet::Packet;
@@ -87,6 +87,22 @@ pub fn decode_frame(payload: &[u8]) -> Option<(u8, u64, &[u8])> {
 /// device to spare control traffic.
 pub fn is_control_frame(payload: &[u8]) -> bool {
     payload.first() == Some(&KIND_ACK)
+}
+
+/// Deterministic retransmission backoff with per-pair jitter.
+///
+/// Attempt `retries` on pair `(src, dst)` waits its exponential base
+/// stretched by up to +25 %, where the extra fraction is
+/// [`SplitMix64`]-hashed from `(seed, src, dst, retries)`.  Without the
+/// jitter, pairs that lose packets on the same tick retransmit in lockstep
+/// forever — synchronized WAN bursts hitting the same congested link; with
+/// it their schedules decorrelate while staying bit-reproducible for a
+/// given fault-plan seed.
+pub fn jittered_backoff(base: Dur, seed: u64, src: Pe, dst: Pe, retries: u32) -> Dur {
+    let key = seed ^ (u64::from(src.0) << 40) ^ (u64::from(dst.0) << 20) ^ u64::from(retries);
+    let frac = (SplitMix64::new(key).next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+    let extra = (base.as_nanos() as f64 * 0.25 * frac) as u64;
+    Dur::from_nanos(base.as_nanos().saturating_add(extra))
 }
 
 /// An unacknowledged data frame awaiting an ack or its next retransmission.
@@ -356,9 +372,12 @@ fn spawn_retransmit_timer(shared: Arc<Shared>) -> std::thread::JoinHandle<()> {
                                 exhausted.push(seq);
                             } else {
                                 p.retries += 1;
-                                // Exponential backoff: attempt i waits 2^i * rto.
-                                let backoff =
+                                // Exponential backoff: attempt i waits 2^i * rto,
+                                // plus per-pair jitter so concurrent pairs do
+                                // not retransmit in lockstep.
+                                let base =
                                     shared.plan.rto.checked_mul(1u64 << p.retries.min(20)).unwrap_or(shared.plan.rto);
+                                let backoff = jittered_backoff(base, shared.plan.seed, Pe(src), Pe(dst), p.retries);
                                 p.deadline = now + backoff.to_std();
                                 shared.retransmits.fetch_add(1, Ordering::Relaxed);
                                 resend.push(p.pkt.clone());

@@ -28,5 +28,8 @@ pub mod prelude {
     pub use mdo_core::program::{LbChoice, RunConfig};
     pub use mdo_core::{SimEngine, ThreadedConfig, ThreadedEngine};
     pub use mdo_netsim::network::NetworkModel;
-    pub use mdo_netsim::{Dur, FaultPlan, LatencyMatrix, Pe, Time, Topology, TransportError};
+    pub use mdo_netsim::{
+        CrashTrigger, Dur, FailureCause, FailurePlan, FaultPlan, LatencyMatrix, Pe, PeFailed, Time, Topology,
+        TransportError, UnrecoverableError,
+    };
 }

@@ -1,10 +1,19 @@
-//! Snapshot portability across engines: a job checkpointed in *virtual
-//! time* (simulation engine) restarts on *real threads* (threaded engine
-//! with its real delay device) — and finishes with bit-identical state.
-//! This is the full §2.1 fault-tolerance story: the checkpoint encodes
-//! only application state, nothing engine-specific.
+//! Snapshot portability and fault tolerance across engines.
+//!
+//! The first test is the original cross-engine story: a job checkpointed
+//! in *virtual time* (simulation engine) restarts on *real threads*
+//! (threaded engine with its real delay device) — and finishes with
+//! bit-identical state.
+//!
+//! The rest exercise the §2.1 fault-tolerance machinery end to end: PEs
+//! are crash-injected mid-run, the engines detect the failures, reassemble
+//! the newest complete buddy checkpoint, shrink onto the survivors and
+//! continue — and the results must be bit-exact against a failure-free
+//! run.  An unrecoverable loss (a buddy pair dying together) must surface
+//! as a structured error, never a panic.
 
 use gridmdo::apps::leanmd::{self, MdConfig};
+use gridmdo::apps::stencil::{self, StencilConfig, StencilCost};
 use gridmdo::prelude::*;
 use gridmdo::runtime::checkpoint::Snapshot;
 use std::sync::{Arc, Mutex};
@@ -38,4 +47,155 @@ fn sim_checkpoint_restores_under_threaded_engine() {
         leanmd::run_threaded_full(cfg, topo, ThreadedConfig::new(latency), RunConfig::default(), Some(snapshot));
     assert_eq!(restored.checksums, full.checksums, "cross-engine restart is bit-exact");
     assert_eq!(restored.kinetic, full.kinetic);
+}
+
+// ---- fault tolerance ------------------------------------------------------
+
+/// A small stencil with real compute and a barrier (= buddy checkpoint)
+/// every step, so crashes can land anywhere and recovery has epochs to
+/// restart from.
+fn small_stencil(steps: u32) -> StencilConfig {
+    StencilConfig {
+        mesh: 32,
+        objects: 16,
+        steps,
+        compute: true,
+        cost: StencilCost { ns_per_cell: 10.0, msg_overhead: Dur::from_micros(5), cache_effect: false },
+        mapping: Mapping::Block,
+        lb_period: Some(1),
+    }
+}
+
+fn stencil_net() -> NetworkModel {
+    NetworkModel::two_cluster_sweep(4, Dur::from_millis(1))
+}
+
+fn frac_of(total: Dur, num: u32, den: u32) -> Dur {
+    Dur::from_nanos(total.as_nanos() * u64::from(num) / u64::from(den))
+}
+
+#[test]
+fn sim_single_crash_recovers_bit_exact() {
+    let cfg = small_stencil(6);
+    let clean = stencil::run_sim(cfg.clone(), stencil_net(), RunConfig::default());
+    assert!(!clean.block_sums.is_empty());
+
+    // Kill PE 2 at 60 % of the failure-free makespan.
+    let at = frac_of(clean.total, 3, 5);
+    let plan = FailurePlan::new().crash_at(Pe(2), at);
+    let run_cfg = RunConfig { failure_plan: Some(plan), ..RunConfig::default() };
+    let crashed = stencil::run_sim(cfg, stencil_net(), run_cfg);
+
+    assert_eq!(crashed.block_sums, clean.block_sums, "recovery is bit-exact");
+    assert_eq!(crashed.report.failures_detected, 1);
+    assert_eq!(crashed.report.recoveries, 1);
+    assert!(crashed.report.unrecoverable.is_none());
+    assert_eq!(crashed.report.failures[0].pe, Pe(2));
+    assert_eq!(crashed.report.failures[0].cause, FailureCause::Injected);
+    assert!(crashed.report.checkpoints_taken > 0, "buddy epochs were recorded");
+    assert!(crashed.report.checkpoint_bytes > 0);
+    assert!(crashed.total > clean.total, "recovery replays work, so the run takes longer");
+}
+
+#[test]
+fn sim_crash_at_every_step_is_bit_exact() {
+    // Sweep the crash point across the whole run: one injected crash of
+    // PE 1 at the middle of every step after the first checkpoint barrier.
+    let steps = 5;
+    let cfg = small_stencil(steps);
+    let clean = stencil::run_sim(cfg.clone(), stencil_net(), RunConfig::default());
+
+    let mut total_replayed = 0;
+    for step in 1..steps {
+        let at = frac_of(clean.total, 2 * step + 1, 2 * steps);
+        let plan = FailurePlan::new().crash_at(Pe(1), at);
+        let run_cfg = RunConfig { failure_plan: Some(plan), ..RunConfig::default() };
+        let crashed = stencil::run_sim(cfg.clone(), stencil_net(), run_cfg);
+        assert_eq!(crashed.block_sums, clean.block_sums, "crash at step {step}: bit-exact");
+        assert_eq!(crashed.report.failures_detected, 1, "crash at step {step}");
+        assert_eq!(crashed.report.recoveries, 1, "crash at step {step}");
+        total_replayed += crashed.report.steps_replayed;
+    }
+    // A crash landing exactly on a checkpoint boundary replays nothing,
+    // but across the sweep some crashes must land mid-step.
+    assert!(total_replayed >= 1, "the sweep replays work somewhere");
+}
+
+#[test]
+fn threaded_single_crash_recovers_bit_exact() {
+    let cfg = small_stencil(6);
+    let topo = Topology::two_cluster(4);
+    let latency = LatencyMatrix::uniform(&topo, Dur::ZERO, Dur::from_micros(300));
+    let clean = stencil::run_threaded(cfg.clone(), topo.clone(), latency.clone(), RunConfig::default());
+
+    // Progress-point crash: kill PE 2 after half of the envelopes it
+    // handled in the failure-free run (self-calibrating, so the crash
+    // lands mid-run regardless of host speed).
+    let n = clean.report.pe_messages[2] / 2;
+    assert!(n > 0);
+    let plan =
+        FailurePlan::new().crash_after_messages(Pe(2), n).with_heartbeat(Dur::from_millis(15), Dur::from_millis(150));
+    let run_cfg = RunConfig { failure_plan: Some(plan), ..RunConfig::default() };
+    let crashed = stencil::run_threaded(cfg, topo, latency, run_cfg);
+
+    assert_eq!(crashed.block_sums, clean.block_sums, "threaded recovery is bit-exact");
+    assert_eq!(crashed.report.failures_detected, 1);
+    assert_eq!(crashed.report.recoveries, 1);
+    assert!(crashed.report.unrecoverable.is_none());
+    assert_eq!(crashed.report.failures[0].pe, Pe(2));
+}
+
+#[test]
+fn double_failure_of_a_buddy_pair_is_a_structured_error() {
+    // PE 1's buddy is PE 2: killing both at the same instant destroys both
+    // copies of PE 1's newest pieces, so recovery must give up — cleanly.
+    let cfg = small_stencil(6);
+    let clean = stencil::run_sim(cfg.clone(), stencil_net(), RunConfig::default());
+    let at = frac_of(clean.total, 1, 2);
+    let plan = FailurePlan::new().crash_at(Pe(1), at).crash_at(Pe(2), at);
+    let run_cfg = RunConfig { failure_plan: Some(plan), ..RunConfig::default() };
+    let crashed = stencil::run_sim(cfg, stencil_net(), run_cfg);
+
+    assert_eq!(crashed.report.failures_detected, 2);
+    assert_eq!(crashed.report.recoveries, 0);
+    match crashed.report.unrecoverable {
+        Some(UnrecoverableError::NoCompleteSnapshot { ref failed }) => {
+            assert_eq!(failed.as_slice(), &[Pe(1), Pe(2)]);
+        }
+        ref other => panic!("expected NoCompleteSnapshot, got {other:?}"),
+    }
+}
+
+#[test]
+fn leanmd_single_crash_recovers_bit_exact_on_both_engines() {
+    let mut cfg = MdConfig::validation(3, 4, 6);
+    cfg.lb_period = Some(2);
+    let net = || NetworkModel::two_cluster_sweep(4, Dur::from_millis(2));
+
+    // Simulation engine: exact virtual-time crash.
+    let clean_sim = leanmd::run_sim(cfg.clone(), net(), RunConfig::default());
+    let at = frac_of(clean_sim.total, 3, 5);
+    let plan = FailurePlan::new().crash_at(Pe(2), at);
+    let run_cfg = RunConfig { failure_plan: Some(plan), ..RunConfig::default() };
+    let crashed_sim = leanmd::run_sim(cfg.clone(), net(), run_cfg);
+    assert_eq!(crashed_sim.checksums, clean_sim.checksums, "sim recovery is bit-exact");
+    assert_eq!(crashed_sim.kinetic, clean_sim.kinetic);
+    assert_eq!(crashed_sim.report.failures_detected, 1);
+    assert_eq!(crashed_sim.report.recoveries, 1);
+    assert!(crashed_sim.report.unrecoverable.is_none());
+
+    // Threaded engine: heartbeat detection of a progress-point crash.
+    let topo = Topology::two_cluster(4);
+    let latency = LatencyMatrix::uniform(&topo, Dur::ZERO, Dur::from_micros(300));
+    let clean_thr = leanmd::run_threaded(cfg.clone(), topo.clone(), latency.clone(), RunConfig::default());
+    assert_eq!(clean_thr.checksums, clean_sim.checksums, "both engines agree before any failure");
+    let n = clean_thr.report.pe_messages[2] / 2;
+    let plan =
+        FailurePlan::new().crash_after_messages(Pe(2), n).with_heartbeat(Dur::from_millis(15), Dur::from_millis(150));
+    let run_cfg = RunConfig { failure_plan: Some(plan), ..RunConfig::default() };
+    let crashed_thr = leanmd::run_threaded(cfg, topo, latency, run_cfg);
+    assert_eq!(crashed_thr.checksums, clean_sim.checksums, "threaded recovery is bit-exact");
+    assert_eq!(crashed_thr.report.failures_detected, 1);
+    assert_eq!(crashed_thr.report.recoveries, 1);
+    assert!(crashed_thr.report.unrecoverable.is_none());
 }

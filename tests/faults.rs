@@ -15,7 +15,7 @@ use gridmdo::apps::stencil::{self, seq::SeqStencil, StencilConfig, StencilCost};
 use gridmdo::netsim::{DeliveryPlan, FaultModel};
 use gridmdo::prelude::*;
 use gridmdo::vmi::devices::crc::CrcDevice;
-use gridmdo::vmi::{FaultDevice, Packet, ReliableTransport, Transport, TransportConfig};
+use gridmdo::vmi::{jittered_backoff, FaultDevice, Packet, ReliableTransport, Transport, TransportConfig};
 use proptest::prelude::*;
 
 fn small_stencil(objects: usize, steps: u32, mesh: usize) -> StencilConfig {
@@ -124,6 +124,36 @@ proptest! {
         prop_assert_eq!(model.stats().retransmits + model.stats().dropped > 0,
                         model.stats().dropped > 0);
     }
+}
+
+/// Retransmission backoff carries deterministic per-pair jitter: two
+/// pairs that lose packets on the same tick must not retransmit on
+/// identical schedules (synchronized WAN bursts), yet each pair's
+/// schedule is reproducible and stays within +25 % of the exponential
+/// base.
+#[test]
+fn backoff_jitter_decorrelates_pairs_deterministically() {
+    let seed = 0xFA_17; // the FaultPlan default
+    let base = |r: u32| Dur::from_millis(50).checked_mul(1u64 << r).unwrap();
+    let schedule =
+        |src: Pe, dst: Pe| -> Vec<Dur> { (1..=6).map(|r| jittered_backoff(base(r), seed, src, dst, r)).collect() };
+
+    let pair_a = schedule(Pe(0), Pe(2));
+    let pair_b = schedule(Pe(1), Pe(3));
+    assert_ne!(pair_a, pair_b, "two pairs must not share a retransmission schedule");
+    assert!(pair_a.iter().zip(&pair_b).any(|(a, b)| a != b), "at least one retry tick differs between the pairs");
+    for (r, (&a, &b)) in pair_a.iter().zip(&pair_b).enumerate() {
+        let b0 = base(r as u32 + 1);
+        let cap = Dur::from_nanos(b0.as_nanos() + b0.as_nanos() / 4);
+        assert!(a >= b0 && a <= cap, "retry {r}: jitter within [base, base+25%], got {a} for base {b0}");
+        assert!(b >= b0 && b <= cap, "retry {r}: jitter within [base, base+25%], got {b} for base {b0}");
+    }
+    assert_eq!(pair_a, schedule(Pe(0), Pe(2)), "the schedule is deterministic for a given seed");
+    assert_ne!(
+        (1..=6).map(|r| jittered_backoff(base(r), 7, Pe(0), Pe(2), r)).collect::<Vec<_>>(),
+        pair_a,
+        "a different fault-plan seed moves the schedule"
+    );
 }
 
 /// The tentpole acceptance check, simulation side: a 5 % drop + dup +
