@@ -7,9 +7,12 @@
 //! computations and message exchanges with A"* until C's reply lands.
 //!
 //! This binary scripts exactly that interaction as three chares on a
-//! 2+1-PE topology, records a trace in the simulation engine, and renders
-//! the ASCII timeline: B's row should be solid with work during the
-//! round-trip gap, and near-idle in a control run without A's traffic.
+//! 2+1-PE topology, records the observability event stream in the
+//! simulation engine, and renders the ASCII timeline derived from it:
+//! B's row should be solid with work during the round-trip gap, and
+//! near-idle in a control run without A's traffic.  The same stream
+//! yields the overlap numbers printed below the timeline — how much of
+//! the WAN round trip B actually masked.
 //!
 //! Usage: `fig2_timeline [--latency-ms N] [--no-local-work]`
 
@@ -110,9 +113,10 @@ fn main() {
     });
     program.on_startup(move |ctl| ctl.send(arr, B, START, vec![]));
 
-    let cfg = RunConfig { trace: true, ..RunConfig::default() };
+    let cfg = RunConfig { obs: Some(ObsConfig::new()), ..RunConfig::default() };
     let report = SimEngine::new(net, cfg).run(program);
-    let trace = report.trace.expect("tracing enabled");
+    let obs = report.obs.as_ref().expect("observability armed");
+    let trace = obs.to_trace();
 
     println!("Figure 2 timeline: one-way WAN latency {latency_ms} ms, B<->C round trip in flight");
     println!(
@@ -126,5 +130,13 @@ fn main() {
         report.end_time.as_millis_f64(),
         trace.busy(Pe(1)).as_millis_f64(),
         100.0 * trace.utilization(Pe(1)),
+    );
+    let b = obs.overlap_for(Pe(1));
+    println!(
+        "B's WAN wait: {:.3} ms outstanding, {:.3} ms masked by local work, {:.3} ms exposed ({:.0}% overlap)",
+        b.outstanding.as_millis_f64(),
+        b.masked.as_millis_f64(),
+        b.exposed.as_millis_f64(),
+        100.0 * b.fraction(),
     );
 }

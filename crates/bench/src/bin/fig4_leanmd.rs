@@ -16,10 +16,15 @@
 
 use mdo_apps::leanmd::{self, MdConfig};
 use mdo_bench::table::{ms, Table};
-use mdo_bench::{arg_flag, arg_value, FIG4_LATENCIES_MS, PROCESSORS};
+use mdo_bench::{arg_flag, arg_value, mean_utilization, overlap_fraction, FIG4_LATENCIES_MS, PROCESSORS};
 use mdo_core::program::RunConfig;
+use mdo_core::ObsConfig;
 use mdo_netsim::network::NetworkModel;
 use mdo_netsim::{Dur, LinkModel};
+
+fn obs_run_cfg() -> RunConfig {
+    RunConfig { obs: Some(ObsConfig::new()), ..RunConfig::default() }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -28,20 +33,25 @@ fn main() {
     let contention: Option<f64> = arg_value(&args, "--contention").map(|s| s.parse().expect("--contention gbit"));
 
     println!("Figure 4: LeanMD (216 cells, 3024 cell-pairs), {steps} steps per run");
-    println!("(seconds/step vs one-way latency; two clusters, PEs split evenly)\n");
+    println!("(seconds/step vs one-way latency; two clusters, PEs split evenly)");
+    println!("(util = mean PE utilization; ovl = WAN-overlap fraction, masked/outstanding)\n");
 
-    let mut table = Table::new(
-        std::iter::once("latency_ms".to_string())
-            .chain(PROCESSORS.iter().map(|p| format!("{p} PEs (s/step)")))
-            .collect::<Vec<_>>(),
-    );
+    let mut header = vec!["latency_ms".to_string()];
+    for &p in PROCESSORS.iter() {
+        header.push(format!("{p}PE s/step"));
+        header.push(format!("{p}PE util"));
+        header.push(format!("{p}PE ovl"));
+    }
+    let mut table = Table::new(header);
     for &lat in FIG4_LATENCIES_MS.iter() {
         let mut cells = vec![lat.to_string()];
         for &p in PROCESSORS.iter() {
             let cfg = MdConfig::paper(steps);
             let net = NetworkModel::two_cluster_sweep(p, Dur::from_millis(lat));
-            let out = leanmd::run_sim(cfg, net, RunConfig::default());
+            let out = leanmd::run_sim(cfg, net, obs_run_cfg());
             cells.push(ms(out.s_per_step));
+            cells.push(format!("{:.2}", mean_utilization(&out.report)));
+            cells.push(format!("{:.2}", overlap_fraction(&out.report)));
         }
         table.row(cells);
     }

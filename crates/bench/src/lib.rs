@@ -11,7 +11,8 @@
 pub mod paper;
 pub mod table;
 
-use mdo_netsim::Dur;
+use mdo_core::program::RunReport;
+use mdo_netsim::{Dur, Time};
 
 /// The paper's measured one-way NCSA↔ANL latency (§5.1): 1.725 ms ICMP.
 pub const TERAGRID_ONE_WAY: Dur = Dur::from_micros(1725);
@@ -48,6 +49,21 @@ pub fn arg_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
 }
 
+/// Mean PE utilization of a run: total busy time over `P × makespan`.
+pub fn mean_utilization(report: &RunReport) -> f64 {
+    let span = (report.end_time - Time::ZERO).as_nanos() as f64 * report.pe_busy.len() as f64;
+    if span == 0.0 {
+        return 0.0;
+    }
+    (report.pe_busy.iter().map(|d| d.as_nanos() as f64).sum::<f64>() / span).min(1.0)
+}
+
+/// The run's WAN-overlap fraction, or 0.0 when observability was not
+/// armed (or the run never waited on the WAN).
+pub fn overlap_fraction(report: &RunReport) -> f64 {
+    report.overlap_fraction().unwrap_or(0.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -61,6 +77,37 @@ mod tests {
             assert!(objs.iter().all(|&o| o >= *p as usize));
         }
         assert_eq!(TERAGRID_ONE_WAY, Dur::from_micros(1725));
+    }
+
+    #[test]
+    fn utilization_and_overlap_helpers() {
+        use mdo_core::chare::{Chare, Ctx};
+        use mdo_core::prelude::*;
+        use mdo_core::SimEngine;
+        use mdo_netsim::network::NetworkModel;
+
+        struct Echo;
+        impl Chare for Echo {
+            fn receive(&mut self, _e: EntryId, _p: &[u8], ctx: &mut Ctx<'_>) {
+                ctx.charge(Dur::from_millis(1));
+                if ctx.my_elem().0 == 0 {
+                    ctx.send(ctx.me().array, ElemId(1), EntryId(1), vec![]);
+                } else {
+                    ctx.exit();
+                }
+            }
+        }
+        let net = NetworkModel::two_cluster_sweep(2, Dur::from_millis(4));
+        let mut p = Program::new();
+        let arr = p.array("e", 2, Mapping::Block, |_| Box::new(Echo) as Box<dyn Chare>);
+        p.on_startup(move |ctl| ctl.send(arr, ElemId(0), EntryId(1), vec![]));
+        let cfg = RunConfig { obs: Some(ObsConfig::new()), ..RunConfig::default() };
+        let report = SimEngine::new(net, cfg).run(p);
+        let util = mean_utilization(&report);
+        assert!(util > 0.0 && util <= 1.0, "utilization in (0,1], got {util}");
+        assert!((0.0..=1.0).contains(&overlap_fraction(&report)));
+        // Without obs armed the overlap helper degrades to zero.
+        assert_eq!(overlap_fraction(&RunReport { obs: None, ..report }), 0.0);
     }
 
     #[test]

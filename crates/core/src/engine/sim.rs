@@ -23,13 +23,14 @@ use mdo_netsim::{
     TransportError, UnrecoverableError,
 };
 
+use mdo_obs::{trace_from, CounterSet, Ctr, ObjTag, ObsReport, PeObs, PeRecorder};
+
 use crate::checkpoint::assemble_buddy_snapshot;
 use crate::envelope::{Envelope, MsgBody, SYSTEM_PRIORITY};
 use crate::ids::ArrayId;
 use crate::node::{split_program, HostParts, Node, NodeHooks, NodeShared};
 use crate::program::{Program, RunConfig, RunReport};
 use crate::queue::SchedQueue;
-use crate::trace::Trace;
 
 /// Engine-specific limits.
 #[derive(Clone, Debug, Default)]
@@ -99,6 +100,9 @@ impl SimEngine {
         let topo = net.topology().clone();
         let orig_n_pes = topo.num_pes();
         let trace_on = cfg.trace;
+        let obs_on = cfg.obs_active();
+        let record_on = cfg.wants_spans();
+        let obs_cfg = cfg.obs.clone().unwrap_or_default();
         let failure_plan = cfg.failure_plan.clone();
         let restart_cfg = cfg.clone();
         // The same plan the threaded engine would wire into its device
@@ -120,7 +124,15 @@ impl SimEngine {
         let mut pes: Vec<PeState> =
             (0..orig_n_pes).map(|_| PeState { queue: SchedQueue::new(), busy: false }).collect();
         let mut events: EventQueue<Event> = EventQueue::new();
-        let mut trace = trace_on.then(Trace::new);
+
+        // One recorder per ORIGINAL PE: events are recorded in original
+        // numbering with absolute virtual times, so the streams of every
+        // shrink-restart generation concatenate naturally.
+        let mut recs: Vec<PeRecorder> =
+            (0..orig_n_pes as u32).map(|pe| PeRecorder::maybe(record_on, pe, &obs_cfg)).collect();
+        // Engine-global counter registry: the run report's scalar fault /
+        // failure tallies are read back from here at the end.
+        let mut gctr = CounterSet::new();
 
         // Per-generation busy time (current PE numbering) and the mapping
         // from current to original PE numbers; both restart after a shrink.
@@ -134,10 +146,6 @@ impl SimEngine {
         let mut msgs_done = vec![0u64; orig_n_pes];
         let mut lb_rounds_total = 0u32;
         let mut migrations_total = 0u64;
-        let mut checkpoints_taken = 0u32;
-        let mut checkpoint_bytes = 0u64;
-        let mut steps_replayed = 0u32;
-        let mut recoveries = 0u32;
         let mut failures: Vec<PeFailed> = Vec::new();
         let mut unrecoverable: Option<UnrecoverableError> = None;
         let mut pending = failure_plan.as_ref().map(|p| p.crashes.clone()).unwrap_or_default();
@@ -187,29 +195,35 @@ impl SimEngine {
             }
 
             if crashed.is_empty() {
-                let pe = match event {
+                let (pe, was_done) = match event {
                     Event::Arrive(env) => {
                         let pe = env.dst;
-                        if let Some(tr) = trace.as_mut() {
-                            tr.push_message(
-                                env.src,
-                                pe,
-                                Time::from_nanos(env.sent_at_ns),
+                        if record_on {
+                            recs[orig[pe.index()].index()].recv(
                                 now,
+                                orig[env.src.index()].0,
+                                Time::from_nanos(env.sent_at_ns),
+                                env.wire_size(),
                                 shared.topo.crosses_wan(env.src, pe),
+                                env.priority == SYSTEM_PRIORITY,
                             );
                         }
                         pes[pe.index()].queue.push(env);
-                        pe
+                        if record_on {
+                            let depth = pes[pe.index()].queue.len();
+                            recs[orig[pe.index()].index()].queue_depth(depth);
+                        }
+                        (pe, false)
                     }
                     Event::PeDone(pe) => {
                         pes[pe.index()].busy = false;
-                        pe
+                        (pe, true)
                     }
                 };
 
                 // Dispatch loop: run queued messages until the PE picks up real
                 // (charged) work or drains its queue.
+                let mut dispatched = 0u32;
                 while !pes[pe.index()].busy {
                     let Some(env) = pes[pe.index()].queue.pop() else { break };
                     let mut hooks = SimHooks { t: now, out: Vec::new() };
@@ -248,6 +262,15 @@ impl SimEngine {
                     }
                     for (env, after) in hooks.out {
                         let depart = now + after;
+                        if record_on {
+                            recs[orig[pe.index()].index()].send(
+                                depart,
+                                orig[env.dst.index()].0,
+                                env.wire_size(),
+                                shared.topo.crosses_wan(env.src, env.dst),
+                                env.priority == SYSTEM_PRIORITY,
+                            );
+                        }
                         let mut arrival = net.delivery_time(env.src, env.dst, depart, env.wire_size());
                         if let Some(fm) = faults.as_mut() {
                             if shared.topo.crosses_wan(env.src, env.dst) {
@@ -268,11 +291,16 @@ impl SimEngine {
                         events.schedule(arrival.max(now), Event::Arrive(env));
                     }
                     pe_busy[pe.index()] += outcome.charged;
-                    if let Some(tr) = trace.as_mut() {
+                    dispatched += 1;
+                    if record_on {
+                        let r = &mut recs[orig[pe.index()].index()];
                         let mut cursor = now;
                         for (obj, d) in &outcome.spans {
-                            tr.push_segment(pe, *obj, cursor, cursor + *d);
+                            r.handler((*obj).map(ObjTag::from), cursor, cursor + *d);
                             cursor += *d;
+                        }
+                        if let Some(epoch) = outcome.ckpt_epoch {
+                            r.checkpoint(now, epoch);
                         }
                     }
                     if outcome.exit {
@@ -285,6 +313,16 @@ impl SimEngine {
                         pes[pe.index()].busy = true;
                         events.schedule(now + outcome.charged, Event::PeDone(pe));
                     }
+                }
+                // The PE went idle: it did (or finished) work and has nothing
+                // queued.  Bare arrivals that were immediately handled with
+                // zero charge count too.
+                if record_on
+                    && (dispatched > 0 || was_done)
+                    && !pes[pe.index()].busy
+                    && pes[pe.index()].queue.is_empty()
+                {
+                    recs[orig[pe.index()].index()].idle(now);
                 }
             }
 
@@ -314,7 +352,7 @@ impl SimEngine {
                     });
                     break 'main;
                 };
-                steps_replayed += nodes[0].lb_rounds().saturating_sub(snap_round);
+                gctr.add(Ctr::StepsReplayed, nodes[0].lb_rounds().saturating_sub(snap_round) as u64);
 
                 // Close this generation's books (current → original PEs).
                 for (i, &o) in orig.iter().enumerate() {
@@ -324,8 +362,8 @@ impl SimEngine {
                 }
                 lb_rounds_total += nodes[0].lb_rounds();
                 migrations_total += nodes[0].migrations();
-                checkpoints_taken += nodes[0].ft_epochs();
-                checkpoint_bytes += nodes.iter().map(|n| n.ft_bytes_stored()).sum::<u64>();
+                gctr.add(Ctr::CheckpointsTaken, nodes[0].ft_epochs() as u64);
+                gctr.add(Ctr::CheckpointBytes, nodes.iter().map(|n| n.ft_bytes_stored()).sum::<u64>());
 
                 // Shrink the topology over the survivors and restart from
                 // the snapshot.  The host closures carry over; the startup
@@ -352,7 +390,12 @@ impl SimEngine {
                     .collect();
                 pes = (0..shared.topo.num_pes()).map(|_| PeState { queue: SchedQueue::new(), busy: false }).collect();
                 pe_busy = vec![Dur::ZERO; shared.topo.num_pes()];
-                recoveries += 1;
+                gctr.bump(Ctr::Recoveries);
+                if record_on {
+                    for &o in &orig {
+                        recs[o.index()].recovery(drained);
+                    }
+                }
                 events.schedule(
                     drained,
                     Event::Arrive(Envelope {
@@ -374,8 +417,22 @@ impl SimEngine {
         }
         lb_rounds_total += nodes[0].lb_rounds();
         migrations_total += nodes[0].migrations();
-        checkpoints_taken += nodes[0].ft_epochs();
-        checkpoint_bytes += nodes.iter().map(|n| n.ft_bytes_stored()).sum::<u64>();
+        gctr.add(Ctr::CheckpointsTaken, nodes[0].ft_epochs() as u64);
+        gctr.add(Ctr::CheckpointBytes, nodes.iter().map(|n| n.ft_bytes_stored()).sum::<u64>());
+
+        // Mirror the fault-layer and failure tallies into the registry so
+        // the report's scalars and the obs counters come from one place.
+        let fault_stats = faults.map(|fm| *fm.stats()).unwrap_or_else(FaultModelStats::default);
+        gctr.add(Ctr::Drops, fault_stats.dropped);
+        gctr.add(Ctr::Retransmits, fault_stats.retransmits);
+        gctr.add(Ctr::DupDropped, fault_stats.dup_dropped);
+        gctr.add(Ctr::CorruptRejected, fault_stats.corrupt_rejected);
+        gctr.add(Ctr::Reordered, fault_stats.reordered);
+        gctr.add(Ctr::FailuresDetected, failures.len() as u64);
+
+        let pes_obs: Vec<PeObs> = recs.into_iter().map(PeRecorder::finish).collect();
+        let trace = trace_on.then(|| trace_from(&pes_obs));
+        let obs = obs_on.then(|| ObsReport { pes: pes_obs, counters: gctr.clone() });
 
         let end_time = events.now().max(final_time);
         let _ = exited;
@@ -386,15 +443,16 @@ impl SimEngine {
             pe_max_queue_depth: pe_queue_depth,
             network: net.stats().clone(),
             trace,
+            obs,
             lb_rounds: lb_rounds_total,
             migrations: migrations_total,
-            faults: faults.map(|fm| *fm.stats()).unwrap_or_else(FaultModelStats::default),
+            faults: fault_stats,
             transport_error,
-            failures_detected: failures.len() as u32,
-            recoveries,
-            steps_replayed,
-            checkpoints_taken,
-            checkpoint_bytes,
+            failures_detected: gctr.get_u32(Ctr::FailuresDetected),
+            recoveries: gctr.get_u32(Ctr::Recoveries),
+            steps_replayed: gctr.get_u32(Ctr::StepsReplayed),
+            checkpoints_taken: gctr.get_u32(Ctr::CheckpointsTaken),
+            checkpoint_bytes: gctr.get(Ctr::CheckpointBytes),
             failures,
             unrecoverable,
         }

@@ -22,12 +22,13 @@ use mdo_netsim::{
 };
 use mdo_vmi::{CrcDevice, FaultDevice, Packet, ReliableTransport, Transport, TransportConfig};
 
+use mdo_obs::{trace_from, CounterSet, Ctr, Event as ObsEvent, ObjTag, ObsConfig, ObsReport, PeObs, PeRecorder};
+
 use crate::checkpoint::assemble_buddy_snapshot;
 use crate::envelope::{Envelope, MsgBody, SYSTEM_PRIORITY};
 use crate::ids::ArrayId;
-use crate::node::{split_program, HostParts, Node, NodeHooks, NodeShared};
+use crate::node::{split_program, HandleOutcome, HostParts, Node, NodeHooks, NodeShared};
 use crate::program::{Program, RunConfig, RunReport};
-use crate::trace::Trace;
 
 /// Engine-specific configuration.
 #[derive(Clone, Debug)]
@@ -71,6 +72,11 @@ struct ThreadHooks {
     t0: Instant,
     pe: Pe,
     transport: Arc<ReliableTransport>,
+    /// Per-PE recorder (original numbering); lives here so departures can
+    /// be recorded where they happen — inside handler sends.
+    rec: PeRecorder,
+    orig: Arc<Vec<Pe>>,
+    topo: Topology,
 }
 
 impl NodeHooks for ThreadHooks {
@@ -79,6 +85,15 @@ impl NodeHooks for ThreadHooks {
     }
     fn emit(&mut self, env: Envelope, _after: Dur) {
         debug_assert_eq!(env.src, self.pe);
+        if self.rec.is_on() {
+            self.rec.send(
+                self.now(),
+                self.orig[env.dst.index()].0,
+                env.wire_size(),
+                self.topo.crosses_wan(env.src, env.dst),
+                env.priority == SYSTEM_PRIORITY,
+            );
+        }
         let pkt = Packet::with_priority(env.src, env.dst, env.priority, Bytes::from(env.encode()));
         self.transport.send(pkt);
     }
@@ -96,7 +111,7 @@ struct PeResult {
     messages: u64,
     lb_rounds: u32,
     migrations: u64,
-    trace: Trace,
+    obs: PeObs,
     ft_epochs: u32,
     ft_bytes: u64,
     node: Option<Node>,
@@ -111,7 +126,7 @@ impl PeResult {
             messages: 0,
             lb_rounds: 0,
             migrations: 0,
-            trace: Trace::new(),
+            obs: PeObs::empty(pe.0),
             ft_epochs: 0,
             ft_bytes: 0,
             node: None,
@@ -135,7 +150,11 @@ struct ThreadCtl {
     last_heard: Arc<Vec<AtomicU64>>,
     t0: Instant,
     topo: Topology,
-    trace_on: bool,
+    record_on: bool,
+    obs_cfg: ObsConfig,
+    /// Current → original PE numbering for this generation; recorders log
+    /// in original numbers so generations concatenate.
+    orig_map: Arc<Vec<Pe>>,
     compute_sleep: bool,
     /// Heartbeat cadence; `None` disables liveness traffic (no failure plan).
     hb_interval: Option<Duration>,
@@ -169,6 +188,9 @@ impl ThreadedEngine {
         let ThreadedEngine { topo, tcfg, cfg } = self;
         let orig_n_pes = topo.num_pes();
         let trace_on = cfg.trace;
+        let obs_on = cfg.obs_active();
+        let record_on = cfg.wants_spans();
+        let obs_cfg = cfg.obs.clone().unwrap_or_default();
         let fault_plan = cfg.fault_plan.clone();
         let failure_plan = cfg.failure_plan.clone();
         let restart_cfg = cfg.clone();
@@ -189,13 +211,14 @@ impl ThreadedEngine {
         let mut pe_queue_depth = vec![0usize; orig_n_pes];
         let mut network = NetworkStats::default();
         let mut faults_total = FaultModelStats::default();
-        let mut trace = trace_on.then(Trace::new);
+        // One accumulated recording per ORIGINAL PE; each generation's
+        // per-thread recordings are absorbed here after the join.
+        let mut obs_total: Vec<PeObs> = (0..orig_n_pes as u32).map(PeObs::empty).collect();
+        // Engine-global counter registry: the run report's scalar fault /
+        // failure tallies are read back from here at the end.
+        let mut gctr = CounterSet::new();
         let mut lb_rounds_total = 0u32;
         let mut migrations_total = 0u64;
-        let mut checkpoints_taken = 0u32;
-        let mut checkpoint_bytes = 0u64;
-        let mut steps_replayed = 0u32;
-        let mut recoveries = 0u32;
         let mut failures: Vec<PeFailed> = Vec::new();
         let mut unrecoverable: Option<UnrecoverableError> = None;
         let mut transport_error: Option<TransportError> = None;
@@ -237,6 +260,7 @@ impl ThreadedEngine {
             let last_heard: Arc<Vec<AtomicU64>> = Arc::new((0..n_pes).map(|_| AtomicU64::new(gen_start)).collect());
 
             let mut handles = Vec::with_capacity(n_pes);
+            let orig_map: Arc<Vec<Pe>> = Arc::new(orig.clone());
             for node in nodes.drain(..) {
                 let pe = node.pe();
                 let ctl = ThreadCtl {
@@ -249,7 +273,9 @@ impl ThreadedEngine {
                     last_heard: Arc::clone(&last_heard),
                     t0,
                     topo: gen_topo.clone(),
-                    trace_on,
+                    record_on,
+                    obs_cfg: obs_cfg.clone(),
+                    orig_map: Arc::clone(&orig_map),
                     compute_sleep: tcfg.compute_sleep,
                     hb_interval: failure_plan.as_ref().map(|p| p.hb_interval.to_std()),
                     crash: pending.iter().find(|s| s.pe == orig[pe.index()]).map(|s| s.trigger),
@@ -384,17 +410,20 @@ impl ThreadedEngine {
                 let o = orig[r.pe.index()].index();
                 pe_busy_total[o] += r.busy;
                 pe_messages_total[o] += r.messages;
-                pe_queue_depth[o] = pe_queue_depth[o].max(raw.mailbox(r.pe).max_depth());
-                if let Some(tr) = trace.as_mut() {
-                    tr.segments.append(&mut r.trace.segments);
-                    tr.messages.append(&mut r.trace.messages);
+                let depth = raw.mailbox(r.pe).max_depth();
+                pe_queue_depth[o] = pe_queue_depth[o].max(depth);
+                if record_on {
+                    // One mailbox high-water sample per generation: the
+                    // threads cannot observe queue depth from outside.
+                    r.obs.queue_depth.record(depth as u64);
+                    obs_total[o].absorb(std::mem::replace(&mut r.obs, PeObs::empty(r.pe.0)));
                 }
             }
             let gen_lb_rounds = results[0].lb_rounds;
             lb_rounds_total += gen_lb_rounds;
             migrations_total += results[0].migrations;
-            checkpoints_taken += results[0].ft_epochs;
-            checkpoint_bytes += results.iter().map(|r| r.ft_bytes).sum::<u64>();
+            gctr.add(Ctr::CheckpointsTaken, results[0].ft_epochs as u64);
+            gctr.add(Ctr::CheckpointBytes, results.iter().map(|r| r.ft_bytes).sum::<u64>());
 
             let exited = exit_announced.load(Ordering::Acquire);
             if unrecoverable.is_some() || transport_error.is_some() || exited || gen_failed.is_empty() {
@@ -420,7 +449,7 @@ impl ThreadedEngine {
                     Some(UnrecoverableError::NoCompleteSnapshot { failed: failures.iter().map(|f| f.pe).collect() });
                 break 'generations;
             };
-            steps_replayed += gen_lb_rounds.saturating_sub(snap_round);
+            gctr.add(Ctr::StepsReplayed, gen_lb_rounds.saturating_sub(snap_round) as u64);
             let host_parts = survivors.iter_mut().find(|n| n.pe() == Pe(0)).expect("PE 0 survives").take_host();
             pending.retain(|s| !failures.iter().any(|f| f.pe == s.pe));
             let (new_topo, new_map) = shared.topo.without_pes(&dead_cur);
@@ -440,12 +469,31 @@ impl ThreadedEngine {
                     Node::new(Arc::clone(&shared), pe, h)
                 })
                 .collect();
-            recoveries += 1;
+            gctr.bump(Ctr::Recoveries);
+            if record_on {
+                // Mark the resume on every surviving PE's stream (original
+                // numbering — `orig` was just remapped to the survivors).
+                for &o in &orig {
+                    obs_total[o.index()].events.push(ObsEvent::Recovery { at });
+                }
+            }
         }
 
         let end = end_ns.load(Ordering::Acquire);
         let end_time = if end > 0 { Time::from_nanos(end) } else { Time::from_nanos(elapsed_ns(t0)) };
         faults_total.corrupt_rejected += decode_rejected.load(Ordering::Relaxed);
+
+        // Mirror the fault-layer and failure tallies into the registry so
+        // the report's scalars and the obs counters come from one place.
+        gctr.add(Ctr::Drops, faults_total.dropped);
+        gctr.add(Ctr::Retransmits, faults_total.retransmits);
+        gctr.add(Ctr::DupDropped, faults_total.dup_dropped);
+        gctr.add(Ctr::CorruptRejected, faults_total.corrupt_rejected);
+        gctr.add(Ctr::Reordered, faults_total.reordered);
+        gctr.add(Ctr::FailuresDetected, failures.len() as u64);
+
+        let trace = trace_on.then(|| trace_from(&obs_total));
+        let obs = obs_on.then(|| ObsReport { pes: obs_total, counters: gctr.clone() });
 
         RunReport {
             end_time,
@@ -454,26 +502,60 @@ impl ThreadedEngine {
             pe_max_queue_depth: pe_queue_depth,
             network,
             trace,
+            obs,
             lb_rounds: lb_rounds_total,
             migrations: migrations_total,
             faults: faults_total,
             transport_error,
-            failures_detected: failures.len() as u32,
-            recoveries,
-            steps_replayed,
-            checkpoints_taken,
-            checkpoint_bytes,
+            failures_detected: gctr.get_u32(Ctr::FailuresDetected),
+            recoveries: gctr.get_u32(Ctr::Recoveries),
+            steps_replayed: gctr.get_u32(Ctr::StepsReplayed),
+            checkpoints_taken: gctr.get_u32(Ctr::CheckpointsTaken),
+            checkpoint_bytes: gctr.get(Ctr::CheckpointBytes),
             failures,
             unrecoverable,
         }
     }
 }
 
+/// Distribute the measured wall time of one handler execution over its
+/// charged spans (proportionally), so threaded timelines keep the same
+/// span structure the virtual-time engine records.  Uncharged executions
+/// book the whole wall time on the first span (or an anonymous one).
+fn record_spans(rec: &mut PeRecorder, outcome: &HandleOutcome, start: Time, took: Dur) {
+    if outcome.spans.is_empty() {
+        rec.handler(None, start, start + took);
+        return;
+    }
+    let charged = outcome.charged.as_nanos();
+    let mut cursor = start;
+    for (i, (obj, d)) in outcome.spans.iter().enumerate() {
+        let w = if charged == 0 {
+            if i == 0 {
+                took
+            } else {
+                Dur::ZERO
+            }
+        } else {
+            Dur::from_nanos((took.as_nanos() as u128 * d.as_nanos() as u128 / charged as u128) as u64)
+        };
+        rec.handler((*obj).map(ObjTag::from), cursor, cursor + w);
+        cursor += w;
+    }
+}
+
 fn pe_thread(pe: Pe, mut node: Node, ctl: ThreadCtl) -> PeResult {
     let mut busy = Dur::ZERO;
-    let mut trace = Trace::new();
-    let mut hooks = ThreadHooks { t0: ctl.t0, pe, transport: Arc::clone(&ctl.transport) };
+    let mut hooks = ThreadHooks {
+        t0: ctl.t0,
+        pe,
+        transport: Arc::clone(&ctl.transport),
+        rec: PeRecorder::maybe(ctl.record_on, ctl.orig_map[pe.index()].0, &ctl.obs_cfg),
+        orig: Arc::clone(&ctl.orig_map),
+        topo: ctl.topo.clone(),
+    };
     let mut died = false;
+    let mut idle_pending = false;
     let mut last_hb: Option<Instant> = None;
     loop {
         // An injected crash kills the thread silently: no goodbye message,
@@ -513,6 +595,11 @@ fn pe_thread(pe: Pe, mut node: Node, ctl: ThreadCtl) -> PeResult {
             }
         }
         let Some(pkt) = ctl.transport.recv_timeout(pe, Duration::from_millis(20)) else {
+            // The mailbox ran dry after real work: a busy→idle transition.
+            if idle_pending {
+                idle_pending = false;
+                hooks.rec.idle(Time::from_nanos(elapsed_ns(ctl.t0)));
+            }
             continue;
         };
         let env = match Envelope::decode(&pkt.payload) {
@@ -536,6 +623,8 @@ fn pe_thread(pe: Pe, mut node: Node, ctl: ThreadCtl) -> PeResult {
         let start_time = Time::from_nanos(elapsed_ns(ctl.t0));
         let sent_at = Time::from_nanos(env.sent_at_ns);
         let (src, dst) = (env.src, env.dst);
+        let sys = env.priority == SYSTEM_PRIORITY;
+        let wire_bytes = pkt.payload.len() as u64;
         // Panic isolation: a handler that panics takes down its PE, not
         // the process — the watchdog sees the flag and either recovers
         // (failure plan armed) or surfaces a structured error.
@@ -552,9 +641,20 @@ fn pe_thread(pe: Pe, mut node: Node, ctl: ThreadCtl) -> PeResult {
         }
         let took = Dur::from_std(started.elapsed());
         busy += took;
-        if ctl.trace_on {
-            trace.push_message(src, dst, sent_at, start_time, ctl.topo.crosses_wan(src, dst));
-            trace.push_segment(pe, outcome.spans.first().and_then(|s| s.0), start_time, start_time + took);
+        if hooks.rec.is_on() {
+            hooks.rec.recv(
+                start_time,
+                ctl.orig_map[src.index()].0,
+                sent_at,
+                wire_bytes,
+                ctl.topo.crosses_wan(src, dst),
+                sys,
+            );
+            record_spans(&mut hooks.rec, &outcome, start_time, took);
+            if let Some(epoch) = outcome.ckpt_epoch {
+                hooks.rec.checkpoint(start_time, epoch);
+            }
+            idle_pending = true;
         }
         if outcome.exit && !ctl.exit_announced.swap(true, Ordering::AcqRel) {
             ctl.end_ns.store(elapsed_ns(ctl.t0), Ordering::Release);
@@ -574,7 +674,8 @@ fn pe_thread(pe: Pe, mut node: Node, ctl: ThreadCtl) -> PeResult {
     let migrations = node.migrations();
     let ft_epochs = node.ft_epochs();
     let ft_bytes = node.ft_bytes_stored();
-    PeResult { pe, busy, messages, lb_rounds, migrations, trace, ft_epochs, ft_bytes, node: (!died).then_some(node) }
+    let obs = hooks.rec.finish();
+    PeResult { pe, busy, messages, lb_rounds, migrations, obs, ft_epochs, ft_bytes, node: (!died).then_some(node) }
 }
 
 #[cfg(test)]

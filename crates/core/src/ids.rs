@@ -55,6 +55,12 @@ impl fmt::Display for ObjKey {
     }
 }
 
+impl From<ObjKey> for mdo_obs::ObjTag {
+    fn from(k: ObjKey) -> Self {
+        mdo_obs::ObjTag { array: k.array.0, elem: k.elem.0 }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -29,8 +29,16 @@
 //! * [`engine::threaded`] — the real-time engine over `mdo-vmi` (one OS
 //!   thread per PE, a real delay device injecting real latencies — our
 //!   stand-in for the paper's real multi-cluster validation runs).
-//! * [`trace`] — execution timelines (Figure 2 reproductions) and
-//!   utilization accounting.
+//! * [`trace`] — execution timelines (Figure 2 reproductions), derived
+//!   from the `mdo-obs` event stream both engines record into.
+//!
+//! Observability lives in the `mdo-obs` crate: arm [`RunConfig::obs`]
+//! with an [`ObsConfig`] and the run report carries an
+//! [`ObsReport`] — per-PE event streams, counters, latency/grain
+//! histograms, the overlap-fraction analysis, and Chrome-trace/CSV
+//! exporters.  The `obs` cargo feature (default on) compiles the
+//! recording paths; without it `RunConfig::obs` is inert and only the
+//! legacy trace knob records.
 //!
 //! Both engines execute the *same* application objects; only time differs
 //! (virtual vs wall-clock).
@@ -94,6 +102,7 @@ pub use engine::threaded::{ThreadedConfig, ThreadedEngine};
 pub use envelope::{Envelope, MsgBody};
 pub use ids::{ArrayId, ElemId, EntryId, ObjKey};
 pub use mapping::Mapping;
+pub use mdo_obs::{ObsConfig, ObsReport};
 pub use program::{Program, RunConfig, RunReport};
 
 /// Commonly used items, re-exported for applications.
@@ -107,6 +116,7 @@ pub mod prelude {
         ClusterId, CrashSpec, CrashTrigger, Dur, FailureCause, FailurePlan, Pe, PeFailed, Time, Topology,
         UnrecoverableError,
     };
+    pub use mdo_obs::{ObsConfig, ObsReport};
 }
 
 pub use mdo_netsim::{ClusterId, Dur, Pe, Time, Topology};

@@ -65,8 +65,12 @@ pub struct HandleOutcome {
     /// Whether the program requested termination.
     pub exit: bool,
     /// Execution spans (object, charged work) for tracing — populated only
-    /// when tracing is enabled.
+    /// when tracing or observability is enabled (see
+    /// [`RunConfig::wants_spans`]).
     pub spans: Vec<(Option<ObjKey>, Dur)>,
+    /// Set when this envelope completed a buddy-checkpoint pack on this PE
+    /// (engines record it as a checkpoint event).
+    pub ckpt_epoch: Option<u32>,
 }
 
 /// Host-side closures, present only on PE 0's node.
@@ -488,6 +492,7 @@ impl Node {
                     MsgBody::BuddyStore { epoch, owner: self.pe, lb_round, states, red_next },
                     Dur::ZERO,
                 );
+                outcome.ckpt_epoch = Some(epoch);
             }
             MsgBody::BuddyStore { epoch, owner, lb_round, states, red_next } => {
                 self.store_ft_piece(FtPiece { epoch, owner, lb_round, states, red_next });
@@ -585,7 +590,7 @@ impl Node {
         outcome: &mut HandleOutcome,
     ) {
         outcome.charged += sink.charged;
-        if self.shared.cfg.trace {
+        if self.shared.cfg.wants_spans() {
             outcome.spans.push((owner, sink.charged));
         }
         if let Some(key) = owner {

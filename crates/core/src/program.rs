@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use mdo_netsim::network::NetworkStats;
 use mdo_netsim::{Dur, FailurePlan, FaultModelStats, FaultPlan, PeFailed, Time, TransportError, UnrecoverableError};
+use mdo_obs::{ObsConfig, ObsReport};
 
 use crate::array::ArraySpec;
 use crate::balancer::{GreedyLB, GridCommLB, RefineLB, RotateLB, Strategy};
@@ -242,6 +243,27 @@ pub struct RunConfig {
     /// newest complete buddy snapshot on failure.  `None` (the default)
     /// leaves the runtime exactly as it was: a dying PE ends the run.
     pub failure_plan: Option<FailurePlan>,
+    /// Arm the Projections-style observability subsystem: per-PE event
+    /// rings, counters and latency/grain/queue-depth histograms, plus the
+    /// derived overlap-fraction analyses ([`ObsReport`]).  `None` (the
+    /// default) records nothing and costs nothing; additionally, building
+    /// `mdo-core` with `--no-default-features` compiles the recording
+    /// paths out entirely.
+    pub obs: Option<ObsConfig>,
+}
+
+impl RunConfig {
+    /// Whether engines must collect handler execution spans — true when
+    /// either the legacy trace knob or the observability subsystem is on
+    /// (both derive timelines from the same event stream).
+    pub fn wants_spans(&self) -> bool {
+        self.trace || self.obs_active()
+    }
+
+    /// Whether the observability subsystem is armed *and* compiled in.
+    pub fn obs_active(&self) -> bool {
+        cfg!(feature = "obs") && self.obs.is_some()
+    }
 }
 
 impl Default for RunConfig {
@@ -255,6 +277,7 @@ impl Default for RunConfig {
             seed: 0,
             fault_plan: None,
             failure_plan: None,
+            obs: None,
         }
     }
 }
@@ -278,6 +301,9 @@ pub struct RunReport {
     pub network: NetworkStats,
     /// Execution trace, if requested.
     pub trace: Option<Trace>,
+    /// Observability data (events, counters, histograms, overlap
+    /// analyses), when [`RunConfig::obs`] was armed.
+    pub obs: Option<ObsReport>,
     /// Completed load-balancing barriers.
     pub lb_rounds: u32,
     /// Objects that changed PE across all barriers.
@@ -315,6 +341,12 @@ impl RunReport {
         }
         let total_busy: f64 = self.pe_busy.iter().map(|d| d.as_secs_f64()).sum();
         total_busy / (self.end_time.as_secs_f64() * self.pe_busy.len() as f64)
+    }
+
+    /// The run's WAN-overlap fraction (masked / outstanding cross-cluster
+    /// wait time), when observability was armed.
+    pub fn overlap_fraction(&self) -> Option<f64> {
+        self.obs.as_ref().map(|o| o.overlap_fraction())
     }
 }
 
@@ -384,6 +416,7 @@ mod tests {
             pe_max_queue_depth: vec![1, 2],
             network: NetworkStats::default(),
             trace: None,
+            obs: None,
             lb_rounds: 0,
             migrations: 0,
             faults: FaultModelStats::default(),

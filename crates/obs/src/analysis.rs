@@ -1,0 +1,191 @@
+//! Derived analyses over the event stream: the overlap-fraction metric
+//! and the WAN-wait decomposition.
+//!
+//! The paper's headline claim is that execution time stays flat as WAN
+//! latency grows because the runtime overlaps communication with local
+//! work.  This module measures that directly: for each PE, the union of
+//! in-flight windows of cross-cluster application messages destined to it
+//! is its **WAN-outstanding** time; the part of that time the PE spent
+//! executing handlers is **masked** latency, the rest is **exposed**.
+//! `overlap fraction = masked / outstanding` — 1.0 means every WAN wait
+//! was hidden behind useful computation, 0.0 means the PE sat idle for
+//! all of it.
+
+use mdo_netsim::Dur;
+
+use crate::event::Event;
+
+/// The WAN-wait decomposition of one PE (or an aggregate of PEs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OverlapStats {
+    /// Total time with at least one cross-cluster application message in
+    /// flight toward the PE.
+    pub outstanding: Dur,
+    /// The part of `outstanding` during which the PE was executing
+    /// handlers — latency hidden behind computation.
+    pub masked: Dur,
+    /// The part of `outstanding` during which the PE was idle — latency
+    /// paid in full.
+    pub exposed: Dur,
+}
+
+impl OverlapStats {
+    /// `masked / outstanding`, or 0 when no WAN message was ever in
+    /// flight (nothing to overlap).
+    pub fn fraction(&self) -> f64 {
+        if self.outstanding.is_zero() {
+            0.0
+        } else {
+            self.masked.as_secs_f64() / self.outstanding.as_secs_f64()
+        }
+    }
+
+    /// Aggregate another PE's decomposition into this one.
+    pub fn merge(&mut self, other: OverlapStats) {
+        self.outstanding += other.outstanding;
+        self.masked += other.masked;
+        self.exposed += other.exposed;
+    }
+}
+
+/// Collapse possibly-overlapping `[start, end)` intervals into a sorted
+/// disjoint union.
+pub(crate) fn union_intervals(mut iv: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    iv.retain(|&(a, b)| b > a);
+    iv.sort_unstable();
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(iv.len());
+    for (a, b) in iv {
+        match out.last_mut() {
+            Some(last) if a <= last.1 => last.1 = last.1.max(b),
+            _ => out.push((a, b)),
+        }
+    }
+    out
+}
+
+/// Total length of two disjoint sorted interval sets' intersection.
+fn intersect_len(a: &[(u64, u64)], b: &[(u64, u64)]) -> u64 {
+    let (mut i, mut j, mut total) = (0, 0, 0u64);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if hi > lo {
+            total += hi - lo;
+        }
+        if a[i].1 <= b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    total
+}
+
+fn total_len(iv: &[(u64, u64)]) -> u64 {
+    iv.iter().map(|&(a, b)| b - a).sum()
+}
+
+/// Compute one PE's WAN-wait decomposition from its event stream.
+///
+/// Busy time comes from handler spans; outstanding time from the
+/// `[sent, recv)` windows of cross-cluster **application** deliveries
+/// (system traffic — exits, heartbeats — is excluded so the metric is
+/// comparable across engines).
+pub fn overlap_of(events: &[Event]) -> OverlapStats {
+    let mut busy = Vec::new();
+    let mut outstanding = Vec::new();
+    for ev in events {
+        match *ev {
+            Event::Handler { start, end, .. } => busy.push((start.as_nanos(), end.as_nanos())),
+            Event::Recv { at, sent, cross: true, sys: false, .. } => outstanding.push((sent.as_nanos(), at.as_nanos())),
+            _ => {}
+        }
+    }
+    let busy = union_intervals(busy);
+    let outstanding = union_intervals(outstanding);
+    let out_total = total_len(&outstanding);
+    let masked = intersect_len(&busy, &outstanding);
+    OverlapStats {
+        outstanding: Dur::from_nanos(out_total),
+        masked: Dur::from_nanos(masked),
+        exposed: Dur::from_nanos(out_total - masked),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdo_netsim::Time;
+
+    fn t(ms: u64) -> Time {
+        Time::ZERO + Dur::from_millis(ms)
+    }
+
+    #[test]
+    fn union_merges_overlaps() {
+        let u = union_intervals(vec![(5, 10), (0, 3), (2, 6), (20, 25), (25, 30), (8, 8)]);
+        assert_eq!(u, vec![(0, 10), (20, 30)]);
+    }
+
+    #[test]
+    fn intersection_length() {
+        let a = vec![(0, 10), (20, 30)];
+        let b = vec![(5, 25)];
+        assert_eq!(intersect_len(&a, &b), 5 + 5);
+        assert_eq!(intersect_len(&a, &[]), 0);
+    }
+
+    #[test]
+    fn fully_masked_wait() {
+        // A WAN reply in flight 0..16 ms; the PE computes 0..16 ms.
+        let events = vec![
+            Event::Handler { obj: None, start: t(0), end: t(16) },
+            Event::Recv { at: t(16), src: 1, sent: t(0), bytes: 8, cross: true, sys: false },
+        ];
+        let o = overlap_of(&events);
+        assert_eq!(o.outstanding, Dur::from_millis(16));
+        assert_eq!(o.masked, Dur::from_millis(16));
+        assert_eq!(o.exposed, Dur::ZERO);
+        assert!((o.fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fully_exposed_wait() {
+        let events = vec![Event::Recv { at: t(16), src: 1, sent: t(0), bytes: 8, cross: true, sys: false }];
+        let o = overlap_of(&events);
+        assert_eq!(o.exposed, Dur::from_millis(16));
+        assert_eq!(o.fraction(), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_is_exact() {
+        // In flight 0..16 ms, busy 4..10 ms: 6 of 16 ms masked.
+        let events = vec![
+            Event::Handler { obj: None, start: t(4), end: t(10) },
+            Event::Recv { at: t(16), src: 1, sent: t(0), bytes: 8, cross: true, sys: false },
+        ];
+        let o = overlap_of(&events);
+        assert_eq!(o.masked, Dur::from_millis(6));
+        assert_eq!(o.exposed, Dur::from_millis(10));
+        assert!((o.fraction() - 6.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intra_and_system_traffic_do_not_count() {
+        let events = vec![
+            Event::Recv { at: t(5), src: 1, sent: t(0), bytes: 8, cross: false, sys: false },
+            Event::Recv { at: t(9), src: 1, sent: t(0), bytes: 8, cross: true, sys: true },
+        ];
+        assert_eq!(overlap_of(&events), OverlapStats::default());
+    }
+
+    #[test]
+    fn concurrent_wan_messages_union_not_sum() {
+        // Two replies in flight over the same 0..10 ms window count once.
+        let events = vec![
+            Event::Recv { at: t(10), src: 1, sent: t(0), bytes: 8, cross: true, sys: false },
+            Event::Recv { at: t(10), src: 2, sent: t(0), bytes: 8, cross: true, sys: false },
+        ];
+        assert_eq!(overlap_of(&events).outstanding, Dur::from_millis(10));
+    }
+}

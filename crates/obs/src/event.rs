@@ -1,0 +1,119 @@
+//! The per-PE event stream: what the engines record, one ring per PE.
+//!
+//! Events carry absolute run time (virtual for the simulation engine,
+//! wall-clock since start for the threaded engine) and reference PEs by
+//! their **original** number, so streams recorded across shrink-restart
+//! generations concatenate cleanly.
+
+use mdo_netsim::Time;
+
+/// An object reference inside an event: array and element index.
+///
+/// This is `mdo-core`'s `ObjKey` with the runtime semantics stripped off —
+/// `mdo-obs` knows nothing about chares, only that handler spans belong to
+/// *something* renderable.  Displays as `a<array>[<elem>]`, matching
+/// `ObjKey`'s format.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjTag {
+    /// Array index.
+    pub array: u32,
+    /// Element index within the array.
+    pub elem: u32,
+}
+
+impl std::fmt::Display for ObjTag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "a{}[{}]", self.array, self.elem)
+    }
+}
+
+/// One entry in a PE's event ring.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// One handler execution span (begin at `start`, end at `end`).
+    Handler {
+        /// The object that ran; `None` for host callbacks / runtime work.
+        obj: Option<ObjTag>,
+        /// Span start.
+        start: Time,
+        /// Span end.
+        end: Time,
+    },
+    /// A message left this PE.
+    Send {
+        /// Departure instant.
+        at: Time,
+        /// Destination PE (original numbering).
+        dst: u32,
+        /// Envelope wire size in bytes.
+        bytes: u64,
+        /// Whether the message crosses the wide area.
+        cross: bool,
+        /// Whether the message is runtime (system-priority) traffic.
+        sys: bool,
+    },
+    /// A message was delivered to this PE's scheduler.
+    Recv {
+        /// Delivery instant.
+        at: Time,
+        /// Sender PE (original numbering).
+        src: u32,
+        /// When the sender issued it.
+        sent: Time,
+        /// Envelope wire size in bytes.
+        bytes: u64,
+        /// Whether the message crossed the wide area.
+        cross: bool,
+        /// Whether the message is runtime (system-priority) traffic.
+        sys: bool,
+    },
+    /// The scheduler drained its queue and went idle.
+    Idle {
+        /// The transition instant.
+        at: Time,
+    },
+    /// A buddy-checkpoint epoch completed on this PE.
+    Checkpoint {
+        /// When the local state was packed.
+        at: Time,
+        /// Checkpoint epoch number.
+        epoch: u32,
+    },
+    /// This PE resumed from a shrink-restart recovery.
+    Recovery {
+        /// When the new generation booted.
+        at: Time,
+    },
+}
+
+impl Event {
+    /// The instant the event refers to (span start for handlers).
+    pub fn at(&self) -> Time {
+        match *self {
+            Event::Handler { start, .. } => start,
+            Event::Send { at, .. }
+            | Event::Recv { at, .. }
+            | Event::Idle { at }
+            | Event::Checkpoint { at, .. }
+            | Event::Recovery { at } => at,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obj_tag_displays_like_obj_key() {
+        assert_eq!(ObjTag { array: 1, elem: 2 }.to_string(), "a1[2]");
+    }
+
+    #[test]
+    fn event_at_picks_the_right_field() {
+        let t = Time::from_nanos(5);
+        assert_eq!(Event::Handler { obj: None, start: t, end: Time::from_nanos(9) }.at(), t);
+        assert_eq!(Event::Idle { at: t }.at(), t);
+        assert_eq!(Event::Recovery { at: t }.at(), t);
+    }
+}

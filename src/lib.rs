@@ -11,6 +11,8 @@
 //! * [`vmi`] (`mdo-vmi`) — the device-chain messaging layer.
 //! * [`ampi`] (`mdo-ampi`) — the MPI-flavoured layer.
 //! * [`apps`] (`mdo-apps`) — the paper's applications.
+//! * [`obs`] (`mdo-obs`) — Projections-style observability: event
+//!   streams, counters, histograms, overlap analysis and exporters.
 //!
 //! Start with `examples/quickstart.rs`, then see README.md for the
 //! experiment harness.
@@ -19,6 +21,7 @@ pub use mdo_ampi as ampi;
 pub use mdo_apps as apps;
 pub use mdo_core as runtime;
 pub use mdo_netsim as netsim;
+pub use mdo_obs as obs;
 pub use mdo_vmi as vmi;
 
 /// Everything a typical application needs.
@@ -32,4 +35,5 @@ pub mod prelude {
         CrashTrigger, Dur, FailureCause, FailurePlan, FaultPlan, LatencyMatrix, Pe, PeFailed, Time, Topology,
         TransportError, UnrecoverableError,
     };
+    pub use mdo_obs::{ObsConfig, ObsReport};
 }
