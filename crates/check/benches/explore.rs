@@ -1,0 +1,57 @@
+//! Criterion benches for the schedule explorer: the cost of one explored
+//! schedule under each delivery policy, and of the invariant layer that
+//! judges it.  The CI budget (500 schedules per app) is only honest if a
+//! single schedule stays in the low-millisecond range, so a regression
+//! here silently turns the model checker into the slowest job in CI.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use mdo_check::{check_report, explore, CheckApp, ExploreConfig};
+use mdo_core::prelude::{DeliverySpec, ScheduleSink};
+use mdo_core::program::RunConfig;
+use mdo_obs::ObsConfig;
+
+fn policy_cfg(delivery: DeliverySpec) -> RunConfig {
+    RunConfig { delivery, obs: Some(ObsConfig::new()), ..RunConfig::default() }
+}
+
+fn bench_one_schedule(c: &mut Criterion) {
+    let app = CheckApp::stencil_mini();
+    let mut g = c.benchmark_group("one_schedule");
+    g.bench_function("fifo", |b| b.iter(|| app.run_sim(policy_cfg(DeliverySpec::Fifo))));
+    g.bench_function("random", |b| b.iter(|| app.run_sim(policy_cfg(DeliverySpec::Random { seed: 7 }))));
+    g.bench_function("pct_d3", |b| {
+        b.iter(|| app.run_sim(policy_cfg(DeliverySpec::Pct { seed: 7, depth: 3, horizon: 104 })))
+    });
+    // Replay pays for the recorded-trace lookup on every contested dispatch.
+    let sink: ScheduleSink = Default::default();
+    let cfg = RunConfig { schedule_sink: Some(sink.clone()), ..policy_cfg(DeliverySpec::Random { seed: 7 }) };
+    let _ = app.run_sim(cfg);
+    let trace = Arc::new(sink.lock().expect("trace").clone());
+    g.bench_function("replay", |b| b.iter(|| app.run_sim(policy_cfg(DeliverySpec::Replay(Arc::clone(&trace))))));
+    g.finish();
+}
+
+fn bench_invariants(c: &mut Criterion) {
+    let app = CheckApp::stencil_mini();
+    let run = app.run_sim(policy_cfg(DeliverySpec::Fifo));
+    let expect = app.expectation;
+    c.bench_function("invariant_layer", |b| b.iter(|| check_report(black_box(&run.report), black_box(&expect))));
+}
+
+fn bench_explore_batch(c: &mut Criterion) {
+    let app = CheckApp::stencil_mini();
+    let mut g = c.benchmark_group("explore");
+    g.sample_size(10);
+    g.bench_function("stencil_mini_8_schedules", |b| {
+        b.iter(|| {
+            explore(&app, &ExploreConfig { seed: 1, schedules: 8, differential_every: 0, ..ExploreConfig::default() })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_one_schedule, bench_invariants, bench_explore_batch);
+criterion_main!(benches);

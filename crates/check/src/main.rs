@@ -1,0 +1,150 @@
+//! The `mdo_check` binary: CI-facing schedule exploration.
+//!
+//! ```text
+//! mdo_check [--app stencil-mini|leanmd-mini] [--schedules N] [--seed S]
+//!           [--pct-depth D] [--differential-every N] [--shrink-budget N]
+//!           [--out DIR] [--replay FILE]
+//! ```
+//!
+//! Without `--app`, both mini configs are explored.  Failing schedules
+//! are shrunk and written to `--out` (default `target/mdo-check`) as
+//! `schedule-<app>-<index>.json`; the process exits non-zero if anything
+//! failed.  `--replay FILE` re-executes one `schedule.json` instead of
+//! exploring, printing the violations it reproduces.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mdo_check::{explore, replay_violations, CheckApp, ExploreConfig, ScheduleFile};
+
+struct Args {
+    apps: Vec<CheckApp>,
+    cfg: ExploreConfig,
+    out: PathBuf,
+    replay: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        apps: vec![CheckApp::stencil_mini(), CheckApp::leanmd_mini()],
+        cfg: ExploreConfig { differential_every: 25, ..ExploreConfig::default() },
+        out: PathBuf::from("target/mdo-check"),
+        replay: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().ok_or(format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--app" => {
+                let name = value()?;
+                args.apps = vec![CheckApp::by_name(&name).ok_or(format!("unknown app {name:?}"))?];
+            }
+            "--schedules" => args.cfg.schedules = value()?.parse().map_err(|e| format!("{flag}: {e}"))?,
+            "--seed" => args.cfg.seed = value()?.parse().map_err(|e| format!("{flag}: {e}"))?,
+            "--pct-depth" => args.cfg.pct_depth = value()?.parse().map_err(|e| format!("{flag}: {e}"))?,
+            "--differential-every" => {
+                args.cfg.differential_every = value()?.parse().map_err(|e| format!("{flag}: {e}"))?
+            }
+            "--shrink-budget" => args.cfg.shrink_budget = value()?.parse().map_err(|e| format!("{flag}: {e}"))?,
+            "--out" => args.out = PathBuf::from(value()?),
+            "--replay" => args.replay = Some(PathBuf::from(value()?)),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn replay_one(path: &PathBuf, cfg: &ExploreConfig) -> Result<bool, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let file = ScheduleFile::from_json(&text)?;
+    let app = CheckApp::by_name(&file.app).ok_or(format!("unknown app {:?} in schedule", file.app))?;
+    // The reference digest is recomputed from a FIFO run of the same app.
+    let reference = explore(&app, &ExploreConfig { schedules: 0, ..cfg.clone() });
+    let violations = replay_violations(&app, cfg, &reference.reference_digest, &file.trace);
+    println!(
+        "replay of {} ({} choices, {} deviations): {} violation(s)",
+        path.display(),
+        file.trace.choices.len(),
+        file.trace.deviations(),
+        violations.len()
+    );
+    for v in &violations {
+        println!("  - {v}");
+    }
+    Ok(violations.is_empty())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("mdo_check: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &args.replay {
+        return match replay_one(path, &args.cfg) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::FAILURE,
+            Err(e) => {
+                eprintln!("mdo_check: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let mut all_passed = true;
+    for app in &args.apps {
+        let report = explore(app, &args.cfg);
+        println!(
+            "{}: {} schedules explored ({} distinct, horizon {}), {} differential run(s), {} failing",
+            report.app,
+            report.outcomes.len(),
+            report.distinct_schedules(),
+            report.horizon,
+            report.differential_runs,
+            report.failing.len()
+        );
+        if !report.reference_violations.is_empty() {
+            all_passed = false;
+            println!("  FIFO reference run itself violates invariants:");
+            for v in &report.reference_violations {
+                println!("  - {v}");
+            }
+        }
+        for (index, v) in &report.differential_violations {
+            all_passed = false;
+            println!("  differential mismatch at schedule {index}: {v}");
+        }
+        for fail in &report.failing {
+            all_passed = false;
+            println!(
+                "  schedule {} FAILED ({} violation(s)); shrunk {} -> {} deviations in {} replays",
+                fail.index,
+                fail.violations.len(),
+                fail.shrunk.from_deviations,
+                fail.shrunk.to_deviations,
+                fail.shrunk.runs
+            );
+            for v in &fail.violations {
+                println!("    - {v}");
+            }
+            if let Err(e) = std::fs::create_dir_all(&args.out) {
+                eprintln!("mdo_check: cannot create {}: {e}", args.out.display());
+                continue;
+            }
+            let path = args.out.join(format!("schedule-{}-{}.json", report.app, fail.index));
+            match std::fs::write(&path, fail.file.to_json()) {
+                Ok(()) => println!("    minimal reproducer written to {}", path.display()),
+                Err(e) => eprintln!("mdo_check: cannot write {}: {e}", path.display()),
+            }
+        }
+    }
+
+    if all_passed {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,137 @@
+//! `schedule.json` — the replayable on-disk form of a failing schedule.
+//!
+//! A shrunk counterexample is only useful if it can be re-executed later
+//! (in CI triage, in a bug report, in a regression test), so the harness
+//! serializes the minimal [`ScheduleTrace`] together with the app name
+//! and exploration seed.  Replaying is exact: feed the parsed trace to
+//! [`DeliverySpec::Replay`](mdo_core::DeliverySpec) and run the same app
+//! config — the sim engine is deterministic, so the violation reproduces.
+//!
+//! The format is deliberately tiny (the workspace has no serde):
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "app": "stencil-mini",
+//!   "seed": "12345",
+//!   "choices": [[0, 3, 2], [1, 2, 1]]
+//! }
+//! ```
+//!
+//! Each choice triple is `[pe, eligible, chosen]`: on that PE's next
+//! contested dispatch (more than one front-class envelope), pop the
+//! `chosen`-th instead of the FIFO head.  The seed is a string because
+//! JSON numbers are doubles and cannot carry a full `u64`.
+
+use mdo_core::{ScheduleChoice, ScheduleTrace};
+use mdo_obs::json::{self, Json};
+
+/// A schedule bundled with enough context to replay it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScheduleFile {
+    /// Name of the app config the schedule was recorded against.
+    pub app: String,
+    /// The exploration seed that produced the (pre-shrink) schedule.
+    pub seed: u64,
+    /// The delivery-order trace (usually shrunk to minimal).
+    pub trace: ScheduleTrace,
+}
+
+impl ScheduleFile {
+    /// Serialize to the `schedule.json` text format.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.trace.choices.len() * 12);
+        out.push_str("{\n");
+        out.push_str("  \"version\": 1,\n");
+        out.push_str(&format!("  \"app\": \"{}\",\n", json::escape(&self.app)));
+        out.push_str(&format!("  \"seed\": \"{}\",\n", self.seed));
+        out.push_str("  \"choices\": [");
+        for (i, c) in self.trace.choices.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{},{},{}]", c.pe, c.eligible, c.chosen));
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Parse the `schedule.json` text format.
+    pub fn from_json(text: &str) -> Result<ScheduleFile, String> {
+        let doc = json::parse(text)?;
+        let version = doc.get("version").and_then(Json::as_f64).ok_or("missing \"version\"")?;
+        if version != 1.0 {
+            return Err(format!("unsupported schedule version {version}"));
+        }
+        let app = doc.get("app").and_then(Json::as_str).ok_or("missing \"app\"")?.to_string();
+        let seed = doc
+            .get("seed")
+            .and_then(Json::as_str)
+            .ok_or("missing \"seed\"")?
+            .parse::<u64>()
+            .map_err(|e| e.to_string())?;
+        let raw = doc.get("choices").and_then(Json::as_arr).ok_or("missing \"choices\"")?;
+        let mut choices = Vec::with_capacity(raw.len());
+        for (i, entry) in raw.iter().enumerate() {
+            let triple = entry.as_arr().filter(|t| t.len() == 3).ok_or(format!("choice {i} is not a triple"))?;
+            let field = |j: usize| -> Result<u32, String> {
+                let n = triple[j].as_f64().ok_or(format!("choice {i} field {j} is not a number"))?;
+                if n < 0.0 || n.fract() != 0.0 || n > u32::MAX as f64 {
+                    return Err(format!("choice {i} field {j} out of range: {n}"));
+                }
+                Ok(n as u32)
+            };
+            choices.push(ScheduleChoice { pe: field(0)?, eligible: field(1)?, chosen: field(2)? });
+        }
+        Ok(ScheduleFile { app, seed, trace: ScheduleTrace { choices } })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ScheduleFile {
+        ScheduleFile {
+            app: "stencil-mini".into(),
+            seed: u64::MAX - 7, // not representable as f64: the string encoding matters
+            trace: ScheduleTrace {
+                choices: vec![
+                    ScheduleChoice { pe: 0, eligible: 3, chosen: 2 },
+                    ScheduleChoice { pe: 1, eligible: 2, chosen: 0 },
+                ],
+            },
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let s = sample();
+        let text = s.to_json();
+        let back = ScheduleFile::from_json(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn output_is_valid_json() {
+        assert!(json::parse(&sample().to_json()).is_ok());
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let s = ScheduleFile { app: "x".into(), seed: 0, trace: ScheduleTrace::default() };
+        assert_eq!(ScheduleFile::from_json(&s.to_json()).unwrap(), s);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(ScheduleFile::from_json("{}").is_err());
+        assert!(ScheduleFile::from_json(r#"{"version": 2, "app": "a", "seed": "0", "choices": []}"#).is_err());
+        assert!(ScheduleFile::from_json(r#"{"version": 1, "app": "a", "seed": "0", "choices": [[1, 2]]}"#).is_err());
+        assert!(ScheduleFile::from_json(r#"{"version": 1, "app": "a", "seed": "0", "choices": [[1, 2, -1]]}"#).is_err());
+        assert!(
+            ScheduleFile::from_json(r#"{"version": 1, "app": "a", "seed": 5, "choices": []}"#).is_err(),
+            "numeric seed"
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! Greedy schedule shrinking: reduce a failing delivery-order trace to a
+//! minimal reproducer.
+//!
+//! A schedule's "size" is its number of *deviations* — choices with
+//! `chosen != 0`.  FIFO (zero deviations) is the known-good baseline, so
+//! shrinking means zeroing deviations while the invariant violation still
+//! reproduces.  The algorithm is ddmin-flavored: try to zero large chunks
+//! of deviations at once, halving the chunk size as chunks stop working,
+//! down to single deviations.  Trailing FIFO choices are then trimmed —
+//! the replay policy falls back to FIFO after trace exhaustion, so they
+//! encode nothing.
+//!
+//! Every candidate is judged by re-running the program under
+//! [`DeliverySpec::Replay`](mdo_core::DeliverySpec), which makes each
+//! probe cost one full (small) simulation; the `budget` cap keeps worst-
+//! case shrink time bounded and predictable for CI.
+
+use mdo_core::ScheduleTrace;
+
+/// Outcome of a shrink session.
+#[derive(Clone, Debug)]
+pub struct ShrinkResult {
+    /// The smallest still-failing trace found.
+    pub trace: ScheduleTrace,
+    /// Deviations in the original trace.
+    pub from_deviations: usize,
+    /// Deviations remaining after shrinking.
+    pub to_deviations: usize,
+    /// Replay runs spent.
+    pub runs: usize,
+}
+
+/// Shrink `trace` as far as `budget` replays allow, using `still_fails`
+/// to judge candidates.  `still_fails` must be deterministic (replaying
+/// the same trace must return the same verdict) — the sim engine
+/// guarantees this.  The input trace is assumed failing; the result is
+/// always a failing trace (the original, if nothing smaller fails).
+pub fn shrink<F>(trace: &ScheduleTrace, budget: usize, mut still_fails: F) -> ShrinkResult
+where
+    F: FnMut(&ScheduleTrace) -> bool,
+{
+    let from_deviations = trace.deviations();
+    let mut best = trace.clone();
+    let mut runs = 0;
+
+    // Zero deviations in chunks, halving until single-deviation grain.
+    let mut chunk = from_deviations.div_ceil(2).max(1);
+    loop {
+        let mut progressed = false;
+        let deviation_idx: Vec<usize> =
+            best.choices.iter().enumerate().filter(|(_, c)| c.chosen != 0).map(|(i, _)| i).collect();
+        if deviation_idx.is_empty() || runs >= budget {
+            break;
+        }
+        for window in deviation_idx.chunks(chunk) {
+            if runs >= budget {
+                break;
+            }
+            let mut candidate = best.clone();
+            for &i in window {
+                candidate.choices[i].chosen = 0;
+            }
+            runs += 1;
+            if still_fails(&candidate) {
+                best = candidate;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            if chunk == 1 {
+                break;
+            }
+            chunk = (chunk / 2).max(1);
+        }
+    }
+
+    // Trim trailing FIFO choices: replay exhaustion is FIFO anyway.
+    while best.choices.last().is_some_and(|c| c.chosen == 0) {
+        best.choices.pop();
+    }
+
+    ShrinkResult { trace: best.clone(), from_deviations, to_deviations: best.deviations(), runs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdo_core::ScheduleChoice;
+
+    fn trace_of(chosen: &[u32]) -> ScheduleTrace {
+        ScheduleTrace { choices: chosen.iter().map(|&c| ScheduleChoice { pe: 0, eligible: 4, chosen: c }).collect() }
+    }
+
+    #[test]
+    fn finds_the_single_culprit() {
+        // Failure iff choice 5 deviates; everything else is noise.
+        let original = trace_of(&[1, 2, 0, 3, 1, 2, 0, 1, 3]);
+        let r = shrink(&original, 1_000, |t| t.choices.get(5).is_some_and(|c| c.chosen == 2));
+        assert_eq!(r.to_deviations, 1);
+        assert_eq!(r.trace.choices.len(), 6, "trailing FIFO trimmed");
+        assert_eq!(r.trace.choices[5].chosen, 2);
+        assert!(r.runs <= 1_000);
+        assert_eq!(r.from_deviations, 7);
+    }
+
+    #[test]
+    fn keeps_a_required_pair() {
+        // Failure requires BOTH deviations 1 and 3 — chunked zeroing must
+        // not drop either.
+        let original = trace_of(&[0, 2, 1, 3, 1]);
+        let r = shrink(&original, 1_000, |t| {
+            t.choices.get(1).is_some_and(|c| c.chosen == 2) && t.choices.get(3).is_some_and(|c| c.chosen == 3)
+        });
+        assert_eq!(r.to_deviations, 2);
+        assert!(still_has(&r.trace, 1, 2) && still_has(&r.trace, 3, 3));
+    }
+
+    fn still_has(t: &ScheduleTrace, idx: usize, chosen: u32) -> bool {
+        t.choices.get(idx).is_some_and(|c| c.chosen == chosen)
+    }
+
+    #[test]
+    fn respects_the_budget() {
+        let original = trace_of(&[1; 64]);
+        let mut calls = 0;
+        let r = shrink(&original, 5, |_| {
+            calls += 1;
+            false // nothing smaller fails
+        });
+        assert!(calls <= 5);
+        assert_eq!(r.runs, calls);
+        assert_eq!(r.to_deviations, 64, "original kept when nothing smaller fails");
+    }
+
+    #[test]
+    fn already_fifo_trace_trims_to_empty() {
+        let original = trace_of(&[0, 0, 0]);
+        let r = shrink(&original, 100, |_| true);
+        assert!(r.trace.choices.is_empty());
+        assert_eq!(r.runs, 0, "no deviations, no probes");
+    }
+}

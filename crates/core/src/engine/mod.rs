@@ -8,6 +8,12 @@
 //! * [`threaded`] — one OS thread per PE over the `mdo-vmi` transport with
 //!   a real timer-based delay device: our stand-in for the paper's real
 //!   multi-cluster TeraGrid runs ("Real Latency" columns of Tables 1–2).
+//!
+//! [`policy`] is the simulation engine's delivery-order seam: a pluggable
+//! [`policy::DeliveryPolicy`] decides which of several equal-priority
+//! queued messages a PE dispatches next, turning the deterministic engine
+//! into a systematic schedule explorer (see the `mdo-check` crate).
 
+pub mod policy;
 pub mod sim;
 pub mod threaded;

@@ -26,6 +26,7 @@ use mdo_netsim::{
 use mdo_obs::{trace_from, CounterSet, Ctr, ObjTag, ObsReport, PeObs, PeRecorder};
 
 use crate::checkpoint::assemble_buddy_snapshot;
+use crate::engine::policy::ScheduleChoice;
 use crate::envelope::{Envelope, MsgBody, SYSTEM_PRIORITY};
 use crate::ids::ArrayId;
 use crate::node::{split_program, HostParts, Node, NodeHooks, NodeShared};
@@ -109,6 +110,12 @@ impl SimEngine {
         // chain, collapsed here into virtual-time delivery decisions.
         let mut faults = cfg.fault_plan.clone().map(FaultModel::new);
         let mut transport_error: Option<TransportError> = None;
+        // The delivery-policy seam: which of several equal-priority queued
+        // envelopes a PE dispatches next.  FIFO by default; the policy is
+        // consulted (and the decision recorded) only at genuine choice
+        // points, so the default path costs one `eligible()` call.
+        let mut policy = cfg.delivery.build();
+        let schedule_sink = cfg.schedule_sink.clone();
         let (mut shared, host) = split_program(program, topo, cfg);
 
         let mut host = Some(host);
@@ -225,7 +232,23 @@ impl SimEngine {
                 // (charged) work or drains its queue.
                 let mut dispatched = 0u32;
                 while !pes[pe.index()].busy {
-                    let Some(env) = pes[pe.index()].queue.pop() else { break };
+                    let eligible = pes[pe.index()].queue.eligible();
+                    let popped = if eligible > 1 {
+                        let k = policy.choose(pe, eligible).min(eligible - 1);
+                        if let Some(sink) = &schedule_sink {
+                            if let Ok(mut t) = sink.lock() {
+                                t.choices.push(ScheduleChoice {
+                                    pe: pe.0,
+                                    eligible: eligible as u32,
+                                    chosen: k as u32,
+                                });
+                            }
+                        }
+                        pes[pe.index()].queue.pop_nth(k)
+                    } else {
+                        pes[pe.index()].queue.pop()
+                    };
+                    let Some(env) = popped else { break };
                     let mut hooks = SimHooks { t: now, out: Vec::new() };
                     let caught = catch_unwind(AssertUnwindSafe(|| nodes[pe.index()].handle(env, &mut hooks)));
                     let outcome = match caught {
@@ -275,7 +298,15 @@ impl SimEngine {
                         if let Some(fm) = faults.as_mut() {
                             if shared.topo.crosses_wan(env.src, env.dst) {
                                 match fm.plan_delivery(env.src, env.dst, depart) {
-                                    DeliveryPlan::Deliver { extra_delay, .. } => arrival += extra_delay,
+                                    DeliveryPlan::Deliver { extra_delay, duplicate, .. } => {
+                                        arrival += extra_delay;
+                                        if duplicate && fm.plan().mutate_no_dedup {
+                                            // Test-only mutation: with dedup
+                                            // broken, the wire duplicate reaches
+                                            // the application as a second arrival.
+                                            events.schedule(arrival.max(now), Event::Arrive(env.clone()));
+                                        }
+                                    }
                                     DeliveryPlan::Exhausted { attempts, seq } => {
                                         // The reliable layer gave up on this
                                         // message: abort with a structured error

@@ -97,6 +97,7 @@ pub mod trace;
 pub mod wire;
 
 pub use chare::{Chare, Ctx, HostCtl};
+pub use engine::policy::{DeliveryPolicy, DeliverySpec, ScheduleChoice, ScheduleSink, ScheduleTrace};
 pub use engine::sim::{SimConfig, SimEngine};
 pub use engine::threaded::{ThreadedConfig, ThreadedEngine};
 pub use envelope::{Envelope, MsgBody};
@@ -108,6 +109,7 @@ pub use program::{Program, RunConfig, RunReport};
 /// Commonly used items, re-exported for applications.
 pub mod prelude {
     pub use crate::chare::{Chare, Ctx, HostCtl};
+    pub use crate::engine::policy::{DeliverySpec, ScheduleChoice, ScheduleSink, ScheduleTrace};
     pub use crate::ids::{ArrayId, ElemId, EntryId, ObjKey};
     pub use crate::mapping::Mapping;
     pub use crate::program::{Program, RunConfig, RunReport};

@@ -17,6 +17,7 @@ use crate::array::ArraySpec;
 use crate::balancer::{GreedyLB, GridCommLB, RefineLB, RotateLB, Strategy};
 use crate::chare::{Chare, ElemUnpacker, HostCtl};
 use crate::checkpoint::Snapshot;
+use crate::engine::policy::{DeliverySpec, ScheduleSink};
 use crate::envelope::ReduceData;
 use crate::ids::{ArrayId, ElemId};
 use crate::mapping::Mapping;
@@ -250,6 +251,17 @@ pub struct RunConfig {
     /// `mdo-core` with `--no-default-features` compiles the recording
     /// paths out entirely.
     pub obs: Option<ObsConfig>,
+    /// Which delivery policy the simulation engine's scheduler seam runs:
+    /// FIFO (the default, bit-identical to the historical engine),
+    /// seeded-random or PCT-style exploration, or replay of a recorded
+    /// schedule trace.  The threaded engine ignores this — its schedules
+    /// come from real thread interleaving.
+    pub delivery: DeliverySpec,
+    /// When set, the simulation engine records every contested scheduling
+    /// decision (≥ 2 equal-priority envelopes queued) into this shared
+    /// trace, which [`DeliverySpec::Replay`] can play back.  `None` (the
+    /// default) records nothing.
+    pub schedule_sink: Option<ScheduleSink>,
 }
 
 impl RunConfig {
@@ -278,6 +290,8 @@ impl Default for RunConfig {
             fault_plan: None,
             failure_plan: None,
             obs: None,
+            delivery: DeliverySpec::Fifo,
+            schedule_sink: None,
         }
     }
 }

@@ -9,40 +9,28 @@
 //! priority value = more urgent; FIFO among equal priorities).  With all
 //! priorities equal it degenerates to a FIFO, which is the default mode —
 //! the Grid-priority extension (§6) is what introduces distinct priorities.
+//!
+//! For the schedule-exploration harness (`mdo-check`) the queue also
+//! exposes the *delivery-order nondeterminism* the priority contract
+//! leaves open: [`SchedQueue::eligible`] counts the envelopes tied at the
+//! front (most urgent) priority class, and [`SchedQueue::pop_nth`]
+//! dequeues any one of them.  `pop()` is exactly `pop_nth(0)` — FIFO
+//! within the class — so the default engine behavior is one point in the
+//! space a [`crate::engine::policy::DeliveryPolicy`] explores.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, VecDeque};
 
 use crate::envelope::Envelope;
 
-struct Entry {
-    priority: i32,
-    seq: u64,
-    env: Envelope,
-}
-
-impl PartialEq for Entry {
-    fn eq(&self, other: &Self) -> bool {
-        self.priority == other.priority && self.seq == other.seq
-    }
-}
-impl Eq for Entry {}
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Max-heap: invert so the smallest (priority, seq) pops first.
-        other.priority.cmp(&self.priority).then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
 /// A stable priority queue of envelopes.
+///
+/// Internally a map from priority class to the FIFO of envelopes waiting
+/// in that class (insertion order preserved via arrival sequence numbers,
+/// though the `VecDeque` order alone carries it).
 #[derive(Default)]
 pub struct SchedQueue {
-    heap: BinaryHeap<Entry>,
+    classes: BTreeMap<i32, VecDeque<(u64, Envelope)>>,
+    len: usize,
     next_seq: u64,
     max_depth: usize,
 }
@@ -57,23 +45,44 @@ impl SchedQueue {
     pub fn push(&mut self, env: Envelope) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { priority: env.priority, seq, env });
-        self.max_depth = self.max_depth.max(self.heap.len());
+        self.classes.entry(env.priority).or_default().push_back((seq, env));
+        self.len += 1;
+        self.max_depth = self.max_depth.max(self.len);
     }
 
-    /// Dequeue the most urgent envelope.
+    /// Dequeue the most urgent envelope (FIFO among equal priorities).
     pub fn pop(&mut self) -> Option<Envelope> {
-        self.heap.pop().map(|e| e.env)
+        self.pop_nth(0)
+    }
+
+    /// How many envelopes are tied at the front priority class — the
+    /// choices a delivery policy may legally pick among without violating
+    /// priority order.  Zero iff the queue is empty.
+    pub fn eligible(&self) -> usize {
+        self.classes.values().next().map_or(0, VecDeque::len)
+    }
+
+    /// Dequeue the `n`-th (FIFO-ordered) envelope of the front priority
+    /// class.  `n` must be below [`SchedQueue::eligible`]; `pop_nth(0)` is
+    /// the classic FIFO-within-priority dequeue.
+    pub fn pop_nth(&mut self, n: usize) -> Option<Envelope> {
+        let (&prio, class) = self.classes.iter_mut().next()?;
+        let (_, env) = class.remove(n)?;
+        if class.is_empty() {
+            self.classes.remove(&prio);
+        }
+        self.len -= 1;
+        Some(env)
     }
 
     /// Messages waiting.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// True if nothing is waiting.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 
     /// High-water mark of queue depth (for the harness's overhead reports).
@@ -142,5 +151,43 @@ mod tests {
         q.push(env(0, 3));
         assert_eq!(q.len(), 2);
         assert_eq!(q.max_depth(), 2);
+    }
+
+    #[test]
+    fn eligible_counts_front_class_only() {
+        let mut q = SchedQueue::new();
+        assert_eq!(q.eligible(), 0);
+        q.push(env(0, 1));
+        q.push(env(0, 2));
+        q.push(env(5, 3));
+        assert_eq!(q.eligible(), 2, "only the priority-0 pair is dispatchable");
+        q.pop();
+        q.pop();
+        assert_eq!(q.eligible(), 1, "the priority-5 straggler became the front class");
+    }
+
+    #[test]
+    fn pop_nth_respects_priority_and_class_order() {
+        let mut q = SchedQueue::new();
+        q.push(env(0, 10));
+        q.push(env(0, 11));
+        q.push(env(0, 12));
+        q.push(env(7, 99));
+        // Pick the middle of the front class; the rest keep FIFO order.
+        assert_eq!(q.pop_nth(1).unwrap().sent_at_ns, 11);
+        assert_eq!(q.pop_nth(0).unwrap().sent_at_ns, 10);
+        assert_eq!(q.pop_nth(0).unwrap().sent_at_ns, 12);
+        // The lower-urgency class is only reachable once the front drained.
+        assert_eq!(q.pop_nth(0).unwrap().sent_at_ns, 99);
+        assert!(q.pop_nth(0).is_none());
+    }
+
+    #[test]
+    fn pop_nth_out_of_range_is_none_and_lossless() {
+        let mut q = SchedQueue::new();
+        q.push(env(0, 1));
+        assert!(q.pop_nth(3).is_none(), "index past the front class");
+        assert_eq!(q.len(), 1, "failed pop removed nothing");
+        assert_eq!(q.pop().unwrap().sent_at_ns, 1);
     }
 }

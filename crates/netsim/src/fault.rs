@@ -49,6 +49,20 @@ pub struct FaultPlan {
     /// Retransmissions allowed per packet before the transport gives up
     /// and surfaces a structured error.
     pub max_retries: u32,
+    /// Test-only mutation switch: deliberately break receiver-side
+    /// duplicate suppression, so a wire-duplicated packet reaches the
+    /// application twice.  Exists solely so the `mdo-check` invariant
+    /// layer can prove it catches exactly-once violations; never set this
+    /// outside a test harness.
+    #[doc(hidden)]
+    pub mutate_no_dedup: bool,
+    /// Test-only interleaving hook for the reliable layer: the receiver
+    /// swallows the first `ack_holdback` cumulative acks per incoming
+    /// pair, so the sender's retransmit timer fires and retransmissions
+    /// race with late acks — the exact schedule that exercises dedup and
+    /// cumulative-ack repair.  Zero (the default) changes nothing.
+    #[doc(hidden)]
+    pub ack_holdback: u32,
 }
 
 impl Default for FaultPlan {
@@ -62,6 +76,8 @@ impl Default for FaultPlan {
             link_down: Vec::new(),
             rto: Dur::from_millis(50),
             max_retries: 12,
+            mutate_no_dedup: false,
+            ack_holdback: 0,
         }
     }
 }
@@ -111,6 +127,22 @@ impl FaultPlan {
     /// Set the retransmission ceiling.
     pub fn with_max_retries(mut self, n: u32) -> Self {
         self.max_retries = n;
+        self
+    }
+
+    /// Test-only: arm the broken-dedup mutation (see
+    /// [`FaultPlan::mutate_no_dedup`]).
+    #[doc(hidden)]
+    pub fn with_mutation_no_dedup(mut self) -> Self {
+        self.mutate_no_dedup = true;
+        self
+    }
+
+    /// Test-only: swallow the first `n` acks per pair (see
+    /// [`FaultPlan::ack_holdback`]).
+    #[doc(hidden)]
+    pub fn with_ack_holdback(mut self, n: u32) -> Self {
+        self.ack_holdback = n;
         self
     }
 
@@ -197,6 +229,10 @@ pub enum DeliveryPlan {
         extra_delay: Dur,
         /// Failed attempts preceding the successful one.
         retransmits: u32,
+        /// The successful attempt was duplicated on the wire (the extra
+        /// copy is absorbed by receiver dedup — unless the test-only
+        /// [`FaultPlan::mutate_no_dedup`] mutation is armed).
+        duplicate: bool,
     },
     /// Every attempt failed; the transport reports a structured error
     /// after `attempts` transmissions.
@@ -286,13 +322,14 @@ impl FaultModel {
             } else if r < plan.drop + plan.corrupt {
                 stats.corrupt_rejected += 1;
             } else {
-                if r < plan.drop + plan.corrupt + plan.duplicate {
+                let duplicated = r < plan.drop + plan.corrupt + plan.duplicate;
+                if duplicated {
                     stats.dup_dropped += 1;
                 } else if r < plan.drop + plan.corrupt + plan.duplicate + plan.reorder {
                     stats.reordered += 1;
                 }
                 stats.retransmits += attempt as u64;
-                return DeliveryPlan::Deliver { extra_delay: extra, retransmits: attempt };
+                return DeliveryPlan::Deliver { extra_delay: extra, retransmits: attempt, duplicate: duplicated };
             }
             extra += backoff;
             backoff = backoff.checked_mul(2).unwrap_or(backoff);
@@ -311,7 +348,7 @@ mod tests {
         let mut fm = FaultModel::new(FaultPlan::default());
         for i in 0..100u64 {
             let got = fm.plan_delivery(Pe(0), Pe(4), Time::from_nanos(i * 10));
-            assert_eq!(got, DeliveryPlan::Deliver { extra_delay: Dur::ZERO, retransmits: 0 });
+            assert_eq!(got, DeliveryPlan::Deliver { extra_delay: Dur::ZERO, retransmits: 0, duplicate: false });
         }
         assert_eq!(fm.stats(), &FaultModelStats::default());
     }
@@ -368,7 +405,7 @@ mod tests {
         // Attempts at 0 ms and 10 ms are inside the window; the attempt at
         // 30 ms (extra = rto + 2*rto) succeeds.
         match fm.plan_delivery(Pe(0), Pe(9), Time::ZERO) {
-            DeliveryPlan::Deliver { extra_delay, retransmits } => {
+            DeliveryPlan::Deliver { extra_delay, retransmits, .. } => {
                 assert_eq!(retransmits, 2);
                 assert_eq!(extra_delay, Dur::from_millis(30));
             }

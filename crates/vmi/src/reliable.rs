@@ -123,6 +123,9 @@ struct SendPair {
 struct RecvPair {
     expected: u64,
     buffer: BTreeMap<u64, Packet>,
+    /// Acks swallowed so far by the test-only `ack_holdback` interleaving
+    /// hook (races retransmissions against late acks).
+    acks_held: u32,
 }
 
 /// Receiver-side state of one destination PE (touched only by that PE's
@@ -270,14 +273,32 @@ impl ReliableTransport {
                 }
             }
             Some((KIND_DATA, seq, body)) => {
-                let cum = {
+                let ack = {
                     let mut side = layer.recv[pe.index()].lock();
-                    let pair = side
-                        .pairs
-                        .entry(pkt.src.0)
-                        .or_insert_with(|| RecvPair { expected: 0, buffer: BTreeMap::new() });
+                    let pair = side.pairs.entry(pkt.src.0).or_insert_with(|| RecvPair {
+                        expected: 0,
+                        buffer: BTreeMap::new(),
+                        acks_held: 0,
+                    });
                     if seq < pair.expected || pair.buffer.contains_key(&seq) {
+                        let cum_now = pair.expected;
                         sh.dup_dropped.fetch_add(1, Ordering::Relaxed);
+                        if sh.plan.mutate_no_dedup {
+                            // Test-only mutation: dedup broken — the
+                            // duplicate leaks straight to the application,
+                            // bypassing in-order release.  The `mdo-check`
+                            // invariant layer must catch this.
+                            let app = Packet {
+                                src: pkt.src,
+                                dst: pkt.dst,
+                                priority: pkt.priority,
+                                payload: Bytes::from(body.to_vec()),
+                            };
+                            side.ready.push_back(app);
+                        }
+                        // Duplicate: re-ack so a sender whose acks were
+                        // lost stops retransmitting.
+                        Some(cum_now)
                     } else {
                         let app = Packet {
                             src: pkt.src,
@@ -292,16 +313,22 @@ impl ReliableTransport {
                             pair.expected += 1;
                         }
                         let cum_now = pair.expected;
+                        // Interleaving hook: swallow the first N acks so the
+                        // sender retransmits and the dedup/repair paths run
+                        // under a genuine ack/retransmit race.
+                        let ack = if pair.acks_held < sh.plan.ack_holdback {
+                            pair.acks_held += 1;
+                            None
+                        } else {
+                            Some(cum_now)
+                        };
                         side.ready.extend(released);
-                        drop(side);
-                        self.inner.send(Packet::with_priority(pe, pkt.src, ACK_PRIORITY, encode_ack(cum_now)));
-                        return;
+                        ack
                     }
-                    pair.expected
                 };
-                // Duplicate: re-ack so a sender whose acks were lost stops
-                // retransmitting.
-                self.inner.send(Packet::with_priority(pe, pkt.src, ACK_PRIORITY, encode_ack(cum)));
+                if let Some(cum) = ack {
+                    self.inner.send(Packet::with_priority(pe, pkt.src, ACK_PRIORITY, encode_ack(cum)));
+                }
             }
             // Mangled beyond recognition — equivalent to a loss; the
             // sender's retransmission recovers it.
@@ -461,6 +488,69 @@ mod tests {
         let err = rt.error().expect("retry ceiling produces a structured error");
         assert_eq!((err.src, err.dst, err.seq, err.attempts), (Pe(0), Pe(1), 0, 4));
         assert!(err.to_string().contains("gave up"));
+        rt.shutdown();
+        rt.inner().shutdown();
+    }
+
+    #[test]
+    fn ack_holdback_races_retransmits_but_stays_exactly_once() {
+        // The receiver swallows the first acks, so the sender's timer
+        // retransmits frames the receiver already handed to the
+        // application — the ack/retransmit race.  Dedup must absorb every
+        // raced duplicate: delivery stays exactly-once, in order.
+        // Hold back more acks than there are messages: every first-copy ack
+        // is swallowed, so recovery must come from the dup-triggered re-ack
+        // after the retransmit timer fires — the full race, both sides.
+        let plan = FaultPlan::default().with_rto(Dur::from_millis(5)).with_ack_holdback(64);
+        let rt = rig(plan, 0);
+        let n = 20u64;
+        for i in 0..n {
+            rt.send(Packet::new(Pe(0), Pe(1), Bytes::from(i.to_le_bytes().to_vec())));
+        }
+        let mut got = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        // Keep polling past the n-th delivery: retransmitted duplicates are
+        // only absorbed (and deduplicated) inside receive calls, and the
+        // first ones arrive an RTO after the originals.
+        while Instant::now() < deadline {
+            if let Some(p) = rt.recv_timeout(Pe(1), Duration::from_millis(25)) {
+                got.push(u64::from_le_bytes(p.payload[..8].try_into().unwrap()));
+            } else if got.len() as u64 >= n && rt.dup_dropped() > 0 {
+                break;
+            }
+        }
+        assert_eq!(got, (0..n).collect::<Vec<_>>(), "raced retransmits never reach the application");
+        assert!(rt.retransmits() > 0, "held-back acks forced retransmissions");
+        assert!(rt.dup_dropped() > 0, "the raced duplicates hit the dedup path");
+        assert!(rt.error().is_none());
+        rt.shutdown();
+        rt.inner().shutdown();
+    }
+
+    #[test]
+    fn broken_dedup_mutation_leaks_duplicates() {
+        // Same race, but with the hidden no-dedup mutation armed: raced
+        // duplicates leak to the application.  This is the defect the
+        // mdo-check invariant layer exists to catch.
+        let plan = FaultPlan::default().with_rto(Dur::from_millis(5)).with_ack_holdback(64).with_mutation_no_dedup();
+        let rt = rig(plan, 0);
+        let n = 8u64;
+        for i in 0..n {
+            rt.send(Packet::new(Pe(0), Pe(1), Bytes::from(i.to_le_bytes().to_vec())));
+        }
+        let mut got = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while Instant::now() < deadline {
+            match rt.recv_timeout(Pe(1), Duration::from_millis(40)) {
+                Some(p) => got.push(u64::from_le_bytes(p.payload[..8].try_into().unwrap())),
+                None if got.len() as u64 > n => break,
+                None => {}
+            }
+        }
+        assert!(got.len() as u64 > n, "broken dedup delivered duplicates ({} for {} sends)", got.len(), n);
+        for i in 0..n {
+            assert!(got.contains(&i), "original message {i} still delivered");
+        }
         rt.shutdown();
         rt.inner().shutdown();
     }

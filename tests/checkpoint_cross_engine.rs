@@ -146,6 +146,34 @@ fn threaded_single_crash_recovers_bit_exact() {
 }
 
 #[test]
+fn migration_then_crash_recovers_bit_exact() {
+    // Load balancing and buddy checkpointing interact at the AtSync
+    // barrier: objects migrate, *then* the post-migration placement is
+    // what the buddy epoch captures.  A crash after a migration must
+    // restore migrated objects wherever the snapshot says they live —
+    // recovery recomputes placement from the mapping, it does not assume
+    // objects still sit at their birth PEs.
+    let cfg = small_stencil(6);
+    let lb_cfg = RunConfig { lb: LbChoice::Rotate, ..RunConfig::default() };
+    let clean = stencil::run_sim(cfg.clone(), stencil_net(), lb_cfg.clone());
+    assert!(clean.report.migrations > 0, "RotateLB must actually migrate objects");
+
+    // Crash PE 2 at 70 % of the makespan: several AtSync rounds (and thus
+    // several migrations) have happened, and more follow after recovery.
+    let at = frac_of(clean.total, 7, 10);
+    let plan = FailurePlan::new().crash_at(Pe(2), at);
+    let run_cfg = RunConfig { lb: LbChoice::Rotate, failure_plan: Some(plan), ..RunConfig::default() };
+    let crashed = stencil::run_sim(cfg, stencil_net(), run_cfg);
+
+    assert_eq!(crashed.block_sums, clean.block_sums, "recovery after migration is bit-exact");
+    assert_eq!(crashed.report.failures_detected, 1);
+    assert_eq!(crashed.report.recoveries, 1);
+    assert!(crashed.report.unrecoverable.is_none());
+    assert!(crashed.report.migrations > 0, "migrations happened in the crashed run too");
+    assert!(crashed.report.checkpoints_taken > 0);
+}
+
+#[test]
 fn double_failure_of_a_buddy_pair_is_a_structured_error() {
     // PE 1's buddy is PE 2: killing both at the same instant destroys both
     // copies of PE 1's newest pieces, so recovery must give up — cleanly.

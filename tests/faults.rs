@@ -109,7 +109,7 @@ proptest! {
         let mut next_seq = 0u64;
         for _ in 0..msgs {
             match model.plan_delivery(Pe(0), Pe(1), Time::ZERO) {
-                DeliveryPlan::Deliver { extra_delay, retransmits } => {
+                DeliveryPlan::Deliver { extra_delay, retransmits, .. } => {
                     prop_assert!(retransmits <= max_retries);
                     prop_assert_eq!(retransmits > 0, extra_delay > Dur::ZERO);
                     next_seq += 1;

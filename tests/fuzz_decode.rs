@@ -1,0 +1,133 @@
+//! Hostile-input fuzzing of every parser that faces the wire.
+//!
+//! A Grid runtime's decoders sit downstream of WAN links, fault injection
+//! and (in the differential harness) replayed schedule files — all of
+//! which can hand them garbage.  The contract is uniform: a structured
+//! error (`WireError`, `None`, `Err(String)`), never a panic, never an
+//! attacker-controlled allocation.  Three byte surfaces are fuzzed here:
+//! `Envelope::decode`, the VMI reliable-frame parser, and the
+//! `schedule.json` reader used by `mdo-check --replay`.
+
+use gridmdo::netsim::Pe;
+use gridmdo::runtime::envelope::{Envelope, MsgBody};
+use gridmdo::runtime::ids::{ArrayId, ElemId, EntryId, ObjKey};
+use gridmdo::vmi::reliable::{
+    decode_frame, encode_ack, encode_data, is_control_frame, HEADER_LEN, KIND_ACK, KIND_DATA,
+};
+use mdo_check::ScheduleFile;
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary bytes into `Envelope::decode`: a structured `WireError`
+    /// or a well-formed envelope whose re-encoding decodes again — never
+    /// a panic, never a bottomless allocation from a lying length prefix.
+    #[test]
+    fn envelope_decode_survives_arbitrary_bytes(buf in prop::collection::vec(any::<u8>(), 0..512)) {
+        if let Ok(env) = Envelope::decode(&buf) {
+            let re = env.encode();
+            prop_assert!(Envelope::decode(&re).is_ok(), "accepted envelope must re-encode decodably");
+        }
+    }
+
+    /// Single-byte corruption and truncation of *valid* envelopes — the
+    /// realistic mangling a WAN applies — also never panics.
+    #[test]
+    fn envelope_decode_survives_mutated_valid_frames(
+        src in 0u32..64, dst in 0u32..64, prio in any::<i32>(),
+        array in 0u32..8, elem in 0u32..4096, entry in any::<u16>(),
+        payload in prop::collection::vec(any::<u8>(), 0..128),
+        flip_pos in any::<proptest::sample::Index>(),
+        flip_bits in 1u8..=255,
+        cut in any::<proptest::sample::Index>())
+    {
+        let env = Envelope {
+            src: Pe(src),
+            dst: Pe(dst),
+            priority: prio,
+            sent_at_ns: 77,
+            body: MsgBody::App {
+                target: ObjKey::new(ArrayId(array), ElemId(elem)),
+                entry: EntryId(entry),
+                payload: payload.into(),
+            },
+        };
+        let good = env.encode();
+        prop_assert!(Envelope::decode(&good).is_ok());
+
+        let mut flipped = good.clone();
+        let at = flip_pos.index(flipped.len());
+        flipped[at] ^= flip_bits;
+        let _ = Envelope::decode(&flipped); // Ok or Err, must not panic.
+
+        let truncated = &good[..cut.index(good.len() + 1)];
+        if truncated.len() < good.len() {
+            prop_assert!(Envelope::decode(truncated).is_err(), "truncation must be rejected");
+        }
+    }
+
+    /// Arbitrary bytes into the VMI reliable-frame parser: `None`, or a
+    /// frame whose parts exactly tile the input.
+    #[test]
+    fn vmi_frame_decode_survives_arbitrary_bytes(buf in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = is_control_frame(&buf);
+        match decode_frame(&buf) {
+            None => {
+                prop_assert!(buf.len() < HEADER_LEN || (buf[0] != KIND_DATA && buf[0] != KIND_ACK));
+            }
+            Some((kind, _num, rest)) => {
+                prop_assert!(kind == KIND_DATA || kind == KIND_ACK);
+                prop_assert_eq!(rest.len(), buf.len() - HEADER_LEN);
+            }
+        }
+    }
+
+    /// The VMI frame codec round-trips, and every proper prefix of a
+    /// valid frame shorter than the header is rejected.
+    #[test]
+    fn vmi_frame_roundtrip_and_truncation(seq in any::<u64>(),
+                                          payload in prop::collection::vec(any::<u8>(), 0..64),
+                                          cut in 0usize..HEADER_LEN) {
+        let data = encode_data(seq, &payload);
+        let (kind, num, rest) = decode_frame(&data).expect("data frame parses");
+        prop_assert_eq!(kind, KIND_DATA);
+        prop_assert_eq!(num, seq);
+        prop_assert_eq!(rest, &payload[..]);
+        prop_assert!(decode_frame(&data[..cut]).is_none());
+
+        let ack = encode_ack(seq);
+        let (kind, num, rest) = decode_frame(&ack).expect("ack frame parses");
+        prop_assert_eq!(kind, KIND_ACK);
+        prop_assert_eq!(num, seq);
+        prop_assert!(rest.is_empty());
+        prop_assert!(is_control_frame(&ack));
+        prop_assert!(!is_control_frame(&data));
+    }
+
+    /// Arbitrary text into the `schedule.json` reader (which drags the
+    /// whole `mdo-obs` JSON parser along): a structured `Err(String)` or
+    /// a file that serializes back and re-parses — never a panic.
+    #[test]
+    fn schedule_json_parser_survives_arbitrary_text(text in ".{0,120}") {
+        if let Ok(file) = ScheduleFile::from_json(&text) {
+            let re = file.to_json();
+            prop_assert_eq!(ScheduleFile::from_json(&re).expect("round trip"), file);
+        }
+    }
+
+    /// Corrupted but JSON-shaped schedule files: splice arbitrary bytes
+    /// into a valid serialization and require a structured verdict.
+    #[test]
+    fn schedule_json_parser_survives_mutations(seed in any::<u64>(),
+                                               pe in 0u32..16, eligible in 1u32..8,
+                                               splice in any::<proptest::sample::Index>(),
+                                               junk in ".{1,8}") {
+        let mut trace = gridmdo::runtime::ScheduleTrace::default();
+        trace.choices.push(gridmdo::runtime::ScheduleChoice { pe, eligible, chosen: eligible - 1 });
+        let good = ScheduleFile { app: "probe".into(), seed, trace }.to_json();
+        prop_assert!(ScheduleFile::from_json(&good).is_ok());
+
+        let mut mangled = good.clone();
+        mangled.insert_str(splice.index(good.len() + 1), &junk);
+        let _ = ScheduleFile::from_json(&mangled); // Ok or Err(String), must not panic.
+    }
+}
