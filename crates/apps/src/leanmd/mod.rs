@@ -662,6 +662,32 @@ mod tests {
     }
 
     #[test]
+    fn aggregation_matches_reference_on_both_engines() {
+        use mdo_netsim::AggConfig;
+        let cfg = MdConfig::validation(3, 3, 3);
+        let agg = Some(AggConfig::default());
+        let net = NetworkModel::two_cluster_sweep(4, Dur::from_millis(2));
+        let out = run_sim(cfg.clone(), net, RunConfig { agg, ..RunConfig::default() });
+        assert_matches_reference(&out, &cfg);
+        let topo = Topology::two_cluster(4);
+        let latency = LatencyMatrix::uniform(&topo, Dur::ZERO, Dur::from_micros(400));
+        let thr = run_threaded(cfg.clone(), topo, latency, RunConfig { agg, ..RunConfig::default() });
+        assert_matches_reference(&thr, &cfg);
+    }
+
+    #[test]
+    fn aggregation_with_wan_faults_matches_reference() {
+        use mdo_netsim::{AggConfig, FaultPlan};
+        let cfg = MdConfig::validation(3, 3, 3);
+        let plan = FaultPlan::loss(0.25).with_seed(13).with_rto(Dur::from_millis(5));
+        let run_cfg = RunConfig { agg: Some(AggConfig::default()), fault_plan: Some(plan), ..RunConfig::default() };
+        let net = NetworkModel::two_cluster_sweep(4, Dur::from_millis(2));
+        let out = run_sim(cfg.clone(), net, run_cfg);
+        assert!(out.report.faults.dropped > 0, "frames were actually lost: {:?}", out.report.faults);
+        assert_matches_reference(&out, &cfg);
+    }
+
+    #[test]
     fn paper_cost_scale_is_about_8s_per_step_on_one_pe_pair() {
         // 2 PEs (the smallest paper configuration) ≈ 4 s/step at zero
         // latency; 1-PE-equivalent ≈ 8 s/step.

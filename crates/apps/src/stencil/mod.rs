@@ -615,6 +615,40 @@ mod tests {
     }
 
     #[test]
+    fn aggregation_is_bit_exact_on_both_engines() {
+        use mdo_netsim::AggConfig;
+        let cfg = small(16, 5, 32);
+        let agg = Some(AggConfig::default());
+        let net = || NetworkModel::two_cluster_sweep(4, Dur::from_millis(2));
+        let plain = run_sim(cfg.clone(), net(), RunConfig::default());
+        let sim = run_sim(cfg.clone(), net(), RunConfig { agg, ..RunConfig::default() });
+        assert_eq!(plain.block_sums, sim.block_sums, "batched release must not change the math");
+        let topo = Topology::two_cluster(4);
+        let latency = LatencyMatrix::uniform(&topo, Dur::ZERO, Dur::from_micros(300));
+        let thr = run_threaded(cfg, topo, latency, RunConfig { agg, ..RunConfig::default() });
+        assert_eq!(plain.block_sums, thr.block_sums, "jumbo frames must not change the math");
+    }
+
+    #[test]
+    fn aggregation_with_wan_faults_is_bit_exact() {
+        use mdo_netsim::{AggConfig, FaultPlan};
+        let cfg = small(16, 4, 32);
+        let agg = Some(AggConfig::default());
+        let plan = FaultPlan::loss(0.3).with_seed(9).with_rto(Dur::from_millis(5));
+        let net = || NetworkModel::two_cluster_sweep(4, Dur::from_millis(2));
+        let plain = run_sim(cfg.clone(), net(), RunConfig::default());
+        let run_cfg = RunConfig { agg, fault_plan: Some(plan.clone()), ..RunConfig::default() };
+        let sim = run_sim(cfg.clone(), net(), run_cfg);
+        assert!(sim.report.faults.dropped > 0, "frames were actually lost: {:?}", sim.report.faults);
+        assert_eq!(plain.block_sums, sim.block_sums, "whole-frame retransmit delivers the same physics");
+        let topo = Topology::two_cluster(4);
+        let latency = LatencyMatrix::uniform(&topo, Dur::ZERO, Dur::from_micros(200));
+        let run_cfg = RunConfig { agg, fault_plan: Some(plan), ..RunConfig::default() };
+        let thr = run_threaded(cfg, topo, latency, run_cfg);
+        assert_eq!(plain.block_sums, thr.block_sums, "threaded frame retransmit delivers the same physics");
+    }
+
+    #[test]
     fn barriers_and_migration_keep_stencil_bit_exact() {
         use mdo_core::program::LbChoice;
         let mut cfg = small(16, 9, 32);

@@ -20,7 +20,7 @@ use std::sync::Arc;
 
 use mdo_core::program::RunConfig;
 use mdo_core::{DeliverySpec, ObsConfig, ScheduleSink, ScheduleTrace};
-use mdo_netsim::{FaultPlan, SplitMix64};
+use mdo_netsim::{AggConfig, FaultPlan, SplitMix64};
 
 use crate::apps::CheckApp;
 use crate::invariant::{check_digest, check_report, Violation};
@@ -45,6 +45,11 @@ pub struct ExploreConfig {
     /// Fault plan applied to every run (exploration composes with WAN
     /// fault injection; the hidden mutation knobs ride in here too).
     pub fault_plan: Option<FaultPlan>,
+    /// Aggregation policy applied to every run (exploration composes
+    /// with the batched-release model: cross-WAN envelopes buffer and
+    /// release as whole frames, which is itself a schedule perturbation
+    /// the invariants must survive).
+    pub agg: Option<AggConfig>,
 }
 
 impl Default for ExploreConfig {
@@ -56,6 +61,7 @@ impl Default for ExploreConfig {
             differential_every: 0,
             shrink_budget: 200,
             fault_plan: None,
+            agg: None,
         }
     }
 }
@@ -159,8 +165,15 @@ fn trace_hash(trace: &ScheduleTrace) -> u64 {
     h
 }
 
-fn run_cfg(fault_plan: Option<FaultPlan>, delivery: DeliverySpec, sink: Option<ScheduleSink>) -> RunConfig {
-    RunConfig { fault_plan, delivery, schedule_sink: sink, obs: Some(ObsConfig::new()), ..RunConfig::default() }
+fn run_cfg(cfg: &ExploreConfig, delivery: DeliverySpec, sink: Option<ScheduleSink>) -> RunConfig {
+    RunConfig {
+        fault_plan: cfg.fault_plan.clone(),
+        delivery,
+        schedule_sink: sink,
+        obs: Some(ObsConfig::new()),
+        agg: cfg.agg,
+        ..RunConfig::default()
+    }
 }
 
 /// Run one exploration session.  Fully deterministic: the same `(app,
@@ -169,7 +182,7 @@ fn run_cfg(fault_plan: Option<FaultPlan>, delivery: DeliverySpec, sink: Option<S
 pub fn explore(app: &CheckApp, cfg: &ExploreConfig) -> ExploreReport {
     // Reference: FIFO, recorded.  Its trace length is the PCT horizon.
     let ref_sink: ScheduleSink = Default::default();
-    let reference = app.run_sim(run_cfg(cfg.fault_plan.clone(), DeliverySpec::Fifo, Some(ref_sink.clone())));
+    let reference = app.run_sim(run_cfg(cfg, DeliverySpec::Fifo, Some(ref_sink.clone())));
     let ref_trace = ref_sink.lock().map(|t| t.clone()).unwrap_or_default();
     let horizon = ref_trace.choices.len() as u64;
     let mut reference_violations = check_report(&reference.report, &app.expectation);
@@ -200,7 +213,7 @@ pub fn explore(app: &CheckApp, cfg: &ExploreConfig) -> ExploreReport {
             ("pct", DeliverySpec::Pct { seed, depth: cfg.pct_depth, horizon })
         };
         let sink: ScheduleSink = Default::default();
-        let run = app.run_sim(run_cfg(cfg.fault_plan.clone(), spec, Some(sink.clone())));
+        let run = app.run_sim(run_cfg(cfg, spec, Some(sink.clone())));
         let trace = sink.lock().map(|t| t.clone()).unwrap_or_default();
 
         let mut violations = check_report(&run.report, &app.expectation);
@@ -227,7 +240,7 @@ pub fn explore(app: &CheckApp, cfg: &ExploreConfig) -> ExploreReport {
         });
 
         if cfg.differential_every > 0 && index % cfg.differential_every == 0 && app.has_threaded() {
-            if let Some(thr) = app.run_threaded(run_cfg(cfg.fault_plan.clone(), DeliverySpec::Fifo, None)) {
+            if let Some(thr) = app.run_threaded(run_cfg(cfg, DeliverySpec::Fifo, None)) {
                 report.differential_runs += 1;
                 if let Some(v) = check_digest(&report.reference_digest, &thr.digest) {
                     report.differential_violations.push((index, v));
@@ -247,7 +260,7 @@ pub fn replay_violations(
     trace: &ScheduleTrace,
 ) -> Vec<Violation> {
     let spec = DeliverySpec::Replay(Arc::new(trace.clone()));
-    let run = app.run_sim(run_cfg(cfg.fault_plan.clone(), spec, None));
+    let run = app.run_sim(run_cfg(cfg, spec, None));
     let mut violations = check_report(&run.report, &app.expectation);
     violations.extend(check_digest(reference_digest, &run.digest));
     violations
@@ -269,6 +282,37 @@ fn shrink_failure(
 mod tests {
     use super::*;
     use mdo_core::ScheduleChoice;
+
+    #[test]
+    fn exploration_passes_with_aggregated_release() {
+        // The batched-release model is a schedule perturbation of its own:
+        // envelopes wait in buffers and land in bulk.  Exactly-once,
+        // quiescence soundness and digest stability must all survive it.
+        let cfg = ExploreConfig { schedules: 4, agg: Some(AggConfig::default()), ..ExploreConfig::default() };
+        let report = explore(&CheckApp::probe(), &cfg);
+        assert!(report.horizon > 0, "the reference run had contested dispatches");
+        assert!(report.passed(), "aggregated exploration failed: {:?}", report.failing);
+    }
+
+    #[test]
+    fn exploration_passes_with_aggregation_and_faults() {
+        let plan = FaultPlan::loss(0.2).with_seed(5).with_rto(mdo_netsim::Dur::from_millis(4));
+        let cfg = ExploreConfig {
+            schedules: 4,
+            agg: Some(AggConfig::default()),
+            fault_plan: Some(plan),
+            ..ExploreConfig::default()
+        };
+        let report = explore(&CheckApp::probe(), &cfg);
+        assert!(report.passed(), "aggregation + faults exploration failed: {:?}", report.failing);
+    }
+
+    #[test]
+    fn aggregated_digests_stay_bit_exact_across_schedules() {
+        let cfg = ExploreConfig { schedules: 2, agg: Some(AggConfig::default()), ..ExploreConfig::default() };
+        let report = explore(&CheckApp::stencil_mini(), &cfg);
+        assert!(report.passed(), "aggregated stencil exploration failed: {:?}", report.failing);
+    }
 
     #[test]
     fn trace_hash_distinguishes_traces() {

@@ -3,7 +3,7 @@
 //! ```text
 //! mdo_check [--app stencil-mini|leanmd-mini] [--schedules N] [--seed S]
 //!           [--pct-depth D] [--differential-every N] [--shrink-budget N]
-//!           [--out DIR] [--replay FILE]
+//!           [--agg] [--out DIR] [--replay FILE]
 //! ```
 //!
 //! Without `--app`, both mini configs are explored.  Failing schedules
@@ -46,6 +46,7 @@ fn parse_args() -> Result<Args, String> {
                 args.cfg.differential_every = value()?.parse().map_err(|e| format!("{flag}: {e}"))?
             }
             "--shrink-budget" => args.cfg.shrink_budget = value()?.parse().map_err(|e| format!("{flag}: {e}"))?,
+            "--agg" => args.cfg.agg = Some(mdo_netsim::AggConfig::default()),
             "--out" => args.out = PathBuf::from(value()?),
             "--replay" => args.replay = Some(PathBuf::from(value()?)),
             other => return Err(format!("unknown flag {other:?}")),

@@ -14,6 +14,7 @@
 //! naturally overlaps that work with in-flight communication, which is the
 //! entire effect under study.
 
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
@@ -22,6 +23,8 @@ use mdo_netsim::{
     CrashTrigger, DeliveryPlan, Dur, EventQueue, FailureCause, FaultModel, FaultModelStats, Pe, PeFailed, Time,
     TransportError, UnrecoverableError,
 };
+use mdo_vmi::frame::CHUNK_HEADER_LEN;
+use mdo_vmi::reliable::HEADER_LEN;
 
 use mdo_obs::{trace_from, CounterSet, Ctr, ObjTag, ObsReport, PeObs, PeRecorder};
 
@@ -53,6 +56,84 @@ pub struct SimEngine {
 enum Event {
     Arrive(Envelope),
     PeDone(Pe),
+    /// Deadline tick for one (src, dst) aggregation buffer; `epoch` guards
+    /// against ticks whose buffer already flushed by size or urgency.
+    FlushAgg {
+        src: Pe,
+        dst: Pe,
+        epoch: u64,
+    },
+}
+
+/// One (src, dst) accumulation buffer of the virtual-time aggregation
+/// model — the `SimEngine` mirror of the threaded engine's
+/// [`mdo_vmi::Aggregator`] pair buffers.
+#[derive(Default)]
+struct SimAggBuf {
+    envs: Vec<Envelope>,
+    bytes: u64,
+    epoch: u64,
+}
+
+/// The mutable slice of the simulator a frame flush needs: the network
+/// model for delivery times, the fault model for the per-frame draw, the
+/// event queue for arrivals, and the global counters.
+struct FrameSink<'a> {
+    net: &'a mut NetworkModel,
+    faults: &'a mut Option<FaultModel>,
+    events: &'a mut EventQueue<Event>,
+    gctr: &'a mut CounterSet,
+}
+
+/// Ship one buffered jumbo frame into virtual time: a single
+/// delivery-time query and a single fault draw cover the whole frame (the
+/// virtual-time equivalent of one reliable sequence number per frame),
+/// then every passenger arrives together, in send order.
+fn sim_flush_frame(
+    src: Pe,
+    dst: Pe,
+    at: Time,
+    envs: Vec<Envelope>,
+    sink: &mut FrameSink<'_>,
+    cause: Option<Ctr>,
+) -> Result<(), TransportError> {
+    let count = envs.len() as u64;
+    let frame_bytes = 1 + envs.iter().map(|e| CHUNK_HEADER_LEN as u64 + e.wire_size()).sum::<u64>();
+    sink.gctr.bump(Ctr::FramesSent);
+    sink.gctr.add(Ctr::EnvelopesCoalesced, count);
+    // Same accounting as the threaded aggregator: standalone framing each
+    // envelope would have paid, minus the frame's one-time cost.
+    let standalone = count * 2 * HEADER_LEN as u64;
+    let framed = 2 * HEADER_LEN as u64 + 1 + count * CHUNK_HEADER_LEN as u64;
+    sink.gctr.add(Ctr::FrameBytesSaved, standalone.saturating_sub(framed));
+    if let Some(c) = cause {
+        sink.gctr.bump(c);
+    }
+    let mut arrival = sink.net.delivery_time(src, dst, at, frame_bytes);
+    let mut dup = false;
+    if let Some(fm) = sink.faults.as_mut() {
+        match fm.plan_delivery(src, dst, at) {
+            DeliveryPlan::Deliver { extra_delay, duplicate, .. } => {
+                // A dropped frame delays ALL its passengers by the
+                // retransmission — whole-frame recovery, as on the wire.
+                arrival += extra_delay;
+                dup = duplicate && fm.plan().mutate_no_dedup;
+            }
+            DeliveryPlan::Exhausted { attempts, seq } => {
+                return Err(TransportError { src, dst, seq, attempts });
+            }
+        }
+    }
+    let arrival = arrival.max(at);
+    for env in envs {
+        if dup {
+            // Test-only mutation: broken dedup delivers the wire duplicate
+            // of the whole frame to the application.
+            sink.events.schedule(arrival, Event::Arrive(env.clone()));
+        }
+        sink.events.schedule(arrival, Event::Arrive(env));
+    }
+    Ok(())
 }
 
 struct SimHooks {
@@ -116,6 +197,11 @@ impl SimEngine {
         // points, so the default path costs one `eligible()` call.
         let mut policy = cfg.delivery.build();
         let schedule_sink = cfg.schedule_sink.clone();
+        // Batched-release aggregation model: cross-WAN envelopes accumulate
+        // per (src, dst) and enter the network as one frame, mirroring the
+        // threaded engine's jumbo frames in virtual time.
+        let agg_cfg = cfg.agg_active();
+        let mut agg_bufs: HashMap<(u32, u32), SimAggBuf> = HashMap::new();
         let (mut shared, host) = split_program(program, topo, cfg);
 
         let mut host = Some(host);
@@ -202,6 +288,29 @@ impl SimEngine {
             }
 
             if crashed.is_empty() {
+                if let Event::FlushAgg { src, dst, epoch } = event {
+                    // Deadline flush: ship the buffer unless it already went
+                    // out (size/urgent flush bumped the epoch).  A non-empty
+                    // buffer always has a live FlushAgg event pending, which
+                    // is what guarantees quiescence detection terminates.
+                    if let Some(buf) = agg_bufs.get_mut(&(src.0, dst.0)) {
+                        if buf.epoch == epoch && !buf.envs.is_empty() {
+                            buf.epoch += 1;
+                            buf.bytes = 0;
+                            let envs = std::mem::take(&mut buf.envs);
+                            let mut sink =
+                                FrameSink { net: &mut net, faults: &mut faults, events: &mut events, gctr: &mut gctr };
+                            if let Err(err) =
+                                sim_flush_frame(src, dst, now, envs, &mut sink, Some(Ctr::FlushByDeadline))
+                            {
+                                transport_error = Some(err);
+                                final_time = now;
+                                break 'main;
+                            }
+                        }
+                    }
+                    continue;
+                }
                 let (pe, was_done) = match event {
                     Event::Arrive(env) => {
                         let pe = env.dst;
@@ -226,6 +335,7 @@ impl SimEngine {
                         pes[pe.index()].busy = false;
                         (pe, true)
                     }
+                    Event::FlushAgg { .. } => unreachable!("handled before the dispatch match"),
                 };
 
                 // Dispatch loop: run queued messages until the PE picks up real
@@ -293,6 +403,41 @@ impl SimEngine {
                                 shared.topo.crosses_wan(env.src, env.dst),
                                 env.priority == SYSTEM_PRIORITY,
                             );
+                        }
+                        if let Some(acfg) = agg_cfg.filter(|_| shared.topo.crosses_wan(env.src, env.dst)) {
+                            let (src, dst) = (env.src, env.dst);
+                            let urgent = !env.aggregatable();
+                            let buf = agg_bufs.entry((src.0, dst.0)).or_default();
+                            if buf.envs.is_empty() {
+                                // Opening a buffer arms its deadline; the
+                                // epoch ties the tick to this filling.
+                                buf.epoch += 1;
+                                events
+                                    .schedule(depart + acfg.max_delay, Event::FlushAgg { src, dst, epoch: buf.epoch });
+                            }
+                            let body_len = env.wire_size();
+                            buf.bytes += body_len;
+                            buf.envs.push(env);
+                            // Bulk messages ship at once, mirroring the
+                            // threaded aggregation layer's eager cutoff.
+                            if urgent || body_len >= acfg.eager_bytes as u64 || buf.bytes >= acfg.max_bytes as u64 {
+                                buf.epoch += 1;
+                                buf.bytes = 0;
+                                let envs = std::mem::take(&mut buf.envs);
+                                let cause = (!urgent).then_some(Ctr::FlushBySize);
+                                let mut sink = FrameSink {
+                                    net: &mut net,
+                                    faults: &mut faults,
+                                    events: &mut events,
+                                    gctr: &mut gctr,
+                                };
+                                if let Err(err) = sim_flush_frame(src, dst, depart, envs, &mut sink, cause) {
+                                    transport_error = Some(err);
+                                    final_time = now;
+                                    break 'main;
+                                }
+                            }
+                            continue;
                         }
                         let mut arrival = net.delivery_time(env.src, env.dst, depart, env.wire_size());
                         if let Some(fm) = faults.as_mut() {
@@ -421,6 +566,10 @@ impl SimEngine {
                     .collect();
                 pes = (0..shared.topo.num_pes()).map(|_| PeState { queue: SchedQueue::new(), busy: false }).collect();
                 pe_busy = vec![Dur::ZERO; shared.topo.num_pes()];
+                // Buffered (un-flushed) aggregation frames die with the
+                // generation, like every other in-flight event; PE numbering
+                // changes across the shrink anyway.
+                agg_bufs.clear();
                 gctr.bump(Ctr::Recoveries);
                 if record_on {
                     for &o in &orig {
@@ -839,5 +988,134 @@ mod tests {
         });
         let report = SimEngine::new(net, RunConfig::default()).run(p);
         assert!(report.end_time >= Time::ZERO + Dur::from_millis(1));
+    }
+
+    use mdo_netsim::AggConfig;
+
+    const HIT: EntryId = EntryId(30);
+    const ROUND_ACK: EntryId = EntryId(31);
+
+    /// Element 0 fires a burst of HITs at element 1 (other cluster) per
+    /// round; element 1 acks each complete round.  All sends of a burst
+    /// leave one handler, so with aggregation they share a jumbo frame.
+    struct Burst {
+        burst: u32,
+        rounds_left: u32,
+        got: u32,
+    }
+
+    impl Chare for Burst {
+        fn receive(&mut self, entry: EntryId, _p: &[u8], ctx: &mut Ctx<'_>) {
+            ctx.charge(Dur::from_micros(10));
+            match entry {
+                HIT => {
+                    self.got += 1;
+                    if self.got == self.burst {
+                        self.got = 0;
+                        ctx.send(ctx.me().array, ElemId(0), ROUND_ACK, vec![]);
+                    }
+                }
+                ROUND_ACK => {
+                    if self.rounds_left > 0 {
+                        self.rounds_left -= 1;
+                        for _ in 0..self.burst {
+                            ctx.send(ctx.me().array, ElemId(1), HIT, vec![]);
+                        }
+                    } else {
+                        ctx.exit();
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    fn burst_run(agg: Option<AggConfig>, plan: Option<mdo_netsim::FaultPlan>) -> RunReport {
+        let net = NetworkModel::two_cluster_sweep(2, Dur::from_millis(2));
+        let mut p = Program::new();
+        let arr = p.array("burst", 2, Mapping::Block, |_| {
+            Box::new(Burst { burst: 16, rounds_left: 4, got: 0 }) as Box<dyn Chare>
+        });
+        // The startup "ack" kicks off round 1.
+        p.on_startup(move |ctl| ctl.send(arr, ElemId(0), ROUND_ACK, vec![]));
+        let cfg = RunConfig { agg, fault_plan: plan, obs: Some(mdo_obs::ObsConfig::new()), ..RunConfig::default() };
+        SimEngine::new(net, cfg).run(p)
+    }
+
+    #[test]
+    #[cfg(all(feature = "obs", feature = "agg"))]
+    fn aggregation_coalesces_bursts_without_changing_delivery() {
+        let plain = burst_run(None, None);
+        let agg = burst_run(Some(AggConfig::default()), None);
+        assert_eq!(plain.pe_messages, agg.pe_messages, "same application traffic either way");
+        let ctr = |r: &RunReport, c: Ctr| r.obs.as_ref().expect("obs armed").counters.get(c);
+        assert_eq!(ctr(&plain, Ctr::FramesSent), 0, "no frames without an aggregation policy");
+        let frames = ctr(&agg, Ctr::FramesSent);
+        let coalesced = ctr(&agg, Ctr::EnvelopesCoalesced);
+        assert!(frames > 0, "cross-WAN traffic went through the batched-release path");
+        assert!(frames < coalesced, "bursts shared frames: {coalesced} envelopes in {frames} frames");
+        assert!(ctr(&agg, Ctr::FrameBytesSaved) > 0, "per-envelope framing overhead was amortized");
+        assert!(agg.transport_error.is_none());
+    }
+
+    #[test]
+    fn aggregated_frames_survive_faults_exactly_once() {
+        use mdo_netsim::FaultPlan;
+        let plan = FaultPlan::loss(0.3).with_duplicate(0.1).with_seed(11).with_rto(Dur::from_millis(6));
+        let clean = burst_run(Some(AggConfig::default()), None);
+        let faulty = burst_run(Some(AggConfig::default()), Some(plan));
+        // A dropped jumbo frame is retransmitted whole; every envelope in it
+        // is still delivered exactly once (duplicates would inflate counts).
+        assert_eq!(clean.pe_messages, faulty.pe_messages, "exactly-once through whole-frame retransmit");
+        assert!(faulty.transport_error.is_none());
+        assert!(faulty.faults.dropped > 0, "losses actually occurred: {:?}", faulty.faults);
+        assert!(faulty.faults.retransmits > 0, "dropped frames were retransmitted");
+        assert!(faulty.end_time > clean.end_time, "recovery time shows up in the makespan");
+    }
+
+    #[test]
+    fn quiescence_terminates_with_deadline_flushed_buffers() {
+        static FIRED: AtomicU64 = AtomicU64::new(0);
+        FIRED.store(0, Ordering::SeqCst);
+        // A cross-WAN hop chain whose messages are far below every byte
+        // threshold: only the deadline timer can release them.  Quiescence
+        // must still balance (a buffered envelope counts as in flight) and
+        // the run must terminate rather than deadlock on a silent buffer.
+        struct Hop;
+        impl Chare for Hop {
+            fn receive(&mut self, _e: EntryId, p: &[u8], ctx: &mut Ctx<'_>) {
+                ctx.charge(Dur::from_micros(20));
+                let left = p[0];
+                if left > 0 {
+                    let next = ElemId((ctx.my_elem().0 + 1) % 2);
+                    ctx.send(ctx.me().array, next, PING, vec![left - 1]);
+                }
+            }
+        }
+        let net = NetworkModel::two_cluster_sweep(2, Dur::from_millis(1));
+        let mut p = Program::new();
+        let arr = p.array("hop", 2, Mapping::Block, |_| Box::new(Hop) as Box<dyn Chare>);
+        p.on_startup(move |ctl| ctl.send(arr, ElemId(0), PING, vec![12]));
+        p.on_quiescence(|ctl| {
+            FIRED.fetch_add(1, Ordering::SeqCst);
+            ctl.exit();
+        });
+        let agg = AggConfig::default().with_max_bytes(1 << 20).with_max_delay(Dur::from_millis(4));
+        let cfg = RunConfig {
+            agg: Some(agg),
+            detect_quiescence: true,
+            obs: Some(mdo_obs::ObsConfig::new()),
+            ..RunConfig::default()
+        };
+        let report =
+            SimEngine::new(net, cfg).with_limits(SimConfig { max_time: None, max_events: Some(100_000) }).run(p);
+        assert_eq!(FIRED.load(Ordering::SeqCst), 1, "quiescence fired despite buffered frames");
+        #[cfg(all(feature = "obs", feature = "agg"))]
+        {
+            let counters = &report.obs.expect("obs armed").counters;
+            assert!(counters.get(Ctr::EnvelopesCoalesced) >= 12, "the chain went through the aggregation path");
+        }
+        #[cfg(not(all(feature = "obs", feature = "agg")))]
+        let _ = report;
     }
 }

@@ -14,13 +14,12 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use bytes::Bytes;
 use mdo_netsim::network::NetworkStats;
 use mdo_netsim::{
     CrashTrigger, Dur, FailureCause, FaultModelStats, LatencyMatrix, Pe, PeFailed, Time, Topology, TransportError,
     UnrecoverableError,
 };
-use mdo_vmi::{CrcDevice, FaultDevice, Packet, ReliableTransport, Transport, TransportConfig};
+use mdo_vmi::{Aggregator, CrcDevice, FaultDevice, ReliableTransport, Transport, TransportConfig};
 
 use mdo_obs::{trace_from, CounterSet, Ctr, Event as ObsEvent, ObjTag, ObsConfig, ObsReport, PeObs, PeRecorder};
 
@@ -71,7 +70,7 @@ pub struct ThreadedEngine {
 struct ThreadHooks {
     t0: Instant,
     pe: Pe,
-    transport: Arc<ReliableTransport>,
+    agg: Arc<Aggregator>,
     /// Per-PE recorder (original numbering); lives here so departures can
     /// be recorded where they happen — inside handler sends.
     rec: PeRecorder,
@@ -94,8 +93,13 @@ impl NodeHooks for ThreadHooks {
                 env.priority == SYSTEM_PRIORITY,
             );
         }
-        let pkt = Packet::with_priority(env.src, env.dst, env.priority, Bytes::from(env.encode()));
-        self.transport.send(pkt);
+        // Encode straight into the aggregator's buffer — the warm frame
+        // buffer on the coalesced cross-WAN path, a standalone payload
+        // otherwise.  Only point-to-point app data may wait in a buffer;
+        // system and collective control traffic flushes the pair
+        // immediately so QD, barriers and exit never wait out a deadline.
+        let urgent = !env.aggregatable();
+        self.agg.send_with(env.src, env.dst, env.priority, urgent, |buf| env.encode_into(buf));
     }
 }
 
@@ -141,7 +145,7 @@ const PE_PANICKED: u8 = 2;
 
 /// Shared wiring handed to every PE thread.
 struct ThreadCtl {
-    transport: Arc<ReliableTransport>,
+    agg: Arc<Aggregator>,
     stop: Arc<AtomicBool>,
     exit_announced: Arc<AtomicBool>,
     end_ns: Arc<AtomicU64>,
@@ -193,6 +197,7 @@ impl ThreadedEngine {
         let obs_cfg = cfg.obs.clone().unwrap_or_default();
         let fault_plan = cfg.fault_plan.clone();
         let failure_plan = cfg.failure_plan.clone();
+        let agg_cfg = cfg.agg_active();
         let restart_cfg = cfg.clone();
         let (mut shared, host) = split_program(program, topo, cfg);
 
@@ -254,6 +259,10 @@ impl ThreadedEngine {
                 Some(plan) => ReliableTransport::with_plan(Arc::clone(&raw), plan.clone()),
                 None => ReliableTransport::passthrough(Arc::clone(&raw)),
             };
+            let agg = match agg_cfg {
+                Some(c) => Aggregator::with_policy(Arc::clone(&transport), c),
+                None => Aggregator::passthrough(Arc::clone(&transport)),
+            };
             let stop = Arc::new(AtomicBool::new(false));
             let status: Arc<Vec<AtomicU8>> = Arc::new((0..n_pes).map(|_| AtomicU8::new(PE_ALIVE)).collect());
             let gen_start = elapsed_ns(t0);
@@ -264,7 +273,7 @@ impl ThreadedEngine {
             for node in nodes.drain(..) {
                 let pe = node.pe();
                 let ctl = ThreadCtl {
-                    transport: Arc::clone(&transport),
+                    agg: Arc::clone(&agg),
                     stop: Arc::clone(&stop),
                     exit_announced: Arc::clone(&exit_announced),
                     end_ns: Arc::clone(&end_ns),
@@ -299,7 +308,7 @@ impl ThreadedEngine {
                 sent_at_ns: gen_start,
                 body: MsgBody::Startup,
             };
-            transport.send(Packet::with_priority(Pe(0), Pe(0), SYSTEM_PRIORITY, Bytes::from(startup.encode())));
+            agg.send_with(Pe(0), Pe(0), SYSTEM_PRIORITY, true, |buf| startup.encode_into(buf));
 
             // Watchdog: wall-clock ceiling, retry exhaustion, panic flags,
             // and (with a failure plan) heartbeat suspicion.
@@ -366,7 +375,9 @@ impl ThreadedEngine {
                 }
                 std::thread::sleep(Duration::from_millis(2));
             }
-            // Stop retransmissions, then wake every thread and wind down.
+            // Flush any still-buffered frames, stop retransmissions, then
+            // wake every thread and wind down.
+            agg.shutdown();
             transport.shutdown();
             raw.shutdown();
 
@@ -406,11 +417,19 @@ impl ThreadedEngine {
             faults_total.dup_dropped += transport.dup_dropped();
             faults_total.reordered += dev_stats.reordered;
             faults_total.retransmits += transport.retransmits();
+            let ast = agg.stats();
+            gctr.add(Ctr::FramesSent, ast.frames_sent);
+            gctr.add(Ctr::EnvelopesCoalesced, ast.envelopes_coalesced);
+            gctr.add(Ctr::FrameBytesSaved, ast.bytes_saved);
+            gctr.add(Ctr::FlushBySize, ast.flush_by_size);
+            gctr.add(Ctr::FlushByDeadline, ast.flush_by_deadline);
             for r in &mut results {
                 let o = orig[r.pe.index()].index();
                 pe_busy_total[o] += r.busy;
                 pe_messages_total[o] += r.messages;
-                let depth = raw.mailbox(r.pe).max_depth();
+                // Backlog can sit in the raw mailbox or (aggregating) in
+                // the unframed pending bank; the high-water mark sees both.
+                let depth = raw.mailbox(r.pe).max_depth().max(agg.pending_max_depth(r.pe));
                 pe_queue_depth[o] = pe_queue_depth[o].max(depth);
                 if record_on {
                     // One mailbox high-water sample per generation: the
@@ -549,7 +568,7 @@ fn pe_thread(pe: Pe, mut node: Node, ctl: ThreadCtl) -> PeResult {
     let mut hooks = ThreadHooks {
         t0: ctl.t0,
         pe,
-        transport: Arc::clone(&ctl.transport),
+        agg: Arc::clone(&ctl.agg),
         rec: PeRecorder::maybe(ctl.record_on, ctl.orig_map[pe.index()].0, &ctl.obs_cfg),
         orig: Arc::clone(&ctl.orig_map),
         topo: ctl.topo.clone(),
@@ -585,16 +604,16 @@ fn pe_thread(pe: Pe, mut node: Node, ctl: ThreadCtl) -> PeResult {
                     sent_at_ns: elapsed_ns(ctl.t0),
                     body: MsgBody::Heartbeat,
                 };
-                ctl.transport.send(Packet::with_priority(pe, Pe(0), SYSTEM_PRIORITY, Bytes::from(hb.encode())));
+                ctl.agg.send_with(pe, Pe(0), SYSTEM_PRIORITY, true, |buf| hb.encode_into(buf));
             }
         }
         if ctl.stop.load(Ordering::Acquire) {
             // Drain whatever is already queued, then leave.
-            if ctl.transport.try_recv(pe).is_none() {
+            if ctl.agg.try_recv(pe).is_none() {
                 break;
             }
         }
-        let Some(pkt) = ctl.transport.recv_timeout(pe, Duration::from_millis(20)) else {
+        let Some(pkt) = ctl.agg.recv_timeout(pe, Duration::from_millis(20)) else {
             // The mailbox ran dry after real work: a busy→idle transition.
             if idle_pending {
                 idle_pending = false;
@@ -602,7 +621,9 @@ fn pe_thread(pe: Pe, mut node: Node, ctl: ThreadCtl) -> PeResult {
             }
             continue;
         };
-        let env = match Envelope::decode(&pkt.payload) {
+        // Borrowing decode: the envelope's payload fields alias the packet
+        // (and, for coalesced traffic, the whole frame's) allocation.
+        let env = match Envelope::decode_shared(&pkt.payload) {
             Ok(env) => env,
             Err(e) => {
                 // A packet that survived the transport but does not parse
@@ -661,7 +682,7 @@ fn pe_thread(pe: Pe, mut node: Node, ctl: ThreadCtl) -> PeResult {
             // Tell everyone (including ourselves — harmless) to stop.
             for dst in ctl.topo.pes() {
                 let bye = Envelope { src: pe, dst, priority: SYSTEM_PRIORITY, sent_at_ns: 0, body: MsgBody::Exit };
-                ctl.transport.send(Packet::with_priority(pe, dst, SYSTEM_PRIORITY, Bytes::from(bye.encode())));
+                ctl.agg.send_with(pe, dst, SYSTEM_PRIORITY, true, |buf| bye.encode_into(buf));
             }
             ctl.stop.store(true, Ordering::Release);
         }

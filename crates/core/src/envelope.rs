@@ -7,11 +7,17 @@
 //! them through the VMI transport with the codec at the bottom of this
 //! module (so the "network" genuinely carries bytes).
 
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 use mdo_netsim::Pe;
 
 use crate::ids::{ArrayId, ElemId, EntryId, ObjKey};
 use crate::wire::{WireError, WireReader, WireWriter};
+
+/// Leading byte of every serialized envelope.  The byte-oriented transport
+/// can carry either a single envelope or an aggregation frame holding many
+/// (see `mdo_vmi::frame`); the receiver dispatches on this first byte, so
+/// the two encodings must start with distinct tags.
+pub const WIRE_TAG: u8 = 0xE5;
 
 /// Reduction operators supported by [`MsgBody::ReduceUp`].
 ///
@@ -276,26 +282,100 @@ impl Envelope {
         !matches!(self.body, MsgBody::App { .. } | MsgBody::Broadcast { .. })
     }
 
+    /// True if this envelope may wait in an aggregation buffer.  Only
+    /// point-to-point application data is coalesced — the fine-grain
+    /// regime aggregation exists for.  Everything else (system priority,
+    /// broadcast/reduction fan-in/fan-out, load-balancing and checkpoint
+    /// control) gates collective progress somewhere downstream, so holding
+    /// one of those for a flush deadline would trade a few header bytes
+    /// for stalls on every PE behind it; they flush the buffer instead.
+    pub fn aggregatable(&self) -> bool {
+        self.priority != SYSTEM_PRIORITY && matches!(self.body, MsgBody::App { .. } | MsgBody::Multi { .. })
+    }
+
     /// Serialize for the byte-oriented transport.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = WireWriter::with_capacity(64);
-        w.u32(self.src.0).u32(self.dst.0).i32(self.priority).u64(self.sent_at_ns);
-        encode_body(&mut w, &self.body);
+        self.encode_writer(&mut w);
         w.finish()
     }
 
-    /// Deserialize from the byte-oriented transport.
+    /// Serialize by appending to an existing staging buffer.  This is the
+    /// copy-light send path: the caller's warm `BytesMut` is lent to the
+    /// codec and handed back grown — no per-envelope `Vec` is allocated,
+    /// and many envelopes can stage into one frame buffer.
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        let mut w = WireWriter::over(std::mem::take(buf).into_vec());
+        self.encode_writer(&mut w);
+        *buf = BytesMut::from(w.finish());
+    }
+
+    /// Serialize into a freshly frozen shared buffer (one allocation, no
+    /// second copy — the staging vector *becomes* the shared allocation).
+    pub fn encode_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64);
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    fn encode_writer(&self, w: &mut WireWriter) {
+        w.u8(WIRE_TAG).u32(self.src.0).u32(self.dst.0).i32(self.priority).u64(self.sent_at_ns);
+        encode_body(w, &self.body);
+    }
+
+    /// Deserialize from the byte-oriented transport, copying variable-length
+    /// payloads into fresh buffers.
     pub fn decode(buf: &[u8]) -> Result<Envelope, WireError> {
+        Self::decode_with(buf, &CopyPayload)
+    }
+
+    /// Deserialize from a shared buffer; variable-length payloads become
+    /// O(1) sub-views of `buf`'s allocation instead of copies.  This is how
+    /// sub-envelopes unpacked from a jumbo frame alias the frame buffer.
+    pub fn decode_shared(buf: &Bytes) -> Result<Envelope, WireError> {
+        Self::decode_with(buf.as_slice(), &SharePayload(buf))
+    }
+
+    fn decode_with<P: PayloadSrc>(buf: &[u8], payloads: &P) -> Result<Envelope, WireError> {
         let mut r = WireReader::new(buf);
+        if r.u8()? != WIRE_TAG {
+            return Err(WireError { context: "envelope tag" });
+        }
         let src = Pe(r.u32()?);
         let dst = Pe(r.u32()?);
         let priority = r.i32()?;
         let sent_at_ns = r.u64()?;
-        let body = decode_body(&mut r)?;
+        let body = decode_body(&mut r, payloads)?;
         if !r.is_done() {
             return Err(WireError { context: "trailing envelope bytes" });
         }
         Ok(Envelope { src, dst, priority, sent_at_ns, body })
+    }
+}
+
+/// How `decode_body` materializes a length-prefixed payload: copied into an
+/// owned buffer (byte-slice input) or aliased as an O(1) sub-view of a
+/// shared frame buffer.  The reader positions are absolute in the decoded
+/// buffer, so the sharing source must be exactly the buffer under the
+/// reader.
+trait PayloadSrc {
+    fn payload(&self, r: &mut WireReader) -> Result<Bytes, WireError>;
+}
+
+struct CopyPayload;
+
+impl PayloadSrc for CopyPayload {
+    fn payload(&self, r: &mut WireReader) -> Result<Bytes, WireError> {
+        Ok(Bytes::copy_from_slice(r.bytes()?))
+    }
+}
+
+struct SharePayload<'a>(&'a Bytes);
+
+impl PayloadSrc for SharePayload<'_> {
+    fn payload(&self, r: &mut WireReader) -> Result<Bytes, WireError> {
+        let (start, end) = r.bytes_span()?;
+        Ok(self.0.slice(start..end))
     }
 }
 
@@ -447,18 +527,18 @@ fn encode_body(w: &mut WireWriter, body: &MsgBody) {
     }
 }
 
-fn decode_body(r: &mut WireReader) -> Result<MsgBody, WireError> {
+fn decode_body<P: PayloadSrc>(r: &mut WireReader, payloads: &P) -> Result<MsgBody, WireError> {
     Ok(match r.u8()? {
         0 => {
             let target = decode_obj(r)?;
             let entry = EntryId(r.u16()?);
-            let payload = Bytes::copy_from_slice(r.bytes()?);
+            let payload = payloads.payload(r)?;
             MsgBody::App { target, entry, payload }
         }
         1 => {
             let array = ArrayId(r.u32()?);
             let entry = EntryId(r.u16()?);
-            let payload = Bytes::copy_from_slice(r.bytes()?);
+            let payload = payloads.payload(r)?;
             MsgBody::Broadcast { array, entry, payload }
         }
         2 => {
@@ -496,7 +576,7 @@ fn decode_body(r: &mut WireReader) -> Result<MsgBody, WireError> {
         }
         5 => {
             let key = decode_obj(r)?;
-            let state = Bytes::copy_from_slice(r.bytes()?);
+            let state = payloads.payload(r)?;
             MsgBody::MigrateState { key, state }
         }
         6 => MsgBody::LbArrived,
@@ -511,7 +591,7 @@ fn decode_body(r: &mut WireReader) -> Result<MsgBody, WireError> {
             let mut states = Vec::with_capacity(n);
             for _ in 0..n {
                 let key = decode_obj(r)?;
-                states.push((key, Bytes::copy_from_slice(r.bytes()?)));
+                states.push((key, payloads.payload(r)?));
             }
             MsgBody::CkptData { states }
         }
@@ -524,7 +604,7 @@ fn decode_body(r: &mut WireReader) -> Result<MsgBody, WireError> {
             for _ in 0..n {
                 elems.push(ElemId(r.u32()?));
             }
-            let payload = Bytes::copy_from_slice(r.bytes()?);
+            let payload = payloads.payload(r)?;
             MsgBody::Multi { array, elems, entry, payload }
         }
         16 => MsgBody::Heartbeat,
@@ -537,7 +617,7 @@ fn decode_body(r: &mut WireReader) -> Result<MsgBody, WireError> {
             let mut states = Vec::with_capacity(n);
             for _ in 0..n {
                 let key = decode_obj(r)?;
-                states.push((key, Bytes::copy_from_slice(r.bytes()?)));
+                states.push((key, payloads.payload(r)?));
             }
             let red_next = r.u32_vec()?;
             MsgBody::BuddyStore { epoch, owner, lb_round, states, red_next }
@@ -783,6 +863,59 @@ mod tests {
         assert!(!app.is_system());
         let sys = Envelope { body: MsgBody::QdProbe { phase: 0 }, ..app.clone() };
         assert!(sys.is_system());
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_appends() {
+        let env = Envelope {
+            src: Pe(2),
+            dst: Pe(5),
+            priority: 1,
+            sent_at_ns: 77,
+            body: MsgBody::App {
+                target: ObjKey::new(ArrayId(0), ElemId(1)),
+                entry: EntryId(3),
+                payload: Bytes::from_static(b"pp"),
+            },
+        };
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"prefix");
+        env.encode_into(&mut buf);
+        assert_eq!(&buf.as_slice()[..6], b"prefix");
+        assert_eq!(&buf.as_slice()[6..], env.encode().as_slice());
+        assert_eq!(env.encode_bytes().as_slice(), env.encode().as_slice());
+    }
+
+    #[test]
+    fn decode_shared_aliases_frame_allocation() {
+        let env = Envelope {
+            src: Pe(0),
+            dst: Pe(1),
+            priority: 0,
+            sent_at_ns: 9,
+            body: MsgBody::App {
+                target: ObjKey::new(ArrayId(1), ElemId(4)),
+                entry: EntryId(2),
+                payload: Bytes::from(vec![7u8; 64]),
+            },
+        };
+        let frame = env.encode_bytes();
+        let back = Envelope::decode_shared(&frame).expect("decodes");
+        let MsgBody::App { payload, .. } = &back.body else { panic!("wrong body") };
+        assert_eq!(&payload[..], &[7u8; 64]);
+        // The payload is a sub-view of the frame bytes, not a copy: its
+        // slice sits inside the frame's own slice.
+        let frame_range = frame.as_slice().as_ptr_range();
+        let payload_range = payload.as_slice().as_ptr_range();
+        assert!(frame_range.start <= payload_range.start && payload_range.end <= frame_range.end);
+    }
+
+    #[test]
+    fn decode_rejects_wrong_leading_tag() {
+        let env = Envelope { src: Pe(0), dst: Pe(1), priority: 0, sent_at_ns: 0, body: MsgBody::Exit };
+        let mut bytes = env.encode();
+        bytes[0] ^= 0xFF;
+        assert!(Envelope::decode(&bytes).is_err());
     }
 
     #[test]

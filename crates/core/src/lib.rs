@@ -115,10 +115,10 @@ pub mod prelude {
     pub use crate::program::{Program, RunConfig, RunReport};
     pub use crate::wire::{WireReader, WireWriter};
     pub use mdo_netsim::{
-        ClusterId, CrashSpec, CrashTrigger, Dur, FailureCause, FailurePlan, Pe, PeFailed, Time, Topology,
+        AggConfig, ClusterId, CrashSpec, CrashTrigger, Dur, FailureCause, FailurePlan, Pe, PeFailed, Time, Topology,
         UnrecoverableError,
     };
     pub use mdo_obs::{ObsConfig, ObsReport};
 }
 
-pub use mdo_netsim::{ClusterId, Dur, Pe, Time, Topology};
+pub use mdo_netsim::{AggConfig, ClusterId, Dur, Pe, Time, Topology};

@@ -10,7 +10,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use mdo_netsim::network::NetworkStats;
-use mdo_netsim::{Dur, FailurePlan, FaultModelStats, FaultPlan, PeFailed, Time, TransportError, UnrecoverableError};
+use mdo_netsim::{
+    AggConfig, Dur, FailurePlan, FaultModelStats, FaultPlan, PeFailed, Time, TransportError, UnrecoverableError,
+};
 use mdo_obs::{ObsConfig, ObsReport};
 
 use crate::array::ArraySpec;
@@ -262,6 +264,15 @@ pub struct RunConfig {
     /// trace, which [`DeliverySpec::Replay`] can play back.  `None` (the
     /// default) records nothing.
     pub schedule_sink: Option<ScheduleSink>,
+    /// TRAM-style cross-cluster message aggregation: when set, envelopes
+    /// bound for the same remote PE coalesce into jumbo frames flushed by
+    /// size or deadline (real frames over the VMI chain in the threaded
+    /// engine; an equivalent batched-release model in simulation virtual
+    /// time).  System-critical envelopes force a flush, so quiescence
+    /// detection and barriers never stall.  `None` (the default) sends
+    /// every envelope standalone, exactly as before; building `mdo-core`
+    /// without the `agg` feature compiles the coalescing paths out.
+    pub agg: Option<AggConfig>,
 }
 
 impl RunConfig {
@@ -275,6 +286,15 @@ impl RunConfig {
     /// Whether the observability subsystem is armed *and* compiled in.
     pub fn obs_active(&self) -> bool {
         cfg!(feature = "obs") && self.obs.is_some()
+    }
+
+    /// Whether message aggregation is armed *and* compiled in.
+    pub fn agg_active(&self) -> Option<AggConfig> {
+        if cfg!(feature = "agg") {
+            self.agg
+        } else {
+            None
+        }
     }
 }
 
@@ -292,6 +312,7 @@ impl Default for RunConfig {
             obs: None,
             delivery: DeliverySpec::Fifo,
             schedule_sink: None,
+            agg: None,
         }
     }
 }

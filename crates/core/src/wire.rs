@@ -26,6 +26,14 @@ impl WireWriter {
         WireWriter { buf: Vec::with_capacity(cap) }
     }
 
+    /// A writer that appends to an existing buffer (taken by value, handed
+    /// back by [`WireWriter::finish`]).  This is the copy-light path: a
+    /// caller staging many records into one frame lends the frame buffer
+    /// out, and no intermediate per-record vector ever exists.
+    pub fn over(buf: Vec<u8>) -> Self {
+        WireWriter { buf }
+    }
+
     /// Finish, taking the buffer.
     pub fn finish(self) -> Vec<u8> {
         self.buf
@@ -161,6 +169,11 @@ impl<'a> WireReader<'a> {
         self.buf.len() - self.pos
     }
 
+    /// Absolute cursor position from the start of the underlying buffer.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
     /// True if fully consumed.
     pub fn is_done(&self) -> bool {
         self.remaining() == 0
@@ -224,6 +237,17 @@ impl<'a> WireReader<'a> {
     pub fn bytes(&mut self) -> Result<&'a [u8], WireError> {
         let len = self.u32()? as usize;
         self.take(len, "bytes body")
+    }
+
+    /// Read a length-prefixed byte slice, returning its `(start, end)`
+    /// positions within the underlying buffer instead of the bytes.  Lets a
+    /// caller that holds the buffer as a shared [`bytes::Bytes`] build an
+    /// O(1) aliasing sub-view rather than copying the payload out.
+    pub fn bytes_span(&mut self) -> Result<(usize, usize), WireError> {
+        let len = self.u32()? as usize;
+        let start = self.pos;
+        self.take(len, "bytes body")?;
+        Ok((start, self.pos))
     }
 
     /// Read a length-prefixed UTF-8 string.

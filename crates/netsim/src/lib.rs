@@ -46,6 +46,7 @@
 
 #![warn(missing_docs)]
 
+pub mod agg;
 pub mod bandwidth;
 pub mod event;
 pub mod failure;
@@ -57,6 +58,7 @@ pub mod stats;
 pub mod time;
 pub mod topology;
 
+pub use agg::AggConfig;
 pub use bandwidth::{LinkModel, WanContention};
 pub use event::{EventId, EventQueue};
 pub use failure::{CrashSpec, CrashTrigger, FailureCause, FailurePlan, PeFailed, UnrecoverableError};

@@ -43,11 +43,21 @@ pub enum Ctr {
     CheckpointsTaken,
     /// Packed element bytes shipped to buddies.
     CheckpointBytes,
+    /// Jumbo frames shipped by the aggregation layer.
+    FramesSent,
+    /// Envelopes that travelled coalesced inside jumbo frames.
+    EnvelopesCoalesced,
+    /// Wire framing bytes saved by coalescing vs standalone sends.
+    FrameBytesSaved,
+    /// Frames flushed because the size threshold was reached.
+    FlushBySize,
+    /// Frames flushed by the aggregation deadline timer.
+    FlushByDeadline,
 }
 
 impl Ctr {
     /// Every counter, in declaration order.
-    pub const ALL: [Ctr; 17] = [
+    pub const ALL: [Ctr; 22] = [
         Ctr::MsgsSent,
         Ctr::MsgsRecvd,
         Ctr::BytesSent,
@@ -65,6 +75,11 @@ impl Ctr {
         Ctr::StepsReplayed,
         Ctr::CheckpointsTaken,
         Ctr::CheckpointBytes,
+        Ctr::FramesSent,
+        Ctr::EnvelopesCoalesced,
+        Ctr::FrameBytesSaved,
+        Ctr::FlushBySize,
+        Ctr::FlushByDeadline,
     ];
 
     /// Stable snake_case name, used in CSV and JSON exports.
@@ -87,6 +102,11 @@ impl Ctr {
             Ctr::StepsReplayed => "steps_replayed",
             Ctr::CheckpointsTaken => "checkpoints_taken",
             Ctr::CheckpointBytes => "checkpoint_bytes",
+            Ctr::FramesSent => "frames_sent",
+            Ctr::EnvelopesCoalesced => "envelopes_coalesced",
+            Ctr::FrameBytesSaved => "frame_bytes_saved",
+            Ctr::FlushBySize => "flush_by_size",
+            Ctr::FlushByDeadline => "flush_by_deadline",
         }
     }
 }

@@ -21,6 +21,10 @@
 //! * [`reliable`] — sequence numbers, cumulative acks and timer-driven
 //!   retransmission layered over the unreliable cross-cluster chain when a
 //!   fault plan is active.
+//! * [`frame`] — the jumbo-frame codec packing many messages into one
+//!   wire payload with zero-copy unpacking.
+//! * [`aggregate`] — TRAM-style per-destination coalescing of cross-WAN
+//!   traffic above the reliable layer (one ack per jumbo frame).
 //! * [`transport`] — routes each packet through the intra-cluster or
 //!   cross-cluster chain based on the job topology, exactly like VMI's
 //!   affiliation mechanism.
@@ -51,13 +55,16 @@
 
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod device;
 pub mod devices;
+pub mod frame;
 pub mod mailbox;
 pub mod packet;
 pub mod reliable;
 pub mod transport;
 
+pub use aggregate::{AggStats, Aggregator};
 pub use device::{Chain, Device, Forwarder};
 pub use devices::cipher::CipherDevice;
 pub use devices::counter::CounterDevice;
@@ -66,6 +73,7 @@ pub use devices::delay::DelayDevice;
 pub use devices::fault::{FaultDevice, FaultDeviceStats};
 pub use devices::rle::RleDevice;
 pub use devices::stripe::{ReassembleDevice, StripeDevice};
+pub use frame::{FrameBuilder, FrameError, FRAME_TAG};
 pub use mailbox::Mailbox;
 pub use packet::Packet;
 pub use reliable::{jittered_backoff, ReliableTransport};

@@ -7,7 +7,7 @@
 //! model depends on.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -42,10 +42,49 @@ impl Ord for Entry {
 
 struct Inner {
     heap: BinaryHeap<Entry>,
+    /// Fast FIFO lane for the common all-equal-priority case: as long as
+    /// every queued packet shares one priority, posting and taking are
+    /// deque operations with zero heap-comparison churn.  The first
+    /// mixed-priority post migrates the lane into the heap (sequence
+    /// numbers come along, so global `(priority, seq)` order is preserved).
+    /// Invariant: the heap and the lane are never both non-empty.
+    fifo: VecDeque<(u64, Packet)>,
+    fifo_priority: Option<i32>,
     next_seq: u64,
     closed: bool,
     posted: u64,
     max_depth: usize,
+}
+
+impl Inner {
+    fn insert(&mut self, pkt: Packet) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.posted += 1;
+        if self.heap.is_empty() && (self.fifo.is_empty() || self.fifo_priority == Some(pkt.priority)) {
+            self.fifo_priority = Some(pkt.priority);
+            self.fifo.push_back((seq, pkt));
+        } else {
+            if let Some(priority) = self.fifo_priority.take() {
+                for (seq, pkt) in self.fifo.drain(..) {
+                    self.heap.push(Entry { priority, seq, pkt });
+                }
+            }
+            self.heap.push(Entry { priority: pkt.priority, seq, pkt });
+        }
+        self.max_depth = self.max_depth.max(self.depth());
+    }
+
+    fn pop(&mut self) -> Option<Packet> {
+        if let Some((_, pkt)) = self.fifo.pop_front() {
+            return Some(pkt);
+        }
+        self.heap.pop().map(|e| e.pkt)
+    }
+
+    fn depth(&self) -> usize {
+        self.heap.len() + self.fifo.len()
+    }
 }
 
 /// A blocking priority queue of packets for one PE.
@@ -64,7 +103,15 @@ impl Mailbox {
     /// An empty, open mailbox.
     pub fn new() -> Self {
         Mailbox {
-            inner: Mutex::new(Inner { heap: BinaryHeap::new(), next_seq: 0, closed: false, posted: 0, max_depth: 0 }),
+            inner: Mutex::new(Inner {
+                heap: BinaryHeap::new(),
+                fifo: VecDeque::new(),
+                fifo_priority: None,
+                next_seq: 0,
+                closed: false,
+                posted: 0,
+                max_depth: 0,
+            }),
             cond: Condvar::new(),
         }
     }
@@ -76,13 +123,28 @@ impl Mailbox {
         if inner.closed {
             return;
         }
-        let seq = inner.next_seq;
-        inner.next_seq += 1;
-        inner.posted += 1;
-        inner.heap.push(Entry { priority: pkt.priority, seq, pkt });
-        inner.max_depth = inner.max_depth.max(inner.heap.len());
+        inner.insert(pkt);
         drop(inner);
         self.cond.notify_one();
+    }
+
+    /// Post a batch under one lock acquisition — how a whole unpacked
+    /// jumbo frame lands in the destination mailbox.  `max_depth` sees the
+    /// full batch, exactly as `post` called in a loop would.
+    pub fn post_many<I: IntoIterator<Item = Packet>>(&self, pkts: I) {
+        let mut inner = self.inner.lock();
+        if inner.closed {
+            return;
+        }
+        let mut any = false;
+        for pkt in pkts {
+            inner.insert(pkt);
+            any = true;
+        }
+        drop(inner);
+        if any {
+            self.cond.notify_all();
+        }
     }
 
     /// Take the most urgent packet, blocking until one arrives or the
@@ -90,8 +152,8 @@ impl Mailbox {
     pub fn take(&self) -> Option<Packet> {
         let mut inner = self.inner.lock();
         loop {
-            if let Some(e) = inner.heap.pop() {
-                return Some(e.pkt);
+            if let Some(pkt) = inner.pop() {
+                return Some(pkt);
             }
             if inner.closed {
                 return None;
@@ -105,21 +167,21 @@ impl Mailbox {
         let deadline = std::time::Instant::now() + timeout;
         let mut inner = self.inner.lock();
         loop {
-            if let Some(e) = inner.heap.pop() {
-                return Some(e.pkt);
+            if let Some(pkt) = inner.pop() {
+                return Some(pkt);
             }
             if inner.closed {
                 return None;
             }
             if self.cond.wait_until(&mut inner, deadline).timed_out() {
-                return inner.heap.pop().map(|e| e.pkt);
+                return inner.pop();
             }
         }
     }
 
     /// Non-blocking take.
     pub fn try_take(&self) -> Option<Packet> {
-        self.inner.lock().heap.pop().map(|e| e.pkt)
+        self.inner.lock().pop()
     }
 
     /// Close the mailbox, waking all blocked takers.
@@ -130,7 +192,7 @@ impl Mailbox {
 
     /// Packets currently queued.
     pub fn len(&self) -> usize {
-        self.inner.lock().heap.len()
+        self.inner.lock().depth()
     }
 
     /// True if no packets are queued.
@@ -239,6 +301,52 @@ mod tests {
         mb.close();
         mb.post(pkt(0, 1));
         assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn fifo_lane_preserves_order_and_migrates_on_mixed_priority() {
+        let mb = Mailbox::new();
+        // Uniform priority: everything rides the FIFO lane.
+        mb.post(pkt(4, 1));
+        mb.post(pkt(4, 2));
+        mb.post(pkt(4, 3));
+        // A different priority forces migration into the heap mid-stream.
+        mb.post(pkt(-1, 4));
+        mb.post(pkt(4, 5));
+        let order: Vec<u8> = (0..5).map(|_| mb.take().unwrap().payload[0]).collect();
+        assert_eq!(order, vec![4, 1, 2, 3, 5], "urgent first, then FIFO within equal priority");
+        assert_eq!(mb.max_depth(), 5);
+        // Drained: the lane can restart at a fresh priority.
+        mb.post(pkt(9, 6));
+        mb.post(pkt(9, 7));
+        assert_eq!(mb.take().unwrap().payload[0], 6);
+        assert_eq!(mb.take().unwrap().payload[0], 7);
+    }
+
+    #[test]
+    fn post_many_matches_looped_post() {
+        let a = Mailbox::new();
+        let b = Mailbox::new();
+        let batch: Vec<Packet> = vec![pkt(2, 1), pkt(0, 2), pkt(2, 3), pkt(0, 4)];
+        a.post_many(batch.clone());
+        for p in batch {
+            b.post(p);
+        }
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.max_depth(), b.max_depth());
+        assert_eq!(a.total_posted(), b.total_posted());
+        for _ in 0..4 {
+            assert_eq!(a.take().unwrap().payload[0], b.take().unwrap().payload[0]);
+        }
+    }
+
+    #[test]
+    fn post_many_to_closed_mailbox_is_dropped() {
+        let mb = Mailbox::new();
+        mb.close();
+        mb.post_many(vec![pkt(0, 1), pkt(0, 2)]);
+        assert!(mb.is_empty());
+        assert_eq!(mb.total_posted(), 0);
     }
 
     #[test]

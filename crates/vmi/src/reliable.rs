@@ -272,7 +272,7 @@ impl ReliableTransport {
                     pair.pending = pair.pending.split_off(&cum);
                 }
             }
-            Some((KIND_DATA, seq, body)) => {
+            Some((KIND_DATA, seq, _body)) => {
                 let ack = {
                     let mut side = layer.recv[pe.index()].lock();
                     let pair = side.pairs.entry(pkt.src.0).or_insert_with(|| RecvPair {
@@ -292,7 +292,7 @@ impl ReliableTransport {
                                 src: pkt.src,
                                 dst: pkt.dst,
                                 priority: pkt.priority,
-                                payload: Bytes::from(body.to_vec()),
+                                payload: pkt.payload.slice(HEADER_LEN..),
                             };
                             side.ready.push_back(app);
                         }
@@ -300,11 +300,13 @@ impl ReliableTransport {
                         // lost stops retransmitting.
                         Some(cum_now)
                     } else {
+                        // Zero-copy: the application payload is a sub-view
+                        // of the received frame allocation.
                         let app = Packet {
                             src: pkt.src,
                             dst: pkt.dst,
                             priority: pkt.priority,
-                            payload: Bytes::from(body.to_vec()),
+                            payload: pkt.payload.slice(HEADER_LEN..),
                         };
                         pair.buffer.insert(seq, app);
                         let mut released = Vec::new();

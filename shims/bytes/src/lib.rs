@@ -1,9 +1,12 @@
 //! Offline shim for the `bytes` crate: an immutable, cheaply-cloneable
-//! byte buffer with O(1) slicing.
+//! byte buffer with O(1) slicing, plus a growable [`BytesMut`] staging
+//! buffer that freezes into a shared [`Bytes`] without copying.
 //!
-//! Internally an `Arc<[u8]>` plus a `(start, end)` window, which gives the
-//! two properties the real crate is used for here: clones share the
-//! allocation, and `slice` is constant-time.
+//! Internally `Bytes` is an `Arc<[u8]>` plus a `(start, end)` window, which
+//! gives the two properties the real crate is used for here: clones share
+//! the allocation, and `slice` is constant-time.  `BytesMut` is the write
+//! side: encode many records into one buffer, `freeze` once, and hand out
+//! O(1) sub-views of the single allocation.
 
 use std::fmt;
 use std::hash::{Hash, Hasher};
@@ -11,9 +14,13 @@ use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
 /// A cheaply cloneable and sliceable chunk of contiguous memory.
+///
+/// Backed by `Arc<Vec<u8>>` (not `Arc<[u8]>`) so `From<Vec<u8>>` — and
+/// therefore [`BytesMut::freeze`] — moves the vector into the shared
+/// allocation instead of copying its contents.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Option<Arc<[u8]>>,
+    data: Option<Arc<Vec<u8>>>,
     start: usize,
     end: usize,
 }
@@ -81,7 +88,7 @@ impl Bytes {
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let end = v.len();
-        Bytes { data: Some(Arc::from(v.into_boxed_slice())), start: 0, end }
+        Bytes { data: Some(Arc::new(v)), start: 0, end }
     }
 }
 
@@ -192,6 +199,141 @@ impl FromIterator<u8> for Bytes {
     }
 }
 
+/// A growable byte buffer that can be frozen into a shared [`Bytes`].
+///
+/// The shim keeps only the subset the workspace needs: append-style writes
+/// plus `freeze`.  Freezing moves the backing `Vec` into an `Arc<[u8]>`
+/// (one allocation-ownership transfer, no byte copy beyond what `Arc::from`
+/// needs), so the write-once/read-shared pattern costs one allocation per
+/// frame rather than one per record.
+#[derive(Default, Debug, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer (no allocation).
+    pub const fn new() -> Self {
+        BytesMut { buf: Vec::new() }
+    }
+
+    /// An empty buffer with `cap` bytes pre-reserved.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Current capacity of the backing storage.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Reserve room for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    /// Drop the contents, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Truncate to `len` bytes (no-op if already shorter).
+    pub fn truncate(&mut self, len: usize) {
+        self.buf.truncate(len);
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a slice.
+    pub fn put_slice(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Append a `u32` in little-endian order.
+    pub fn put_u32_le(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64` in little-endian order.
+    pub fn put_u64_le(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// The written bytes as a plain slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// The written bytes as a mutable slice (for length back-patching).
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+
+    /// Convert into an immutable shared buffer; `self` is consumed and the
+    /// contents are not copied element-by-element.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+
+    /// Take the backing vector (for codecs that append through `Vec` APIs
+    /// and hand the buffer back via `From<Vec<u8>>`).
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Freeze the current contents and leave `self` empty but reusable.
+    ///
+    /// This is the steady-state path for frame buffers: the staging buffer
+    /// is handed off and a fresh (empty, unallocated) one takes its place.
+    pub fn take_frozen(&mut self) -> Bytes {
+        Bytes::from(std::mem::take(&mut self.buf))
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(buf: Vec<u8>) -> Self {
+        BytesMut { buf }
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(m: BytesMut) -> Self {
+        m.freeze()
+    }
+}
+
+impl Extend<u8> for BytesMut {
+    fn extend<T: IntoIterator<Item = u8>>(&mut self, iter: T) {
+        self.buf.extend(iter);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,5 +370,55 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn slice_bounds_checked() {
         Bytes::from(vec![1, 2, 3]).slice(0..4);
+    }
+
+    #[test]
+    fn bytes_mut_roundtrip() {
+        let mut m = BytesMut::with_capacity(16);
+        assert!(m.is_empty());
+        m.put_u8(1);
+        m.put_slice(&[2, 3]);
+        m.put_u32_le(0x0605_0404);
+        m.put_u64_le(7);
+        assert_eq!(m.len(), 15);
+        let b = m.freeze();
+        assert_eq!(&b[..3], &[1, 2, 3]);
+        assert_eq!(&b[3..7], &0x0605_0404u32.to_le_bytes());
+    }
+
+    #[test]
+    fn bytes_mut_take_frozen_reuses() {
+        let mut m = BytesMut::new();
+        m.put_slice(b"abc");
+        let first = m.take_frozen();
+        assert_eq!(&first[..], b"abc");
+        assert!(m.is_empty());
+        m.put_slice(b"de");
+        assert_eq!(&m.take_frozen()[..], b"de");
+        // The earlier freeze is unaffected by buffer reuse.
+        assert_eq!(&first[..], b"abc");
+    }
+
+    #[test]
+    fn frozen_slices_share_one_allocation() {
+        let mut m = BytesMut::new();
+        m.put_slice(&[10, 20, 30, 40]);
+        let b = m.freeze();
+        let (s1, s2) = (b.slice(0..2), b.slice(2..4));
+        let (Some(a0), Some(a1), Some(a2)) = (&b.data, &s1.data, &s2.data) else { panic!("allocated") };
+        assert!(Arc::ptr_eq(a0, a1) && Arc::ptr_eq(a0, a2));
+        assert_eq!(&s1[..], &[10, 20]);
+        assert_eq!(&s2[..], &[30, 40]);
+    }
+
+    #[test]
+    fn bytes_mut_clear_and_truncate() {
+        let mut m = BytesMut::from(vec![1, 2, 3, 4]);
+        m.truncate(2);
+        assert_eq!(m.as_slice(), &[1, 2]);
+        let cap = m.capacity();
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.capacity(), cap);
     }
 }
