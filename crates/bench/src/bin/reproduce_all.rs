@@ -48,16 +48,22 @@ fn main() {
         ("ablation_md_lb", "ablation_md_lb.txt", vec![], vec!["--steps", "4"]),
         ("ablation_multicast", "ablation_multicast.txt", vec![], vec!["--steps", "2"]),
         ("ablation_failures", "ablation_failures.txt", vec![], vec!["--steps", "20"]),
+        ("ablation_elastic", "ablation_elastic.txt", vec![], vec!["--steps", "6"]),
     ];
 
     let mut job_rows = Vec::new();
     for (bin, out_file, full_args, quick_args) in jobs {
         let exe = exe_dir.join(bin);
         assert!(exe.exists(), "{} not built; run `cargo build --release -p mdo-bench` first", exe.display());
+        let elastic_json = out_dir.join("BENCH_elastic.json");
         let mut extra: Vec<&str> = if quick { quick_args } else { full_args };
         if bin == "export_trace" {
             // The exporter writes its artifacts next to the text outputs.
             extra.extend(["--out", out_dir.to_str().expect("utf-8 out dir")]);
+        }
+        if bin == "ablation_elastic" {
+            // The elastic ablation writes its JSON next to the text outputs.
+            extra.extend(["--out", elastic_json.to_str().expect("utf-8 out dir")]);
         }
         print!("running {bin:<22} -> {} ... ", out_dir.join(out_file).display());
         let started = Instant::now();

@@ -144,24 +144,32 @@ pub fn check_report(report: &RunReport, expect: &Expectation) -> Vec<Violation> 
 
     // ---- checkpoint-epoch consistency --------------------------------
     // Within a generation every PE must see a strictly increasing epoch
-    // sequence, and (without recoveries) all PEs must record the same
-    // sequence up to a one-epoch ragged tail at termination.
+    // sequence, and (in a single-generation run) all PEs must record the
+    // same sequence up to a one-epoch ragged tail at termination.  Epochs
+    // restart at 0 across every generation change — shrink recovery and
+    // expand alike — so each PE's stream is split at its Recovery markers
+    // and the monotonicity check runs per segment.
     let mut per_pe: Vec<Vec<u32>> = Vec::new();
     for pe in &obs.pes {
-        let epochs: Vec<u32> = pe
-            .events
-            .iter()
-            .filter_map(|e| if let Event::Checkpoint { epoch, .. } = e { Some(*epoch) } else { None })
-            .collect();
-        if let Some(w) = epochs.windows(2).find(|w| w[1] <= w[0]) {
-            out.push(Violation::CheckpointEpochSkew {
-                pe: pe.pe,
-                detail: format!("not strictly increasing: {} then {}", w[0], w[1]),
-            });
+        let mut segments: Vec<Vec<u32>> = vec![Vec::new()];
+        for e in &pe.events {
+            match e {
+                Event::Checkpoint { epoch, .. } => segments.last_mut().expect("segment").push(*epoch),
+                Event::Recovery { .. } => segments.push(Vec::new()),
+                _ => {}
+            }
         }
-        per_pe.push(epochs);
+        for seg in &segments {
+            if let Some(w) = seg.windows(2).find(|w| w[1] <= w[0]) {
+                out.push(Violation::CheckpointEpochSkew {
+                    pe: pe.pe,
+                    detail: format!("not strictly increasing within a generation: {} then {}", w[0], w[1]),
+                });
+            }
+        }
+        per_pe.push(segments.concat());
     }
-    if report.recoveries == 0 && report.failures.is_empty() {
+    if report.recoveries == 0 && report.pes_joined == 0 && report.failures.is_empty() {
         let max_len = per_pe.iter().map(Vec::len).max().unwrap_or(0);
         let min_len = per_pe.iter().map(Vec::len).min().unwrap_or(0);
         if max_len - min_len > 1 {
@@ -226,6 +234,10 @@ mod tests {
             transport_error: None,
             failures_detected: 0,
             recoveries: 0,
+            pes_joined: 0,
+            generations: 1,
+            rebalance_triggers: 0,
+            objects_migrated: 0,
             steps_replayed: 0,
             checkpoints_taken: 0,
             checkpoint_bytes: 0,
@@ -293,6 +305,19 @@ mod tests {
         let ck = |at: u64, epoch: u32| Event::Checkpoint { at: Time::from_nanos(at), epoch };
         let report = report_with(vec![pe_obs(0, vec![ck(1, 0), ck(2, 1), ck(3, 2)]), pe_obs(1, vec![ck(1, 0)])]);
         let v = check_report(&report, &Expectation::default());
+        assert!(v.iter().any(|x| matches!(x, Violation::CheckpointEpochSkew { .. })), "{v:?}");
+    }
+
+    #[test]
+    fn epochs_may_restart_across_generations() {
+        // A shrink (or expand) resets epochs to 0; with the Recovery marker
+        // between the segments that is legal, without it it is skew.
+        let ck = |at: u64, epoch: u32| Event::Checkpoint { at: Time::from_nanos(at), epoch };
+        let rec = |at: u64| Event::Recovery { at: Time::from_nanos(at) };
+        let legal = report_with(vec![pe_obs(0, vec![ck(1, 0), ck(2, 1), rec(3), ck(4, 0), ck(5, 1)])]);
+        assert!(check_report(&legal, &Expectation::default()).is_empty());
+        let skewed = report_with(vec![pe_obs(0, vec![ck(1, 0), ck(2, 1), ck(4, 0)])]);
+        let v = check_report(&skewed, &Expectation::default());
         assert!(v.iter().any(|x| matches!(x, Violation::CheckpointEpochSkew { .. })), "{v:?}");
     }
 

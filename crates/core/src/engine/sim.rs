@@ -20,8 +20,8 @@ use std::sync::Arc;
 
 use mdo_netsim::network::{DeliveryOracle, NetworkModel};
 use mdo_netsim::{
-    CrashTrigger, DeliveryPlan, Dur, EventQueue, FailureCause, FaultModel, FaultModelStats, Pe, PeFailed, Time,
-    TransportError, UnrecoverableError,
+    ClusterId, CrashTrigger, DeliveryPlan, Dur, EventQueue, FailureCause, FaultModel, FaultModelStats, JoinSpec,
+    JoinTrigger, Pe, PeFailed, Time, TransportError, UnrecoverableError,
 };
 use mdo_vmi::frame::CHUNK_HEADER_LEN;
 use mdo_vmi::reliable::HEADER_LEN;
@@ -186,6 +186,10 @@ impl SimEngine {
         let record_on = cfg.wants_spans();
         let obs_cfg = cfg.obs.clone().unwrap_or_default();
         let failure_plan = cfg.failure_plan.clone();
+        let join_plan = cfg.join_plan.clone();
+        // Original cluster of every original PE: a rejoin without an
+        // explicit cluster goes back where the PE came from.
+        let orig_cluster_of: Vec<ClusterId> = topo.pes().map(|pe| topo.cluster_of(pe)).collect();
         let restart_cfg = cfg.clone();
         // The same plan the threaded engine would wire into its device
         // chain, collapsed here into virtual-time delivery decisions.
@@ -242,6 +246,13 @@ impl SimEngine {
         let mut failures: Vec<PeFailed> = Vec::new();
         let mut unrecoverable: Option<UnrecoverableError> = None;
         let mut pending = failure_plan.as_ref().map(|p| p.crashes.clone()).unwrap_or_default();
+        let mut pending_joins = join_plan.as_ref().map(|p| p.joins.clone()).unwrap_or_default();
+        let mut rebalance_total = 0u32;
+        // Newest checkpoint epoch known complete cluster-wide *this
+        // generation*: the admission gate for pending joins — expanding is
+        // only safe when a snapshot exists to redistribute from.
+        let mut ckpt_done: Option<u32> = None;
+        gctr.bump(Ctr::Generations);
 
         // Boot: Startup on PE 0 at t=0.
         events.schedule(
@@ -381,6 +392,9 @@ impl SimEngine {
                             break;
                         }
                     };
+                    if outcome.ckpt_complete.is_some() {
+                        ckpt_done = outcome.ckpt_complete;
+                    }
                     msgs_done[orig[pe.index()].index()] += 1;
                     if let Some(i) = pending.iter().position(|s| {
                         s.pe == orig[pe.index()]
@@ -538,6 +552,7 @@ impl SimEngine {
                 }
                 lb_rounds_total += nodes[0].lb_rounds();
                 migrations_total += nodes[0].migrations();
+                rebalance_total += nodes[0].rebalance_triggers();
                 gctr.add(Ctr::CheckpointsTaken, nodes[0].ft_epochs() as u64);
                 gctr.add(Ctr::CheckpointBytes, nodes.iter().map(|n| n.ft_bytes_stored()).sum::<u64>());
 
@@ -571,6 +586,10 @@ impl SimEngine {
                 // changes across the shrink anyway.
                 agg_bufs.clear();
                 gctr.bump(Ctr::Recoveries);
+                gctr.bump(Ctr::Generations);
+                // Checkpoint epochs restart with the generation; pending
+                // joins wait for a fresh complete epoch on the new cluster.
+                ckpt_done = None;
                 if record_on {
                     for &o in &orig {
                         recs[o.index()].recovery(drained);
@@ -586,6 +605,147 @@ impl SimEngine {
                         body: MsgBody::Startup,
                     }),
                 );
+            } else if !pending_joins.is_empty() && ckpt_done.is_some() {
+                // ---- expand: admit due joiners at a safe point -----------
+                // A join is admissible once its trigger has fired AND a
+                // complete buddy checkpoint exists this generation, so the
+                // widened cluster has a snapshot to redistribute from.  A
+                // joiner whose PE is still alive is dropped (nothing to
+                // rejoin); joins racing a crash wait for the next event.
+                let recoveries_so_far = gctr.get(Ctr::Recoveries) as u32;
+                let mut due: Vec<JoinSpec> = Vec::new();
+                let mut i = 0;
+                while i < pending_joins.len() {
+                    let fired = match pending_joins[i].trigger {
+                        JoinTrigger::AtTime(at) => Time::ZERO + at <= now,
+                        JoinTrigger::AfterRecoveries(n) => recoveries_so_far >= n,
+                    };
+                    if fired {
+                        let spec = pending_joins.remove(i);
+                        if !orig.contains(&spec.pe) {
+                            due.push(spec);
+                        }
+                    } else {
+                        i += 1;
+                    }
+                }
+                if !due.is_empty() {
+                    // Deterministic admission order: by (cluster, original
+                    // PE); `with_pes` appends joiners per cluster in the
+                    // order `added` repeats that cluster.
+                    let mut joiners: Vec<(ClusterId, Pe)> = due
+                        .iter()
+                        .map(|s| {
+                            let cid = s.cluster.unwrap_or_else(|| {
+                                *orig_cluster_of
+                                    .get(s.pe.index())
+                                    .expect("a brand-new PE joining must name an explicit cluster")
+                            });
+                            (cid, s.pe)
+                        })
+                        .collect();
+                    joiners.sort_unstable();
+                    let added: Vec<ClusterId> = joiners.iter().map(|&(c, _)| c).collect();
+
+                    // Survivors and joiners alike restart from the newest
+                    // complete snapshot; in-flight traffic is discarded
+                    // exactly as across a shrink.
+                    while events.pop().is_some() {}
+                    let drained = events.now();
+                    final_time = drained;
+
+                    let mut pieces = Vec::new();
+                    for node in nodes.iter_mut() {
+                        pieces.extend(node.take_ft_pieces());
+                    }
+                    let expected: Vec<(ArrayId, usize)> = shared.arrays.iter().map(|a| (a.id, a.n_elems)).collect();
+                    let Some((snapshot, snap_round)) = assemble_buddy_snapshot(&expected, &pieces) else {
+                        unrecoverable = Some(UnrecoverableError::NoCompleteSnapshot { failed: Vec::new() });
+                        break 'main;
+                    };
+                    gctr.add(Ctr::StepsReplayed, nodes[0].lb_rounds().saturating_sub(snap_round) as u64);
+
+                    // Close this generation's books (current → original
+                    // PEs), widening the accumulators if a joiner's original
+                    // number lies beyond the boot topology.
+                    let max_orig = joiners.iter().map(|&(_, pe)| pe.index() + 1).max().unwrap_or(0);
+                    if max_orig > pe_busy_total.len() {
+                        pe_busy_total.resize(max_orig, Dur::ZERO);
+                        pe_messages_total.resize(max_orig, 0);
+                        pe_queue_depth.resize(max_orig, 0);
+                        msgs_done.resize(max_orig, 0);
+                        for pe in recs.len() as u32..max_orig as u32 {
+                            recs.push(PeRecorder::maybe(record_on, pe, &obs_cfg));
+                        }
+                    }
+                    for (i, &o) in orig.iter().enumerate() {
+                        pe_busy_total[o.index()] += pe_busy[i];
+                        pe_messages_total[o.index()] += nodes[i].messages_processed();
+                        pe_queue_depth[o.index()] = pe_queue_depth[o.index()].max(pes[i].queue.max_depth());
+                    }
+                    lb_rounds_total += nodes[0].lb_rounds();
+                    migrations_total += nodes[0].migrations();
+                    rebalance_total += nodes[0].rebalance_triggers();
+                    gctr.add(Ctr::CheckpointsTaken, nodes[0].ft_epochs() as u64);
+                    gctr.add(Ctr::CheckpointBytes, nodes.iter().map(|n| n.ft_bytes_stored()).sum::<u64>());
+
+                    // Widen the topology: joiners land at the end of their
+                    // cluster's PE range, and the `None` slots of the map
+                    // pair with the per-cluster joiner FIFO.
+                    let (new_topo, new_map) = shared.topo.with_pes(&added);
+                    let mut fifo = joiners.clone();
+                    orig = new_map
+                        .iter()
+                        .enumerate()
+                        .map(|(cur, slot)| match slot {
+                            Some(old_cur) => orig[old_cur.index()],
+                            None => {
+                                let cid = new_topo.cluster_of(Pe(cur as u32));
+                                let at = fifo.iter().position(|&(c, _)| c == cid).expect("joiner for slot");
+                                fifo.remove(at).1
+                            }
+                        })
+                        .collect();
+                    net.set_topology(new_topo.clone());
+                    let host = nodes[0].take_host();
+                    shared = Arc::new(NodeShared {
+                        topo: new_topo,
+                        arrays: shared.arrays.clone(),
+                        cfg: restart_cfg.clone(),
+                        restore: Some(Arc::new(snapshot)),
+                    });
+                    let mut host = Some(host);
+                    nodes = shared
+                        .topo
+                        .pes()
+                        .map(|pe| {
+                            let h = if pe == Pe(0) { host.take().expect("host once") } else { HostParts::empty() };
+                            Node::new(Arc::clone(&shared), pe, h)
+                        })
+                        .collect();
+                    pes =
+                        (0..shared.topo.num_pes()).map(|_| PeState { queue: SchedQueue::new(), busy: false }).collect();
+                    pe_busy = vec![Dur::ZERO; shared.topo.num_pes()];
+                    agg_bufs.clear();
+                    gctr.add(Ctr::PesJoined, joiners.len() as u64);
+                    gctr.bump(Ctr::Generations);
+                    ckpt_done = None;
+                    if record_on {
+                        for &o in &orig {
+                            recs[o.index()].recovery(drained);
+                        }
+                    }
+                    events.schedule(
+                        drained,
+                        Event::Arrive(Envelope {
+                            src: Pe(0),
+                            dst: Pe(0),
+                            priority: SYSTEM_PRIORITY,
+                            sent_at_ns: drained.as_nanos(),
+                            body: MsgBody::Startup,
+                        }),
+                    );
+                }
             }
         }
 
@@ -597,8 +757,11 @@ impl SimEngine {
         }
         lb_rounds_total += nodes[0].lb_rounds();
         migrations_total += nodes[0].migrations();
+        rebalance_total += nodes[0].rebalance_triggers();
         gctr.add(Ctr::CheckpointsTaken, nodes[0].ft_epochs() as u64);
         gctr.add(Ctr::CheckpointBytes, nodes.iter().map(|n| n.ft_bytes_stored()).sum::<u64>());
+        gctr.add(Ctr::ObjectsMigrated, migrations_total);
+        gctr.add(Ctr::RebalanceTriggers, rebalance_total as u64);
 
         // Mirror the fault-layer and failure tallies into the registry so
         // the report's scalars and the obs counters come from one place.
@@ -630,6 +793,10 @@ impl SimEngine {
             transport_error,
             failures_detected: gctr.get_u32(Ctr::FailuresDetected),
             recoveries: gctr.get_u32(Ctr::Recoveries),
+            pes_joined: gctr.get_u32(Ctr::PesJoined),
+            generations: gctr.get_u32(Ctr::Generations),
+            rebalance_triggers: gctr.get_u32(Ctr::RebalanceTriggers),
+            objects_migrated: gctr.get(Ctr::ObjectsMigrated),
             steps_replayed: gctr.get_u32(Ctr::StepsReplayed),
             checkpoints_taken: gctr.get_u32(Ctr::CheckpointsTaken),
             checkpoint_bytes: gctr.get(Ctr::CheckpointBytes),

@@ -16,8 +16,8 @@ use std::time::{Duration, Instant};
 
 use mdo_netsim::network::NetworkStats;
 use mdo_netsim::{
-    CrashTrigger, Dur, FailureCause, FaultModelStats, LatencyMatrix, Pe, PeFailed, Time, Topology, TransportError,
-    UnrecoverableError,
+    ClusterId, CrashTrigger, Dur, FailureCause, FaultModelStats, JoinSpec, JoinTrigger, LatencyMatrix, Pe, PeFailed,
+    Time, Topology, TransportError, UnrecoverableError,
 };
 use mdo_vmi::{Aggregator, CrcDevice, FaultDevice, ReliableTransport, Transport, TransportConfig};
 
@@ -115,6 +115,7 @@ struct PeResult {
     messages: u64,
     lb_rounds: u32,
     migrations: u64,
+    rebalance: u32,
     obs: PeObs,
     ft_epochs: u32,
     ft_bytes: u64,
@@ -130,6 +131,7 @@ impl PeResult {
             messages: 0,
             lb_rounds: 0,
             migrations: 0,
+            rebalance: 0,
             obs: PeObs::empty(pe.0),
             ft_epochs: 0,
             ft_bytes: 0,
@@ -168,6 +170,10 @@ struct ThreadCtl {
     /// Envelopes this PE had processed in previous generations (crash
     /// triggers count across restarts).
     msgs_before: u64,
+    /// Set to (epoch + 1) by PE 0 when a buddy-checkpoint epoch completes
+    /// cluster-wide; the watchdog admits pending joins only when non-zero,
+    /// so the widened cluster always has a snapshot to restart from.
+    ckpt_done: Arc<AtomicU64>,
 }
 
 fn elapsed_ns(t0: Instant) -> u64 {
@@ -197,8 +203,12 @@ impl ThreadedEngine {
         let obs_cfg = cfg.obs.clone().unwrap_or_default();
         let fault_plan = cfg.fault_plan.clone();
         let failure_plan = cfg.failure_plan.clone();
+        let join_plan = cfg.join_plan.clone();
         let agg_cfg = cfg.agg_active();
         let restart_cfg = cfg.clone();
+        // Original cluster of every original PE: a rejoin without an
+        // explicit cluster goes back where the PE came from.
+        let orig_cluster_of: Vec<ClusterId> = topo.pes().map(|pe| topo.cluster_of(pe)).collect();
         let (mut shared, host) = split_program(program, topo, cfg);
 
         let decode_rejected = Arc::new(AtomicU64::new(0));
@@ -224,9 +234,15 @@ impl ThreadedEngine {
         let mut gctr = CounterSet::new();
         let mut lb_rounds_total = 0u32;
         let mut migrations_total = 0u64;
+        let mut rebalance_total = 0u32;
         let mut failures: Vec<PeFailed> = Vec::new();
         let mut unrecoverable: Option<UnrecoverableError> = None;
         let mut transport_error: Option<TransportError> = None;
+        let mut pending_joins = join_plan.as_ref().map(|p| p.joins.clone()).unwrap_or_default();
+        // (epoch + 1) of the newest buddy-checkpoint epoch known complete
+        // this generation; 0 until PE 0 sees a full round of acks.
+        let ckpt_done = Arc::new(AtomicU64::new(0));
+        gctr.bump(Ctr::Generations);
 
         let mut host = Some(host);
         let mut nodes: Vec<Node> = shared
@@ -241,6 +257,9 @@ impl ThreadedEngine {
         'generations: loop {
             let gen_topo = shared.topo.clone();
             let n_pes = gen_topo.num_pes();
+            // Checkpoint epochs restart with the generation; pending joins
+            // wait for a fresh complete epoch on the new cluster.
+            ckpt_done.store(0, Ordering::Release);
 
             // With a fault plan the cross-cluster chain becomes
             // checksum → fault injection → verify → delay: an injected
@@ -289,6 +308,7 @@ impl ThreadedEngine {
                     hb_interval: failure_plan.as_ref().map(|p| p.hb_interval.to_std()),
                     crash: pending.iter().find(|s| s.pe == orig[pe.index()]).map(|s| s.trigger),
                     msgs_before: pe_messages_total[orig[pe.index()].index()],
+                    ckpt_done: Arc::clone(&ckpt_done),
                 };
                 handles.push((
                     pe,
@@ -315,6 +335,7 @@ impl ThreadedEngine {
             let suspect_after = failure_plan.as_ref().map(|p| p.suspect_after.as_nanos());
             let mut flagged = vec![false; n_pes];
             let mut gen_failed: Vec<(Pe, FailureCause)> = Vec::new();
+            let mut gen_join: Vec<JoinSpec> = Vec::new();
             loop {
                 if stop.load(Ordering::Acquire) {
                     break;
@@ -369,7 +390,29 @@ impl ThreadedEngine {
                         }
                     }
                 }
-                if unrecoverable.is_some() || !gen_failed.is_empty() {
+                // Admit due joiners only at a safe point: no failure in
+                // flight and a complete buddy checkpoint to restart from.
+                // A joiner whose PE is still alive is dropped (nothing to
+                // rejoin).
+                if !pending_joins.is_empty() && gen_failed.is_empty() && ckpt_done.load(Ordering::Acquire) > 0 {
+                    let recoveries_so_far = gctr.get(Ctr::Recoveries) as u32;
+                    let mut i = 0;
+                    while i < pending_joins.len() {
+                        let fired = match pending_joins[i].trigger {
+                            JoinTrigger::AtTime(at) => t0.elapsed() >= at.to_std(),
+                            JoinTrigger::AfterRecoveries(n) => recoveries_so_far >= n,
+                        };
+                        if fired {
+                            let spec = pending_joins.remove(i);
+                            if !orig.contains(&spec.pe) {
+                                gen_join.push(spec);
+                            }
+                        } else {
+                            i += 1;
+                        }
+                    }
+                }
+                if unrecoverable.is_some() || !gen_failed.is_empty() || !gen_join.is_empty() {
                     stop.store(true, Ordering::Release);
                     break;
                 }
@@ -441,13 +484,108 @@ impl ThreadedEngine {
             let gen_lb_rounds = results[0].lb_rounds;
             lb_rounds_total += gen_lb_rounds;
             migrations_total += results[0].migrations;
+            rebalance_total += results[0].rebalance;
             gctr.add(Ctr::CheckpointsTaken, results[0].ft_epochs as u64);
             gctr.add(Ctr::CheckpointBytes, results.iter().map(|r| r.ft_bytes).sum::<u64>());
 
             let exited = exit_announced.load(Ordering::Acquire);
-            if unrecoverable.is_some() || transport_error.is_some() || exited || gen_failed.is_empty() {
+            if unrecoverable.is_some()
+                || transport_error.is_some()
+                || exited
+                || (gen_failed.is_empty() && gen_join.is_empty())
+            {
                 break 'generations;
             }
+
+            if gen_failed.is_empty() {
+                // ---- expand: admit the joiners and restart wide ----------
+                // Everyone (survivors and joiners alike) restarts from the
+                // newest complete buddy snapshot, exactly as across a
+                // shrink; `ckpt_done` guaranteed one exists before the
+                // watchdog stopped the generation.
+                let at = Time::from_nanos(elapsed_ns(t0));
+                let mut joiners: Vec<(ClusterId, Pe)> = gen_join
+                    .drain(..)
+                    .map(|s| {
+                        let cid = s.cluster.unwrap_or_else(|| {
+                            *orig_cluster_of
+                                .get(s.pe.index())
+                                .expect("a brand-new PE joining must name an explicit cluster")
+                        });
+                        (cid, s.pe)
+                    })
+                    .collect();
+                joiners.sort_unstable();
+                let added: Vec<ClusterId> = joiners.iter().map(|&(c, _)| c).collect();
+
+                let mut alive: Vec<Node> = results.into_iter().filter_map(|r| r.node).collect();
+                let mut pieces = Vec::new();
+                for node in alive.iter_mut() {
+                    pieces.extend(node.take_ft_pieces());
+                }
+                let expected: Vec<(ArrayId, usize)> = shared.arrays.iter().map(|a| (a.id, a.n_elems)).collect();
+                let Some((snapshot, snap_round)) = assemble_buddy_snapshot(&expected, &pieces) else {
+                    unrecoverable = Some(UnrecoverableError::NoCompleteSnapshot { failed: Vec::new() });
+                    break 'generations;
+                };
+                gctr.add(Ctr::StepsReplayed, gen_lb_rounds.saturating_sub(snap_round) as u64);
+                let host_parts = alive.iter_mut().find(|n| n.pe() == Pe(0)).expect("PE 0 alive").take_host();
+
+                // Widen the per-original-PE books if a joiner's number lies
+                // beyond the boot topology (a brand-new PE, not a rejoin).
+                let max_orig = joiners.iter().map(|&(_, pe)| pe.index() + 1).max().unwrap_or(0);
+                if max_orig > pe_busy_total.len() {
+                    pe_busy_total.resize(max_orig, Dur::ZERO);
+                    pe_messages_total.resize(max_orig, 0);
+                    pe_queue_depth.resize(max_orig, 0);
+                    for pe in obs_total.len() as u32..max_orig as u32 {
+                        obs_total.push(PeObs::empty(pe));
+                    }
+                }
+
+                // Joiners land at the end of their cluster's PE range; the
+                // map's `None` slots pair with the per-cluster joiner FIFO.
+                let (new_topo, new_map) = shared.topo.with_pes(&added);
+                let mut fifo = joiners.clone();
+                orig = new_map
+                    .iter()
+                    .enumerate()
+                    .map(|(cur, slot)| match slot {
+                        Some(old_cur) => orig[old_cur.index()],
+                        None => {
+                            let cid = new_topo.cluster_of(Pe(cur as u32));
+                            let i = fifo.iter().position(|&(c, _)| c == cid).expect("joiner for slot");
+                            fifo.remove(i).1
+                        }
+                    })
+                    .collect();
+                shared = Arc::new(NodeShared {
+                    topo: new_topo,
+                    arrays: shared.arrays.clone(),
+                    cfg: restart_cfg.clone(),
+                    restore: Some(Arc::new(snapshot)),
+                });
+                let mut host_parts = Some(host_parts);
+                nodes = shared
+                    .topo
+                    .pes()
+                    .map(|pe| {
+                        let h = if pe == Pe(0) { host_parts.take().expect("host once") } else { HostParts::empty() };
+                        Node::new(Arc::clone(&shared), pe, h)
+                    })
+                    .collect();
+                gctr.add(Ctr::PesJoined, joiners.len() as u64);
+                gctr.bump(Ctr::Generations);
+                if record_on {
+                    for &o in &orig {
+                        obs_total[o.index()].events.push(ObsEvent::Recovery { at });
+                    }
+                }
+                continue 'generations;
+            }
+            // Joins racing a failure wait for the next generation: put them
+            // back, recover first.
+            pending_joins.append(&mut gen_join);
 
             // Recover over the survivors: reassemble the newest complete
             // buddy snapshot, shrink the topology, and restart from it.
@@ -489,6 +627,7 @@ impl ThreadedEngine {
                 })
                 .collect();
             gctr.bump(Ctr::Recoveries);
+            gctr.bump(Ctr::Generations);
             if record_on {
                 // Mark the resume on every surviving PE's stream (original
                 // numbering — `orig` was just remapped to the survivors).
@@ -504,6 +643,8 @@ impl ThreadedEngine {
 
         // Mirror the fault-layer and failure tallies into the registry so
         // the report's scalars and the obs counters come from one place.
+        gctr.add(Ctr::ObjectsMigrated, migrations_total);
+        gctr.add(Ctr::RebalanceTriggers, rebalance_total as u64);
         gctr.add(Ctr::Drops, faults_total.dropped);
         gctr.add(Ctr::Retransmits, faults_total.retransmits);
         gctr.add(Ctr::DupDropped, faults_total.dup_dropped);
@@ -528,6 +669,10 @@ impl ThreadedEngine {
             transport_error,
             failures_detected: gctr.get_u32(Ctr::FailuresDetected),
             recoveries: gctr.get_u32(Ctr::Recoveries),
+            pes_joined: gctr.get_u32(Ctr::PesJoined),
+            generations: gctr.get_u32(Ctr::Generations),
+            rebalance_triggers: gctr.get_u32(Ctr::RebalanceTriggers),
+            objects_migrated: gctr.get(Ctr::ObjectsMigrated),
             steps_replayed: gctr.get_u32(Ctr::StepsReplayed),
             checkpoints_taken: gctr.get_u32(Ctr::CheckpointsTaken),
             checkpoint_bytes: gctr.get(Ctr::CheckpointBytes),
@@ -657,6 +802,9 @@ fn pe_thread(pe: Pe, mut node: Node, ctl: ThreadCtl) -> PeResult {
                 break;
             }
         };
+        if let Some(epoch) = outcome.ckpt_complete {
+            ctl.ckpt_done.store(epoch as u64 + 1, Ordering::Release);
+        }
         if ctl.compute_sleep && !outcome.charged.is_zero() {
             std::thread::sleep(outcome.charged.to_std());
         }
@@ -693,10 +841,22 @@ fn pe_thread(pe: Pe, mut node: Node, ctl: ThreadCtl) -> PeResult {
     let messages = node.messages_processed();
     let lb_rounds = node.lb_rounds();
     let migrations = node.migrations();
+    let rebalance = node.rebalance_triggers();
     let ft_epochs = node.ft_epochs();
     let ft_bytes = node.ft_bytes_stored();
     let obs = hooks.rec.finish();
-    PeResult { pe, busy, messages, lb_rounds, migrations, obs, ft_epochs, ft_bytes, node: (!died).then_some(node) }
+    PeResult {
+        pe,
+        busy,
+        messages,
+        lb_rounds,
+        migrations,
+        rebalance,
+        obs,
+        ft_epochs,
+        ft_bytes,
+        node: (!died).then_some(node),
+    }
 }
 
 #[cfg(test)]

@@ -108,6 +108,7 @@ pub use program::{Program, RunConfig, RunReport};
 
 /// Commonly used items, re-exported for applications.
 pub mod prelude {
+    pub use crate::balancer::{FeedbackConfig, FeedbackDecision};
     pub use crate::chare::{Chare, Ctx, HostCtl};
     pub use crate::engine::policy::{DeliverySpec, ScheduleChoice, ScheduleSink, ScheduleTrace};
     pub use crate::ids::{ArrayId, ElemId, EntryId, ObjKey};
@@ -115,8 +116,8 @@ pub mod prelude {
     pub use crate::program::{Program, RunConfig, RunReport};
     pub use crate::wire::{WireReader, WireWriter};
     pub use mdo_netsim::{
-        AggConfig, ClusterId, CrashSpec, CrashTrigger, Dur, FailureCause, FailurePlan, Pe, PeFailed, Time, Topology,
-        UnrecoverableError,
+        AggConfig, ClusterId, CrashSpec, CrashTrigger, Dur, FailureCause, FailurePlan, JoinPlan, JoinSpec, JoinTrigger,
+        Pe, PeFailed, Time, Topology, UnrecoverableError,
     };
     pub use mdo_obs::{ObsConfig, ObsReport};
 }

@@ -71,6 +71,11 @@ pub struct HandleOutcome {
     /// Set when this envelope completed a buddy-checkpoint pack on this PE
     /// (engines record it as a checkpoint event).
     pub ckpt_epoch: Option<u32>,
+    /// Set on PE 0 when this envelope completed a buddy-checkpoint epoch
+    /// cluster-wide (every PE acked its piece).  Engines use it as the
+    /// admission gate for pending joins: a complete epoch guarantees
+    /// `assemble_buddy_snapshot` over all live PEs succeeds.
+    pub ckpt_complete: Option<u32>,
 }
 
 /// Host-side closures, present only on PE 0's node.
@@ -143,6 +148,9 @@ struct LbState {
     arrived_pes: usize,
     rounds: u32,
     migrations: u64,
+    /// Barriers where the feedback balancer decided to run the strategy
+    /// (PE 0; 0 unless `RunConfig::feedback` is set).
+    rebalance_triggers: u32,
 }
 
 /// Per-PE fault-tolerance state: buddy-checkpoint pieces held for
@@ -272,6 +280,12 @@ impl Node {
     /// Total object migrations across rounds (meaningful on PE 0).
     pub fn migrations(&self) -> u64 {
         self.lb.migrations
+    }
+
+    /// Barriers where the feedback balancer ran the strategy (meaningful
+    /// on PE 0; 0 unless `RunConfig::feedback` is set).
+    pub fn rebalance_triggers(&self) -> u32 {
+        self.lb.rebalance_triggers
     }
 
     /// Buddy-checkpoint epochs started (meaningful on PE 0).
@@ -500,10 +514,10 @@ impl Node {
             }
             MsgBody::BuddyAck { epoch } => {
                 assert_eq!(self.pe, Pe(0), "BuddyAck must go to PE 0");
-                let _ = epoch;
                 self.ft.acks += 1;
                 if self.ft.acks == self.num_pes() {
                     self.ft.acks = 0;
+                    outcome.ckpt_complete = Some(epoch);
                     for pe in self.topo().pes().collect::<Vec<_>>() {
                         self.emit_env(hooks, pe, SYSTEM_PRIORITY, MsgBody::LbResume, Dur::ZERO);
                     }
@@ -776,7 +790,26 @@ impl Node {
                 }
             })
             .collect();
-        let placement = run_strategy(self.strategy.as_ref(), &LbInput { topo: self.topo(), objs: &objs });
+        // The continuous feedback loop: when configured, run the strategy
+        // only if measured imbalance or WAN exposure crosses a threshold;
+        // a quiet barrier keeps the current placement at zero migration
+        // cost (the identity placement still flows through LbAssign so
+        // barrier release stays uniform).
+        let run_full = match &self.shared.cfg.feedback {
+            Some(fb) => {
+                let decision = crate::balancer::should_rebalance(&LbInput { topo: self.topo(), objs: &objs }, fb);
+                if decision.rebalance {
+                    self.lb.rebalance_triggers += 1;
+                }
+                decision.rebalance
+            }
+            None => true,
+        };
+        let placement = if run_full {
+            run_strategy(self.strategy.as_ref(), &LbInput { topo: self.topo(), objs: &objs })
+        } else {
+            objs.iter().map(|m| (m.key, m.current_pe)).collect()
+        };
         let moved =
             placement.iter().filter(|(k, pe)| self.arrays[k.array.0 as usize].location(k.elem) != *pe).count() as u64;
         self.lb.migrations += moved;
@@ -909,13 +942,14 @@ impl Node {
         }
     }
 
-    /// Complete a barrier from PE 0: when a failure plan is armed, run a
-    /// buddy-checkpoint round first (the barrier is the only point where
-    /// every element is quiescent, so packing here is race-free); the
-    /// LbResume broadcast then follows the final BuddyAck.  Without fault
-    /// tolerance, resume immediately — byte-identical to the old path.
+    /// Complete a barrier from PE 0: when a failure or join plan is armed,
+    /// run a buddy-checkpoint round first (the barrier is the only point
+    /// where every element is quiescent, so packing here is race-free);
+    /// the LbResume broadcast then follows the final BuddyAck.  Without
+    /// fault tolerance, resume immediately — byte-identical to the old
+    /// path.
     fn release_barrier(&mut self, hooks: &mut dyn NodeHooks) {
-        if self.shared.cfg.failure_plan.is_some() {
+        if self.shared.cfg.ft_armed() {
             let epoch = self.ft.epoch;
             self.ft.epoch += 1;
             self.ft.acks = 0;

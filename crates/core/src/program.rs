@@ -11,7 +11,8 @@ use std::sync::Arc;
 
 use mdo_netsim::network::NetworkStats;
 use mdo_netsim::{
-    AggConfig, Dur, FailurePlan, FaultModelStats, FaultPlan, PeFailed, Time, TransportError, UnrecoverableError,
+    AggConfig, Dur, FailurePlan, FaultModelStats, FaultPlan, JoinPlan, PeFailed, Time, TransportError,
+    UnrecoverableError,
 };
 use mdo_obs::{ObsConfig, ObsReport};
 
@@ -246,6 +247,21 @@ pub struct RunConfig {
     /// newest complete buddy snapshot on failure.  `None` (the default)
     /// leaves the runtime exactly as it was: a dying PE ends the run.
     pub failure_plan: Option<FailurePlan>,
+    /// PE elasticity: when set, the engines admit the plan's joins — new
+    /// or crashed-then-restarted PEs — at the next completed buddy
+    /// checkpoint epoch, widening the topology with
+    /// [`Topology::with_pes`](mdo_netsim::Topology::with_pes) and
+    /// redistributing object state from the newest complete snapshot.
+    /// Setting a plan (even an empty one) arms the buddy-checkpoint
+    /// machinery exactly as a `failure_plan` does.
+    pub join_plan: Option<JoinPlan>,
+    /// Continuous obs-driven load balancing: when set, AtSync barriers
+    /// consult [`FeedbackConfig`](crate::balancer::FeedbackConfig) —
+    /// the configured strategy runs only when measured imbalance or
+    /// WAN exposure exceeds its thresholds, and the barrier is otherwise
+    /// a cheap no-op placement.  `None` (the default) runs the strategy
+    /// unconditionally at every barrier, exactly as before.
+    pub feedback: Option<crate::balancer::FeedbackConfig>,
     /// Arm the Projections-style observability subsystem: per-PE event
     /// rings, counters and latency/grain/queue-depth histograms, plus the
     /// derived overlap-fraction analyses ([`ObsReport`]).  `None` (the
@@ -296,6 +312,14 @@ impl RunConfig {
             None
         }
     }
+
+    /// Whether the fault-tolerance machinery (buddy checkpoints at every
+    /// AtSync barrier, heartbeats, panic confinement) is armed: a
+    /// `failure_plan` *or* a `join_plan` does it — expand needs the same
+    /// snapshots shrink does.
+    pub fn ft_armed(&self) -> bool {
+        self.failure_plan.is_some() || self.join_plan.is_some()
+    }
 }
 
 impl Default for RunConfig {
@@ -309,6 +333,8 @@ impl Default for RunConfig {
             seed: 0,
             fault_plan: None,
             failure_plan: None,
+            join_plan: None,
+            feedback: None,
             obs: None,
             delivery: DeliverySpec::Fifo,
             schedule_sink: None,
@@ -354,6 +380,18 @@ pub struct RunReport {
     pub failures_detected: u32,
     /// Number of successful shrink-restart recoveries.
     pub recoveries: u32,
+    /// PEs admitted by expand/rejoin.
+    pub pes_joined: u32,
+    /// Topology generations the run went through: 1 for an undisturbed
+    /// run, +1 per shrink-recovery and per expand.
+    pub generations: u32,
+    /// Times the continuous feedback balancer decided to rebalance
+    /// (0 unless [`RunConfig::feedback`] was set).
+    pub rebalance_triggers: u32,
+    /// Objects moved by load balancing across the whole run — the same
+    /// tally as `migrations`, routed through the mdo-obs counter registry
+    /// so report and observability exports cannot drift.
+    pub objects_migrated: u64,
     /// AtSync rounds of work re-executed across all recoveries (rounds
     /// completed after the restored snapshot was taken).
     pub steps_replayed: u32,
@@ -458,6 +496,10 @@ mod tests {
             transport_error: None,
             failures_detected: 0,
             recoveries: 0,
+            pes_joined: 0,
+            generations: 1,
+            rebalance_triggers: 0,
+            objects_migrated: 0,
             steps_replayed: 0,
             checkpoints_taken: 0,
             checkpoint_bytes: 0,

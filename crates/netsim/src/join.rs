@@ -1,0 +1,115 @@
+//! Deterministic PE-join injection: the expand half of the paper's
+//! "shrink and expand the set of processors" claim (§2.1).
+//!
+//! [`FailurePlan`](crate::failure::FailurePlan) removes capacity;
+//! [`JoinPlan`] restores it.  A join plan names PEs — crashed ones coming
+//! back, or entirely new ones — and when they become available.  The
+//! engines in `mdo-core` admit a joiner at the next completed buddy
+//! checkpoint epoch: the widened topology comes from
+//! [`Topology::with_pes`](crate::topology::Topology::with_pes) and object
+//! state is redistributed by replaying the newest complete snapshot onto
+//! the wider PE set.  Like crashes, joins are deterministic by
+//! construction, so an elastic run can be asserted bit-exact against an
+//! undisturbed one.
+
+use crate::time::Dur;
+use crate::topology::{ClusterId, Pe};
+
+/// When an injected join becomes available.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JoinTrigger {
+    /// Join at this offset from the start of the run.  The simulation
+    /// engine interprets it as exact virtual time; the threaded engine as
+    /// wall-clock time since launch.  The join is *admitted* at the first
+    /// completed checkpoint epoch at or after this point.
+    AtTime(Dur),
+    /// Join once this many shrink-recoveries have completed — the natural
+    /// trigger for a crashed-then-restarted PE rejoining, identical in
+    /// meaning on both engines.
+    AfterRecoveries(u32),
+}
+
+/// One injected PE join.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JoinSpec {
+    /// The joining PE, numbered in the run's *original* topology.  A PE
+    /// number below the original PE count is a rejoin (the PE returns to
+    /// its original cluster); a number at or above it is a brand-new PE
+    /// and must carry an explicit `cluster`.
+    pub pe: Pe,
+    /// The cluster the PE joins.  `None` means "its original cluster"
+    /// (rejoins only).
+    pub cluster: Option<ClusterId>,
+    /// When the PE becomes available.
+    pub trigger: JoinTrigger,
+}
+
+/// A deterministic schedule of PE joins.
+///
+/// Setting a `JoinPlan` on a run (even alongside no `FailurePlan`) arms
+/// the buddy-checkpoint machinery, because admission redistributes object
+/// state from the newest complete snapshot.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct JoinPlan {
+    /// The joins to inject, in no particular order.
+    pub joins: Vec<JoinSpec>,
+}
+
+impl JoinPlan {
+    /// An empty plan: no injected joins, but checkpoint machinery armed.
+    pub fn new() -> Self {
+        JoinPlan::default()
+    }
+
+    /// A crashed PE (original numbering) rejoins its original cluster at
+    /// virtual/wall-clock offset `at`.
+    pub fn rejoin_at(mut self, pe: Pe, at: Dur) -> Self {
+        self.joins.push(JoinSpec { pe, cluster: None, trigger: JoinTrigger::AtTime(at) });
+        self
+    }
+
+    /// A crashed PE (original numbering) rejoins its original cluster
+    /// once `n` shrink-recoveries have completed.
+    pub fn rejoin_after_recoveries(mut self, pe: Pe, n: u32) -> Self {
+        self.joins.push(JoinSpec { pe, cluster: None, trigger: JoinTrigger::AfterRecoveries(n) });
+        self
+    }
+
+    /// A brand-new PE joins `cluster` at virtual/wall-clock offset `at`.
+    /// `pe` names the slot in original numbering and must lie at or above
+    /// the original PE count (engines assert this at run start).
+    pub fn join_at(mut self, pe: Pe, cluster: ClusterId, at: Dur) -> Self {
+        self.joins.push(JoinSpec { pe, cluster: Some(cluster), trigger: JoinTrigger::AtTime(at) });
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_accumulate_joins() {
+        let plan = JoinPlan::new().rejoin_at(Pe(2), Dur::from_millis(10)).rejoin_after_recoveries(Pe(3), 1).join_at(
+            Pe(8),
+            ClusterId(1),
+            Dur::from_millis(20),
+        );
+        assert_eq!(plan.joins.len(), 3);
+        assert_eq!(
+            plan.joins[0],
+            JoinSpec { pe: Pe(2), cluster: None, trigger: JoinTrigger::AtTime(Dur::from_millis(10)) }
+        );
+        assert_eq!(plan.joins[1], JoinSpec { pe: Pe(3), cluster: None, trigger: JoinTrigger::AfterRecoveries(1) });
+        assert_eq!(
+            plan.joins[2],
+            JoinSpec { pe: Pe(8), cluster: Some(ClusterId(1)), trigger: JoinTrigger::AtTime(Dur::from_millis(20)) }
+        );
+    }
+
+    #[test]
+    fn empty_plan_is_default() {
+        assert_eq!(JoinPlan::new(), JoinPlan::default());
+        assert!(JoinPlan::new().joins.is_empty());
+    }
+}

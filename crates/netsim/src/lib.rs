@@ -51,6 +51,7 @@ pub mod bandwidth;
 pub mod event;
 pub mod failure;
 pub mod fault;
+pub mod join;
 pub mod latency;
 pub mod network;
 pub mod rng;
@@ -63,6 +64,7 @@ pub use bandwidth::{LinkModel, WanContention};
 pub use event::{EventId, EventQueue};
 pub use failure::{CrashSpec, CrashTrigger, FailureCause, FailurePlan, PeFailed, UnrecoverableError};
 pub use fault::{DeliveryPlan, FaultModel, FaultModelStats, FaultPlan, TransportError};
+pub use join::{JoinPlan, JoinSpec, JoinTrigger};
 pub use latency::{LatencyMatrix, LatencyMatrixBuilder};
 pub use network::{DeliveryOracle, NetworkModel, NetworkStats};
 pub use rng::{SplitMix64, Xoshiro256};

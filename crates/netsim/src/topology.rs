@@ -185,6 +185,42 @@ impl Topology {
         assert!(!cluster_of.is_empty(), "every PE is dead; no topology remains");
         (Topology { clusters, cluster_of, first_pe }, map)
     }
+
+    /// The widened topology after one new PE joins each cluster named in
+    /// `added` — the inverse of [`without_pes`](Topology::without_pes) —
+    /// plus the new→old PE mapping: `map[new.index()]` is `Some(old)` for
+    /// a PE carried over from this topology and `None` for a joiner.
+    ///
+    /// The cluster list is unchanged (only PE counts grow), so cluster
+    /// indices — and with them the per-cluster latency matrix and WAN
+    /// contention state — stay valid across an expand.  Joiners are
+    /// appended at the **end of their cluster's PE range**, keeping the
+    /// surviving PEs' relative order; `added` may name the same cluster
+    /// several times to grow it by several PEs.  Panics on an
+    /// out-of-range cluster.
+    pub fn with_pes(&self, added: &[ClusterId]) -> (Topology, Vec<Option<Pe>>) {
+        let mut clusters = self.clusters.clone();
+        let mut cluster_of = Vec::new();
+        let mut first_pe = vec![0u32; clusters.len()];
+        let mut map = Vec::new();
+        for (ci, _) in self.clusters.iter().enumerate() {
+            let cid = ClusterId(ci as u16);
+            first_pe[ci] = cluster_of.len() as u32;
+            for pe in self.pes_in(cid) {
+                cluster_of.push(cid);
+                map.push(Some(pe));
+            }
+            for c in added {
+                assert!(c.index() < clusters.len(), "join names cluster {c} but the topology has none");
+                if *c == cid {
+                    clusters[ci].pes += 1;
+                    cluster_of.push(cid);
+                    map.push(None);
+                }
+            }
+        }
+        (Topology { clusters, cluster_of, first_pe }, map)
+    }
 }
 
 #[cfg(test)]
@@ -278,5 +314,39 @@ mod tests {
     fn shrink_to_nothing_panics() {
         let t = Topology::single(2);
         let _ = t.without_pes(&[Pe(0), Pe(1)]);
+    }
+
+    #[test]
+    fn expand_appends_joiners_per_cluster() {
+        let t = Topology::two_cluster(4); // A = {0,1}, B = {2,3}
+        let (w, map) = t.with_pes(&[ClusterId(0), ClusterId(1), ClusterId(1)]);
+        assert_eq!(w.num_pes(), 7);
+        assert_eq!(w.num_clusters(), 2, "cluster indices survive the expand");
+        assert_eq!(
+            map,
+            vec![Some(Pe(0)), Some(Pe(1)), None, Some(Pe(2)), Some(Pe(3)), None, None],
+            "joiners land at the end of their cluster's range"
+        );
+        assert_eq!(w.cluster_of(Pe(2)), ClusterId(0));
+        assert_eq!(w.cluster_of(Pe(6)), ClusterId(1));
+        assert!(w.crosses_wan(Pe(2), Pe(5)));
+    }
+
+    #[test]
+    fn expand_inverts_shrink() {
+        let t = Topology::two_cluster(6); // A = {0,1,2}, B = {3,4,5}
+        let (s, _) = t.without_pes(&[Pe(1), Pe(4)]);
+        let (w, map) = s.with_pes(&[ClusterId(0), ClusterId(1)]);
+        assert_eq!(w.num_pes(), t.num_pes());
+        for c in t.clusters() {
+            assert_eq!(w.cluster_size(c), t.cluster_size(c));
+        }
+        assert_eq!(map.iter().filter(|m| m.is_none()).count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "the topology has none")]
+    fn expand_into_missing_cluster_panics() {
+        let _ = Topology::single(2).with_pes(&[ClusterId(3)]);
     }
 }

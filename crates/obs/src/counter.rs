@@ -53,11 +53,20 @@ pub enum Ctr {
     FlushBySize,
     /// Frames flushed by the aggregation deadline timer.
     FlushByDeadline,
+    /// PEs admitted by expand/rejoin.
+    PesJoined,
+    /// Times the continuous feedback balancer decided to rebalance.
+    RebalanceTriggers,
+    /// Objects moved by load balancing (AtSync strategies and the
+    /// feedback balancer alike).
+    ObjectsMigrated,
+    /// Topology generations the run went through (1 + shrinks + expands).
+    Generations,
 }
 
 impl Ctr {
     /// Every counter, in declaration order.
-    pub const ALL: [Ctr; 22] = [
+    pub const ALL: [Ctr; 26] = [
         Ctr::MsgsSent,
         Ctr::MsgsRecvd,
         Ctr::BytesSent,
@@ -80,6 +89,10 @@ impl Ctr {
         Ctr::FrameBytesSaved,
         Ctr::FlushBySize,
         Ctr::FlushByDeadline,
+        Ctr::PesJoined,
+        Ctr::RebalanceTriggers,
+        Ctr::ObjectsMigrated,
+        Ctr::Generations,
     ];
 
     /// Stable snake_case name, used in CSV and JSON exports.
@@ -107,6 +120,10 @@ impl Ctr {
             Ctr::FrameBytesSaved => "frame_bytes_saved",
             Ctr::FlushBySize => "flush_by_size",
             Ctr::FlushByDeadline => "flush_by_deadline",
+            Ctr::PesJoined => "pes_joined",
+            Ctr::RebalanceTriggers => "rebalance_triggers",
+            Ctr::ObjectsMigrated => "objects_migrated",
+            Ctr::Generations => "generations",
         }
     }
 }

@@ -353,6 +353,33 @@ impl ReliableTransport {
         self.layer.as_ref().map_or(0, |l| l.shared.dup_dropped.load(Ordering::Relaxed))
     }
 
+    /// Forget all per-pair sequence state involving `pe`: its send pairs
+    /// (either direction), its entire receive side, and every other PE's
+    /// receive pair keyed by it.  Called when a crashed PE re-enters the
+    /// cluster — the rejoined process restarts its sequence numbers at
+    /// zero, so stale expected/pending state from its previous life would
+    /// otherwise misclassify its first frames as duplicates (or hold them
+    /// in the reorder buffer forever).  Passthrough mode has no state and
+    /// the call is a no-op.
+    pub fn reset_peer(&self, pe: Pe) {
+        let Some(layer) = &self.layer else { return };
+        {
+            let mut send = layer.shared.send.lock();
+            send.retain(|&(src, dst), _| src != pe.0 && dst != pe.0);
+        }
+        for (i, side) in layer.recv.iter().enumerate() {
+            let mut side = side.lock();
+            if i == pe.index() {
+                // The rejoined PE's own inbox: drop buffered frames and all
+                // pair cursors (undelivered traffic is recovered from the
+                // checkpoint, not the wire).
+                *side = RecvSide::default();
+            } else {
+                side.pairs.remove(&pe.0);
+            }
+        }
+    }
+
     /// Stop the retransmit timer (idempotent).  Call before shutting down
     /// the underlying transport.
     pub fn shutdown(&self) {
@@ -554,6 +581,49 @@ mod tests {
             assert!(got.contains(&i), "original message {i} still delivered");
         }
         rt.shutdown();
+        rt.inner().shutdown();
+    }
+
+    #[test]
+    fn reset_peer_restarts_sequence_state() {
+        // Deliver a few frames 0 -> 1, then pretend PE 1 crashed and came
+        // back: after reset_peer(Pe(1)) the pair must accept a fresh
+        // sequence starting at 0 instead of dropping it as a duplicate.
+        let plan = FaultPlan::default().with_rto(Dur::from_millis(50));
+        let rt = rig(plan, 0);
+        for i in 0..3u64 {
+            rt.send(Packet::new(Pe(0), Pe(1), Bytes::from(i.to_le_bytes().to_vec())));
+        }
+        let mut got = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while got.len() < 3 && Instant::now() < deadline {
+            if let Some(p) = rt.recv_timeout(Pe(1), Duration::from_millis(20)) {
+                got.push(u64::from_le_bytes(p.payload[..8].try_into().unwrap()));
+            }
+        }
+        assert_eq!(got, vec![0, 1, 2]);
+        let dups_before = rt.dup_dropped();
+
+        // The "restarted" PE 1 talks to a sender that also restarted its
+        // numbering — exactly what a fresh generation does.
+        rt.reset_peer(Pe(1));
+        rt.send(Packet::new(Pe(0), Pe(1), Bytes::from(9u64.to_le_bytes().to_vec())));
+        let p = rt.recv_timeout(Pe(1), Duration::from_secs(5)).expect("fresh seq 0 accepted after reset");
+        assert_eq!(u64::from_le_bytes(p.payload[..8].try_into().unwrap()), 9);
+        assert_eq!(rt.dup_dropped(), dups_before, "the restarted sequence was not misread as a duplicate");
+        rt.shutdown();
+        rt.inner().shutdown();
+    }
+
+    #[test]
+    fn reset_peer_is_a_noop_in_passthrough() {
+        let topo = Topology::two_cluster(2);
+        let latency = LatencyMatrix::uniform(&topo, Dur::ZERO, Dur::ZERO);
+        let rt = ReliableTransport::passthrough(Transport::new(TransportConfig::new(topo, latency)));
+        rt.reset_peer(Pe(1));
+        rt.send(Packet::new(Pe(0), Pe(1), Bytes::from_static(b"still works")));
+        let got = rt.recv_timeout(Pe(1), Duration::from_secs(1)).expect("delivered");
+        assert_eq!(&got.payload[..], b"still works");
         rt.inner().shutdown();
     }
 

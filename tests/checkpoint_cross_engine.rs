@@ -195,6 +195,102 @@ fn double_failure_of_a_buddy_pair_is_a_structured_error() {
 }
 
 #[test]
+fn sim_second_crash_after_recovery_shrinks_deeper_bit_exact() {
+    // The first crash shrinks 4 → 3; the second lands well into the new
+    // generation, after fresh buddy epochs exist on the survivors, and
+    // shrinks 3 → 2.  State must still be bit-exact: recovery is not a
+    // one-shot mechanism.
+    let cfg = small_stencil(6);
+    let clean = stencil::run_sim(cfg.clone(), stencil_net(), RunConfig::default());
+
+    let plan =
+        FailurePlan::new().crash_at(Pe(1), frac_of(clean.total, 1, 2)).crash_at(Pe(3), frac_of(clean.total, 11, 10));
+    let run_cfg = RunConfig { failure_plan: Some(plan), ..RunConfig::default() };
+    let crashed = stencil::run_sim(cfg, stencil_net(), run_cfg);
+
+    assert_eq!(crashed.report.failures_detected, 2);
+    assert_eq!(crashed.report.recoveries, 2, "both crashes recovered separately");
+    assert!(crashed.report.unrecoverable.is_none());
+    assert_eq!(crashed.block_sums, clean.block_sums, "double shrink is bit-exact");
+    // Accumulators stay keyed by ORIGINAL numbering: dead PEs keep their
+    // slots so per-PE attributions never shift across generations.
+    assert_eq!(crashed.report.pe_busy.len(), 4);
+    assert_eq!(crashed.report.generations, 3, "full → 3 survivors → 2 survivors");
+}
+
+#[test]
+fn sim_crash_during_recovery_window_never_hangs() {
+    // The second crash is staggered just behind the first: it lands in
+    // the recovery window, before the shrunken generation has completed
+    // a fresh buddy epoch.  Whatever the outcome — a deeper shrink from
+    // redistributed pieces or a structured NoCompleteSnapshot — the run
+    // must terminate cleanly, and if it claims recovery it must be
+    // bit-exact.  (This test completing at all is the no-hang proof.)
+    let cfg = small_stencil(6);
+    let clean = stencil::run_sim(cfg.clone(), stencil_net(), RunConfig::default());
+
+    let first = frac_of(clean.total, 1, 2);
+    for gap_us in [1u64, 50, 500] {
+        let plan = FailurePlan::new().crash_at(Pe(1), first).crash_at(Pe(3), first + Dur::from_micros(gap_us));
+        let run_cfg = RunConfig { failure_plan: Some(plan), ..RunConfig::default() };
+        let crashed = stencil::run_sim(cfg.clone(), stencil_net(), run_cfg);
+
+        assert_eq!(crashed.report.failures_detected, 2, "gap {gap_us}us");
+        match crashed.report.unrecoverable {
+            None => {
+                // Crashes landing close enough to batch into one detection
+                // window recover in a single deeper shrink (recoveries = 1);
+                // an intervening event splits them into two recoveries.
+                assert!(crashed.report.recoveries >= 1, "gap {gap_us}us");
+                assert_eq!(crashed.report.generations, 1 + crashed.report.recoveries, "gap {gap_us}us");
+                assert_eq!(crashed.block_sums, clean.block_sums, "gap {gap_us}us: recovery claims imply bit-exactness");
+            }
+            Some(UnrecoverableError::NoCompleteSnapshot { .. }) => {
+                assert!(crashed.block_sums.is_empty(), "gap {gap_us}us: an abandoned run reports no results");
+            }
+            ref other => panic!("gap {gap_us}us: unexpected error {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn threaded_staggered_double_crash_never_hangs() {
+    // Threaded flavour: the second progress-point crash can fire while
+    // the first recovery is still assembling.  Same contract — terminate
+    // with either a double recovery (bit-exact) or a structured error.
+    let cfg = small_stencil(6);
+    let topo = Topology::two_cluster(4);
+    let latency = LatencyMatrix::uniform(&topo, Dur::ZERO, Dur::from_micros(300));
+    let clean = stencil::run_threaded(cfg.clone(), topo.clone(), latency.clone(), RunConfig::default());
+
+    let n1 = clean.report.pe_messages[1] / 2;
+    let n3 = clean.report.pe_messages[3] * 3 / 4;
+    assert!(n1 > 0 && n3 > 0);
+    let plan = FailurePlan::new()
+        .crash_after_messages(Pe(1), n1)
+        .crash_after_messages(Pe(3), n3)
+        .with_heartbeat(Dur::from_millis(15), Dur::from_millis(150));
+    let run_cfg = RunConfig { failure_plan: Some(plan), ..RunConfig::default() };
+    let crashed = stencil::run_threaded(cfg, topo, latency, run_cfg);
+
+    assert_eq!(crashed.report.failures_detected, 2);
+    match crashed.report.unrecoverable {
+        None => {
+            // Heartbeat timing decides whether the crashes are detected
+            // together (one deeper shrink) or one generation apart.
+            assert!(crashed.report.recoveries >= 1);
+            assert_eq!(crashed.report.generations, 1 + crashed.report.recoveries);
+            assert_eq!(crashed.block_sums, clean.block_sums, "double recovery is bit-exact");
+            assert_eq!(crashed.report.pe_busy.len(), 4, "reports stay keyed by original numbering");
+        }
+        Some(UnrecoverableError::NoCompleteSnapshot { .. }) => {
+            assert!(crashed.block_sums.is_empty());
+        }
+        ref other => panic!("unexpected error {other:?}"),
+    }
+}
+
+#[test]
 fn leanmd_single_crash_recovers_bit_exact_on_both_engines() {
     let mut cfg = MdConfig::validation(3, 4, 6);
     cfg.lb_period = Some(2);

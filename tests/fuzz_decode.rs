@@ -9,6 +9,7 @@
 //! `schedule.json` reader used by `mdo-check --replay`.
 
 use gridmdo::netsim::Pe;
+use gridmdo::runtime::checkpoint::{ArraySnapshot, Snapshot};
 use gridmdo::runtime::envelope::{Envelope, MsgBody};
 use gridmdo::runtime::ids::{ArrayId, ElemId, EntryId, ObjKey};
 use gridmdo::vmi::reliable::{
@@ -101,6 +102,92 @@ proptest! {
         prop_assert!(rest.is_empty());
         prop_assert!(is_control_frame(&ack));
         prop_assert!(!is_control_frame(&data));
+    }
+
+    /// Arbitrary bytes into the versioned snapshot decoder — the surface
+    /// a restart (and an elastic rejoin) trusts its whole state to.  A
+    /// structured `WireError`, or an accepted blob that re-encodes; the
+    /// trailing CRC makes a random accept astronomically unlikely, but if
+    /// one happens it must still round-trip.
+    #[test]
+    fn snapshot_decode_survives_arbitrary_bytes(buf in prop::collection::vec(any::<u8>(), 0..512)) {
+        if let Ok(snap) = Snapshot::decode(&buf) {
+            let re = snap.encode();
+            prop_assert!(Snapshot::decode(&re).is_ok(), "accepted snapshot must re-encode decodably");
+        }
+    }
+
+    /// Corruption and truncation of *valid* snapshots: any bit flip or
+    /// cut must fail the checksum (or a structural check) — restoring
+    /// garbage state onto a rejoining PE is never an option.
+    #[test]
+    fn snapshot_decode_rejects_every_mutation_of_a_valid_blob(
+        red_next in any::<u32>(),
+        elems in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..32), 0..8),
+        flip_pos in any::<proptest::sample::Index>(),
+        flip_bits in 1u8..=255,
+        cut in any::<proptest::sample::Index>())
+    {
+        let snap = Snapshot { arrays: vec![ArraySnapshot { array: ArrayId(0), elems, red_next }] };
+        let good = snap.encode();
+        let back = Snapshot::decode(&good).expect("valid snapshot decodes");
+        prop_assert_eq!(back.total_elems(), snap.total_elems());
+
+        let mut flipped = good.clone();
+        let at = flip_pos.index(flipped.len());
+        flipped[at] ^= flip_bits;
+        prop_assert!(Snapshot::decode(&flipped).is_err(), "the CRC catches every single-byte flip");
+
+        let truncated = &good[..cut.index(good.len() + 1)];
+        if truncated.len() < good.len() {
+            prop_assert!(Snapshot::decode(truncated).is_err(), "truncation must be rejected");
+        }
+    }
+
+    /// The join/recovery handshake rides on `BuddyStore` envelopes —
+    /// checkpoint pieces carrying packed object state across the wire.
+    /// Mangle valid ones: decode must return a verdict, never panic, and
+    /// an intact frame must round-trip field-for-field.
+    #[test]
+    fn buddy_piece_envelope_survives_mutation(
+        epoch in any::<u32>(), owner in 0u32..64, lb_round in any::<u32>(),
+        states in prop::collection::vec(
+            ((0u32..4, 0u32..256), prop::collection::vec(any::<u8>(), 0..48)), 0..6),
+        red_next in prop::collection::vec(any::<u32>(), 0..4),
+        flip_pos in any::<proptest::sample::Index>(),
+        flip_bits in 1u8..=255,
+        cut in any::<proptest::sample::Index>())
+    {
+        let states: Vec<(ObjKey, _)> = states
+            .into_iter()
+            .map(|((array, elem), bytes)| (ObjKey::new(ArrayId(array), ElemId(elem)), bytes.into()))
+            .collect();
+        let env = Envelope {
+            src: Pe(owner),
+            dst: Pe((owner + 1) % 64),
+            priority: 0,
+            sent_at_ns: 5,
+            body: MsgBody::BuddyStore { epoch, owner: Pe(owner), lb_round, states: states.clone(), red_next },
+        };
+        let good = env.encode();
+        match Envelope::decode(&good).expect("valid buddy piece decodes").body {
+            MsgBody::BuddyStore { epoch: e, owner: o, states: s, .. } => {
+                prop_assert_eq!(e, epoch);
+                prop_assert_eq!(o, Pe(owner));
+                prop_assert_eq!(s, states);
+            }
+            other => prop_assert!(false, "wrong body: {other:?}"),
+        }
+
+        let mut flipped = good.clone();
+        let at = flip_pos.index(flipped.len());
+        flipped[at] ^= flip_bits;
+        let _ = Envelope::decode(&flipped); // Ok or Err, must not panic.
+
+        let truncated = &good[..cut.index(good.len() + 1)];
+        if truncated.len() < good.len() {
+            prop_assert!(Envelope::decode(truncated).is_err(), "truncation must be rejected");
+        }
     }
 
     /// Arbitrary text into the `schedule.json` reader (which drags the
