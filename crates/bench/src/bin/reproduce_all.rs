@@ -49,6 +49,7 @@ fn main() {
         ("ablation_multicast", "ablation_multicast.txt", vec![], vec!["--steps", "2"]),
         ("ablation_failures", "ablation_failures.txt", vec![], vec!["--steps", "20"]),
         ("ablation_elastic", "ablation_elastic.txt", vec![], vec!["--steps", "6"]),
+        ("ablation_overload", "ablation_overload.txt", vec![], vec!["--ticks", "20"]),
     ];
 
     let mut job_rows = Vec::new();
@@ -64,6 +65,10 @@ fn main() {
         if bin == "ablation_elastic" {
             // The elastic ablation writes its JSON next to the text outputs.
             extra.extend(["--out", elastic_json.to_str().expect("utf-8 out dir")]);
+        }
+        let overload_json = out_dir.join("BENCH_overload.json");
+        if bin == "ablation_overload" {
+            extra.extend(["--out", overload_json.to_str().expect("utf-8 out dir")]);
         }
         print!("running {bin:<22} -> {} ... ", out_dir.join(out_file).display());
         let started = Instant::now();

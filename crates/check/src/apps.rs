@@ -180,7 +180,7 @@ impl CheckApp {
             let digest = counts.lock().expect("probe counts").clone();
             AppRun { digest, report }
         });
-        CheckApp::new("probe", Expectation { quiescent_exit: true }, sim)
+        CheckApp::new("probe", Expectation { quiescent_exit: true, ..Expectation::default() }, sim)
     }
 
     /// Look an app up by the name stored in a `schedule.json`.

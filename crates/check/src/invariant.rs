@@ -55,6 +55,12 @@ pub enum Violation {
         /// This run's bits at that index (`None` if lengths differ).
         got: Option<u64>,
     },
+    /// Envelopes were shed although the run's flow-control policy (Block,
+    /// or no flow control at all) promises lossless delivery.
+    UnexpectedShed {
+        /// Envelopes the report admits to dropping.
+        sheds: u64,
+    },
     /// The reliable layer gave up on a message (structured transport
     /// error): under the explored fault plans this must not happen.
     Transport(String),
@@ -70,6 +76,9 @@ impl std::fmt::Display for Violation {
             }
             Violation::QuiescenceUnsound { in_flight } => {
                 write!(f, "quiescence fired with {in_flight} application message(s) in flight")
+            }
+            Violation::UnexpectedShed { sheds } => {
+                write!(f, "{sheds} envelope(s) shed under a lossless flow-control policy")
             }
             Violation::CheckpointEpochSkew { pe, detail } => write!(f, "checkpoint epochs on pe{pe}: {detail}"),
             Violation::DigestMismatch { index, expected, got } => {
@@ -89,6 +98,12 @@ pub struct Expectation {
     /// quiescence waves).  Without this flag, undelivered messages at
     /// exit are legal (a reduction client may exit mid-traffic).
     pub quiescent_exit: bool,
+    /// The run executes under [`mdo_netsim::OverloadPolicy::Shed`]: the
+    /// runtime may deliberately drop overflow application envelopes, so
+    /// the message-balance checks tolerate exactly `report.sheds` of
+    /// sent-but-undelivered traffic.  Without the flag any shed is a
+    /// violation — Block and flow-off runs promise lossless delivery.
+    pub sheds_allowed: bool,
 }
 
 /// Check every invariant the report's observability data supports.
@@ -99,6 +114,9 @@ pub struct Expectation {
 pub fn check_report(report: &RunReport, expect: &Expectation) -> Vec<Violation> {
     let mut out = Vec::new();
 
+    if !expect.sheds_allowed && report.sheds > 0 {
+        out.push(Violation::UnexpectedShed { sheds: report.sheds });
+    }
     if let Some(err) = &report.transport_error {
         out.push(Violation::Transport(err.to_string()));
     }
@@ -135,10 +153,13 @@ pub fn check_report(report: &RunReport, expect: &Expectation) -> Vec<Violation> 
         }
     }
     if expect.quiescent_exit && report.failures.is_empty() {
+        // A shed envelope was recorded at its send site but never arrives;
+        // the runtime accounted for it (`report.sheds`), so exactly that
+        // many sent-minus-received envelopes are legal at a quiescent exit.
         let total_sent: u64 = sent.values().sum();
         let total_recvd: u64 = recvd.values().sum();
-        if total_sent > total_recvd {
-            out.push(Violation::QuiescenceUnsound { in_flight: total_sent - total_recvd });
+        if total_sent > total_recvd + report.sheds {
+            out.push(Violation::QuiescenceUnsound { in_flight: total_sent - total_recvd - report.sheds });
         }
     }
 
@@ -243,6 +264,12 @@ mod tests {
             checkpoint_bytes: 0,
             failures: Vec::new(),
             unrecoverable: None,
+            credit_stalls: 0,
+            credit_wait: Dur::ZERO,
+            queue_full: 0,
+            sheds: 0,
+            shed_bytes: 0,
+            peak_mailbox_bytes: 0,
         }
     }
 
@@ -264,7 +291,7 @@ mod tests {
     fn balanced_traffic_passes() {
         let report =
             report_with(vec![pe_obs(0, vec![send(1, 1), recv(9, 1)]), pe_obs(1, vec![recv(5, 0), send(6, 0)])]);
-        let v = check_report(&report, &Expectation { quiescent_exit: true });
+        let v = check_report(&report, &Expectation { quiescent_exit: true, ..Expectation::default() });
         assert!(v.is_empty(), "{v:?}");
     }
 
@@ -280,7 +307,7 @@ mod tests {
     fn in_flight_at_quiescent_exit_is_caught() {
         let report = report_with(vec![pe_obs(0, vec![send(1, 1), send(2, 1)]), pe_obs(1, vec![recv(5, 0)])]);
         assert!(check_report(&report, &Expectation::default()).is_empty(), "legal without the flag");
-        let v = check_report(&report, &Expectation { quiescent_exit: true });
+        let v = check_report(&report, &Expectation { quiescent_exit: true, ..Expectation::default() });
         assert_eq!(v, vec![Violation::QuiescenceUnsound { in_flight: 1 }]);
     }
 
@@ -289,7 +316,31 @@ mod tests {
         let sys_recv =
             Event::Recv { at: Time::from_nanos(3), src: 0, sent: Time::ZERO, bytes: 8, cross: false, sys: true };
         let report = report_with(vec![pe_obs(0, vec![]), pe_obs(1, vec![sys_recv])]);
-        assert!(check_report(&report, &Expectation { quiescent_exit: true }).is_empty());
+        assert!(check_report(&report, &Expectation { quiescent_exit: true, ..Expectation::default() }).is_empty());
+    }
+
+    #[test]
+    fn sheds_without_permission_are_a_violation() {
+        let mut report = report_with(vec![]);
+        report.sheds = 3;
+        let v = check_report(&report, &Expectation::default());
+        assert_eq!(v, vec![Violation::UnexpectedShed { sheds: 3 }]);
+        assert!(v[0].to_string().contains("lossless"));
+        assert!(check_report(&report, &Expectation { sheds_allowed: true, ..Expectation::default() }).is_empty());
+    }
+
+    #[test]
+    fn shed_traffic_balances_at_quiescent_exit() {
+        // Two sends, one delivery, one accounted shed: the books balance.
+        let mut report = report_with(vec![pe_obs(0, vec![send(1, 1), send(2, 1)]), pe_obs(1, vec![recv(5, 0)])]);
+        report.sheds = 1;
+        let expect = Expectation { quiescent_exit: true, sheds_allowed: true };
+        assert!(check_report(&report, &expect).is_empty());
+        // A second undelivered envelope is NOT covered by the shed count.
+        let mut worse =
+            report_with(vec![pe_obs(0, vec![send(1, 1), send(2, 1), send(3, 1)]), pe_obs(1, vec![recv(5, 0)])]);
+        worse.sheds = 1;
+        assert_eq!(check_report(&worse, &expect), vec![Violation::QuiescenceUnsound { in_flight: 1 }]);
     }
 
     #[test]

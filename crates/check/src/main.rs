@@ -3,7 +3,8 @@
 //! ```text
 //! mdo_check [--app stencil-mini|leanmd-mini] [--schedules N] [--seed S]
 //!           [--pct-depth D] [--differential-every N] [--shrink-budget N]
-//!           [--agg] [--out DIR] [--replay FILE]
+//!           [--agg] [--flow | --flow-shed] [--credit-bytes N]
+//!           [--out DIR] [--replay FILE]
 //! ```
 //!
 //! Without `--app`, both mini configs are explored.  Failing schedules
@@ -47,6 +48,14 @@ fn parse_args() -> Result<Args, String> {
             }
             "--shrink-budget" => args.cfg.shrink_budget = value()?.parse().map_err(|e| format!("{flag}: {e}"))?,
             "--agg" => args.cfg.agg = Some(mdo_netsim::AggConfig::default()),
+            "--flow" => args.cfg.flow = Some(mdo_netsim::FlowConfig::default()),
+            "--flow-shed" => {
+                args.cfg.flow = Some(mdo_netsim::FlowConfig::default().with_policy(mdo_netsim::OverloadPolicy::Shed))
+            }
+            "--credit-bytes" => {
+                let window = value()?.parse().map_err(|e| format!("{flag}: {e}"))?;
+                args.cfg.flow = Some(args.cfg.flow.unwrap_or_default().with_credit_bytes(window));
+            }
             "--out" => args.out = PathBuf::from(value()?),
             "--replay" => args.replay = Some(PathBuf::from(value()?)),
             other => return Err(format!("unknown flag {other:?}")),

@@ -14,14 +14,14 @@
 //! naturally overlaps that work with in-flight communication, which is the
 //! entire effect under study.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use mdo_netsim::network::{DeliveryOracle, NetworkModel};
 use mdo_netsim::{
-    ClusterId, CrashTrigger, DeliveryPlan, Dur, EventQueue, FailureCause, FaultModel, FaultModelStats, JoinSpec,
-    JoinTrigger, Pe, PeFailed, Time, TransportError, UnrecoverableError,
+    AggConfig, ClusterId, CrashTrigger, DeliveryPlan, Dur, EventQueue, FailureCause, FaultModel, FaultModelStats,
+    FlowConfig, JoinSpec, JoinTrigger, Pe, PeFailed, Time, TransportError, UnrecoverableError,
 };
 use mdo_vmi::frame::CHUNK_HEADER_LEN;
 use mdo_vmi::reliable::HEADER_LEN;
@@ -73,6 +73,91 @@ struct SimAggBuf {
     envs: Vec<Envelope>,
     bytes: u64,
     epoch: u64,
+}
+
+/// Virtual-time mirror of the VMI credit window: every cross-WAN app
+/// envelope consumes window bytes when it departs and releases them when
+/// the destination PE *dequeues* it, so the window is receiver-paced —
+/// exactly the role the advertised-headroom grants riding acks play in the
+/// threaded stack.  System traffic bypasses the window, as on the wire.
+struct SimFlow {
+    cfg: FlowConfig,
+    pairs: HashMap<(u32, u32), SimFlowPair>,
+    /// Bytes currently deferred (`Block`) across all pairs, plus its
+    /// high-water mark: the sender-side buffer the report's peak-bytes
+    /// figure must not hide.
+    waiting_total: u64,
+    max_waiting: u64,
+}
+
+#[derive(Default)]
+struct SimFlowPair {
+    in_flight: u64,
+    /// Envelopes deferred under `Block`, with their intended departures.
+    waiting: VecDeque<(Envelope, Time)>,
+}
+
+impl SimFlow {
+    fn new(cfg: FlowConfig) -> Self {
+        SimFlow { cfg, pairs: HashMap::new(), waiting_total: 0, max_waiting: 0 }
+    }
+
+    /// Does this envelope take part in flow control at all?
+    fn credited(env: &Envelope) -> bool {
+        env.priority != SYSTEM_PRIORITY
+    }
+
+    /// Whether `size` more bytes fit the pair's window right now.  An
+    /// oversized envelope is admitted once the pair is idle, so a single
+    /// message larger than the window can never deadlock it.
+    fn admits(&self, key: (u32, u32), size: u64) -> bool {
+        let in_flight = self.pairs.get(&key).map_or(0, |p| p.in_flight);
+        in_flight == 0 || self.cfg.credit_bytes.saturating_sub(in_flight) >= size
+    }
+
+    /// True while earlier envelopes of the pair are still deferred: later
+    /// ones must queue behind them to keep per-pair FIFO order.
+    fn has_waiters(&self, key: (u32, u32)) -> bool {
+        self.pairs.get(&key).is_some_and(|p| !p.waiting.is_empty())
+    }
+
+    fn consume(&mut self, key: (u32, u32), size: u64) {
+        self.pairs.entry(key).or_default().in_flight += size;
+    }
+
+    fn defer(&mut self, key: (u32, u32), env: Envelope, depart: Time) {
+        self.waiting_total += env.wire_size();
+        self.max_waiting = self.max_waiting.max(self.waiting_total);
+        self.pairs.entry(key).or_default().waiting.push_back((env, depart));
+    }
+
+    /// Return `size` bytes of credit to the pair and pop every deferred
+    /// envelope the freed window now admits (FIFO), consuming their credit
+    /// on the way out.  Returns the released envelopes with their original
+    /// departure times.
+    fn release(&mut self, key: (u32, u32), size: u64) -> Vec<(Envelope, Time)> {
+        let Some(pair) = self.pairs.get_mut(&key) else { return Vec::new() };
+        pair.in_flight = pair.in_flight.saturating_sub(size);
+        let mut freed = Vec::new();
+        while let Some((front, _)) = pair.waiting.front() {
+            let sz = front.wire_size();
+            if pair.in_flight != 0 && self.cfg.credit_bytes.saturating_sub(pair.in_flight) < sz {
+                break;
+            }
+            pair.in_flight += sz;
+            self.waiting_total -= sz;
+            freed.push(pair.waiting.pop_front().expect("front just checked"));
+        }
+        freed
+    }
+
+    /// Drop all per-pair state: deferred envelopes die with a generation
+    /// exactly like other in-flight traffic, and the windows re-arm fresh
+    /// (the threaded stack's `reset_peer` does the same per survivor).
+    fn reset(&mut self) {
+        self.pairs.clear();
+        self.waiting_total = 0;
+    }
 }
 
 /// The mutable slice of the simulator a frame flush needs: the network
@@ -133,6 +218,70 @@ fn sim_flush_frame(
         }
         sink.events.schedule(arrival, Event::Arrive(env));
     }
+    Ok(())
+}
+
+/// The send-side state a departing envelope flows through: the per-pair
+/// aggregation buffers plus everything a frame flush touches.
+struct SendPath<'a> {
+    sink: FrameSink<'a>,
+    agg_bufs: &'a mut HashMap<(u32, u32), SimAggBuf>,
+    agg_cfg: Option<AggConfig>,
+}
+
+/// Route one departing envelope into virtual time: through the per-pair
+/// aggregation buffer on the coalesced cross-WAN path, directly into the
+/// network model otherwise.  Extracted from the dispatch loop so that
+/// envelopes a credit release un-blocks later travel exactly the same
+/// path.
+fn sim_send(env: Envelope, depart: Time, crosses: bool, path: &mut SendPath<'_>) -> Result<(), TransportError> {
+    if let Some(acfg) = path.agg_cfg.filter(|_| crosses) {
+        let (src, dst) = (env.src, env.dst);
+        let urgent = !env.aggregatable();
+        let buf = path.agg_bufs.entry((src.0, dst.0)).or_default();
+        if buf.envs.is_empty() {
+            // Opening a buffer arms its deadline; the epoch ties the tick
+            // to this filling.
+            buf.epoch += 1;
+            path.sink.events.schedule(depart + acfg.max_delay, Event::FlushAgg { src, dst, epoch: buf.epoch });
+        }
+        let body_len = env.wire_size();
+        buf.bytes += body_len;
+        buf.envs.push(env);
+        // Bulk messages ship at once, mirroring the threaded aggregation
+        // layer's eager cutoff.
+        if urgent || body_len >= acfg.eager_bytes as u64 || buf.bytes >= acfg.max_bytes as u64 {
+            buf.epoch += 1;
+            buf.bytes = 0;
+            let envs = std::mem::take(&mut buf.envs);
+            let cause = (!urgent).then_some(Ctr::FlushBySize);
+            sim_flush_frame(src, dst, depart, envs, &mut path.sink, cause)?;
+        }
+        return Ok(());
+    }
+    let mut arrival = path.sink.net.delivery_time(env.src, env.dst, depart, env.wire_size());
+    if crosses {
+        if let Some(fm) = path.sink.faults.as_mut() {
+            match fm.plan_delivery(env.src, env.dst, depart) {
+                DeliveryPlan::Deliver { extra_delay, duplicate, .. } => {
+                    arrival += extra_delay;
+                    if duplicate && fm.plan().mutate_no_dedup {
+                        // Test-only mutation: with dedup broken, the wire
+                        // duplicate reaches the application as a second
+                        // arrival.
+                        path.sink.events.schedule(arrival.max(depart), Event::Arrive(env.clone()));
+                    }
+                }
+                DeliveryPlan::Exhausted { attempts, seq } => {
+                    // The reliable layer gave up on this message: abort
+                    // with a structured error instead of simulating on
+                    // partial state.
+                    return Err(TransportError { src: env.src, dst: env.dst, seq, attempts });
+                }
+            }
+        }
+    }
+    path.sink.events.schedule(arrival.max(depart), Event::Arrive(env));
     Ok(())
 }
 
@@ -206,6 +355,10 @@ impl SimEngine {
         // threaded engine's jumbo frames in virtual time.
         let agg_cfg = cfg.agg_active();
         let mut agg_bufs: HashMap<(u32, u32), SimAggBuf> = HashMap::new();
+        // Virtual-time flow control: the mirror of the threaded stack's
+        // credit windows, gated (like fault injection and aggregation) on
+        // the cross-WAN links where backpressure matters.
+        let mut flow = cfg.flow.map(SimFlow::new);
         let (mut shared, host) = split_program(program, topo, cfg);
 
         let mut host = Some(host);
@@ -240,6 +393,7 @@ impl SimEngine {
         let mut pe_busy_total = vec![Dur::ZERO; orig_n_pes];
         let mut pe_messages_total = vec![0u64; orig_n_pes];
         let mut pe_queue_depth = vec![0usize; orig_n_pes];
+        let mut peak_mailbox: u64 = 0;
         let mut msgs_done = vec![0u64; orig_n_pes];
         let mut lb_rounds_total = 0u32;
         let mut migrations_total = 0u64;
@@ -370,6 +524,34 @@ impl SimEngine {
                         pes[pe.index()].queue.pop()
                     };
                     let Some(env) = popped else { break };
+                    // Receiver-paced credit return: dequeuing a credited
+                    // envelope frees its window bytes, which may un-block
+                    // deferred senders — their envelopes then depart
+                    // through the normal send path at this instant.
+                    if let Some(fl) = flow.as_mut() {
+                        if SimFlow::credited(&env) && shared.topo.crosses_wan(env.src, env.dst) {
+                            let key = (env.src.0, env.dst.0);
+                            for (waited, enq) in fl.release(key, env.wire_size()) {
+                                let at = now.max(enq);
+                                gctr.add(Ctr::CreditWaitNs, (at - enq).as_nanos());
+                                let mut path = SendPath {
+                                    sink: FrameSink {
+                                        net: &mut net,
+                                        faults: &mut faults,
+                                        events: &mut events,
+                                        gctr: &mut gctr,
+                                    },
+                                    agg_bufs: &mut agg_bufs,
+                                    agg_cfg,
+                                };
+                                if let Err(err) = sim_send(waited, at, true, &mut path) {
+                                    transport_error = Some(err);
+                                    final_time = now;
+                                    break 'main;
+                                }
+                            }
+                        }
+                    }
                     let mut hooks = SimHooks { t: now, out: Vec::new() };
                     let caught = catch_unwind(AssertUnwindSafe(|| nodes[pe.index()].handle(env, &mut hooks)));
                     let outcome = match caught {
@@ -409,76 +591,58 @@ impl SimEngine {
                     }
                     for (env, after) in hooks.out {
                         let depart = now + after;
+                        let crosses = shared.topo.crosses_wan(env.src, env.dst);
                         if record_on {
                             recs[orig[pe.index()].index()].send(
                                 depart,
                                 orig[env.dst.index()].0,
                                 env.wire_size(),
-                                shared.topo.crosses_wan(env.src, env.dst),
+                                crosses,
                                 env.priority == SYSTEM_PRIORITY,
                             );
                         }
-                        if let Some(acfg) = agg_cfg.filter(|_| shared.topo.crosses_wan(env.src, env.dst)) {
-                            let (src, dst) = (env.src, env.dst);
-                            let urgent = !env.aggregatable();
-                            let buf = agg_bufs.entry((src.0, dst.0)).or_default();
-                            if buf.envs.is_empty() {
-                                // Opening a buffer arms its deadline; the
-                                // epoch ties the tick to this filling.
-                                buf.epoch += 1;
-                                events
-                                    .schedule(depart + acfg.max_delay, Event::FlushAgg { src, dst, epoch: buf.epoch });
-                            }
-                            let body_len = env.wire_size();
-                            buf.bytes += body_len;
-                            buf.envs.push(env);
-                            // Bulk messages ship at once, mirroring the
-                            // threaded aggregation layer's eager cutoff.
-                            if urgent || body_len >= acfg.eager_bytes as u64 || buf.bytes >= acfg.max_bytes as u64 {
-                                buf.epoch += 1;
-                                buf.bytes = 0;
-                                let envs = std::mem::take(&mut buf.envs);
-                                let cause = (!urgent).then_some(Ctr::FlushBySize);
-                                let mut sink = FrameSink {
-                                    net: &mut net,
-                                    faults: &mut faults,
-                                    events: &mut events,
-                                    gctr: &mut gctr,
-                                };
-                                if let Err(err) = sim_flush_frame(src, dst, depart, envs, &mut sink, cause) {
-                                    transport_error = Some(err);
-                                    final_time = now;
-                                    break 'main;
+                        // Credit gate: cross-WAN app traffic must fit the
+                        // pair's window before it may depart.
+                        if let Some(fl) = flow.as_mut() {
+                            if crosses && SimFlow::credited(&env) {
+                                let key = (env.src.0, env.dst.0);
+                                let size = env.wire_size();
+                                let blocked = fl.has_waiters(key) || !fl.admits(key, size);
+                                if blocked && fl.cfg.sheds() && env.aggregatable() {
+                                    // Graceful overload degradation: drop
+                                    // the envelope, keep the books straight.
+                                    gctr.bump(Ctr::EnvelopesShed);
+                                    gctr.add(Ctr::ShedBytes, size);
+                                    nodes[0].note_sheds(1);
+                                    continue;
                                 }
-                            }
-                            continue;
-                        }
-                        let mut arrival = net.delivery_time(env.src, env.dst, depart, env.wire_size());
-                        if let Some(fm) = faults.as_mut() {
-                            if shared.topo.crosses_wan(env.src, env.dst) {
-                                match fm.plan_delivery(env.src, env.dst, depart) {
-                                    DeliveryPlan::Deliver { extra_delay, duplicate, .. } => {
-                                        arrival += extra_delay;
-                                        if duplicate && fm.plan().mutate_no_dedup {
-                                            // Test-only mutation: with dedup
-                                            // broken, the wire duplicate reaches
-                                            // the application as a second arrival.
-                                            events.schedule(arrival.max(now), Event::Arrive(env.clone()));
-                                        }
-                                    }
-                                    DeliveryPlan::Exhausted { attempts, seq } => {
-                                        // The reliable layer gave up on this
-                                        // message: abort with a structured error
-                                        // instead of simulating on partial state.
-                                        transport_error =
-                                            Some(TransportError { src: env.src, dst: env.dst, seq, attempts });
-                                        final_time = now;
-                                        break 'main;
-                                    }
+                                if blocked && !fl.cfg.sheds() {
+                                    gctr.bump(Ctr::CreditStalls);
+                                    fl.defer(key, env, depart);
+                                    continue;
                                 }
+                                // Fits — or is urgent traffic under `Shed`,
+                                // which overruns the window rather than
+                                // stall or vanish (never shed, as on the
+                                // wire).
+                                fl.consume(key, size);
                             }
                         }
-                        events.schedule(arrival.max(now), Event::Arrive(env));
+                        let mut path = SendPath {
+                            sink: FrameSink {
+                                net: &mut net,
+                                faults: &mut faults,
+                                events: &mut events,
+                                gctr: &mut gctr,
+                            },
+                            agg_bufs: &mut agg_bufs,
+                            agg_cfg,
+                        };
+                        if let Err(err) = sim_send(env, depart, crosses, &mut path) {
+                            transport_error = Some(err);
+                            final_time = now;
+                            break 'main;
+                        }
                     }
                     pe_busy[pe.index()] += outcome.charged;
                     dispatched += 1;
@@ -549,6 +713,7 @@ impl SimEngine {
                     pe_busy_total[o.index()] += pe_busy[i];
                     pe_messages_total[o.index()] += nodes[i].messages_processed();
                     pe_queue_depth[o.index()] = pe_queue_depth[o.index()].max(pes[i].queue.max_depth());
+                    peak_mailbox = peak_mailbox.max(pes[i].queue.max_bytes());
                 }
                 lb_rounds_total += nodes[0].lb_rounds();
                 migrations_total += nodes[0].migrations();
@@ -585,6 +750,9 @@ impl SimEngine {
                 // generation, like every other in-flight event; PE numbering
                 // changes across the shrink anyway.
                 agg_bufs.clear();
+                if let Some(fl) = flow.as_mut() {
+                    fl.reset();
+                }
                 gctr.bump(Ctr::Recoveries);
                 gctr.bump(Ctr::Generations);
                 // Checkpoint epochs restart with the generation; pending
@@ -682,6 +850,7 @@ impl SimEngine {
                         pe_busy_total[o.index()] += pe_busy[i];
                         pe_messages_total[o.index()] += nodes[i].messages_processed();
                         pe_queue_depth[o.index()] = pe_queue_depth[o.index()].max(pes[i].queue.max_depth());
+                        peak_mailbox = peak_mailbox.max(pes[i].queue.max_bytes());
                     }
                     lb_rounds_total += nodes[0].lb_rounds();
                     migrations_total += nodes[0].migrations();
@@ -727,6 +896,9 @@ impl SimEngine {
                         (0..shared.topo.num_pes()).map(|_| PeState { queue: SchedQueue::new(), busy: false }).collect();
                     pe_busy = vec![Dur::ZERO; shared.topo.num_pes()];
                     agg_bufs.clear();
+                    if let Some(fl) = flow.as_mut() {
+                        fl.reset();
+                    }
                     gctr.add(Ctr::PesJoined, joiners.len() as u64);
                     gctr.bump(Ctr::Generations);
                     ckpt_done = None;
@@ -754,6 +926,7 @@ impl SimEngine {
             pe_busy_total[o.index()] += pe_busy[i];
             pe_messages_total[o.index()] += nodes[i].messages_processed();
             pe_queue_depth[o.index()] = pe_queue_depth[o.index()].max(pes[i].queue.max_depth());
+            peak_mailbox = peak_mailbox.max(pes[i].queue.max_bytes());
         }
         lb_rounds_total += nodes[0].lb_rounds();
         migrations_total += nodes[0].migrations();
@@ -776,6 +949,10 @@ impl SimEngine {
         let pes_obs: Vec<PeObs> = recs.into_iter().map(PeRecorder::finish).collect();
         let trace = trace_on.then(|| trace_from(&pes_obs));
         let obs = obs_on.then(|| ObsReport { pes: pes_obs, counters: gctr.clone() });
+
+        // The sender-side deferred bank counts toward peak buffering too:
+        // under `Block` an open-loop producer's backlog lives there.
+        peak_mailbox = peak_mailbox.max(flow.as_ref().map_or(0, |f| f.max_waiting));
 
         let end_time = events.now().max(final_time);
         let _ = exited;
@@ -802,6 +979,12 @@ impl SimEngine {
             checkpoint_bytes: gctr.get(Ctr::CheckpointBytes),
             failures,
             unrecoverable,
+            credit_stalls: gctr.get(Ctr::CreditStalls),
+            credit_wait: Dur::from_nanos(gctr.get(Ctr::CreditWaitNs)),
+            queue_full: gctr.get(Ctr::QueueFull),
+            sheds: gctr.get(Ctr::EnvelopesShed),
+            shed_bytes: gctr.get(Ctr::ShedBytes),
+            peak_mailbox_bytes: peak_mailbox,
         }
     }
 }
@@ -1238,6 +1421,66 @@ mod tests {
         assert!(faulty.faults.dropped > 0, "losses actually occurred: {:?}", faulty.faults);
         assert!(faulty.faults.retransmits > 0, "dropped frames were retransmitted");
         assert!(faulty.end_time > clean.end_time, "recovery time shows up in the makespan");
+    }
+
+    use mdo_netsim::OverloadPolicy;
+
+    fn flow_burst_run(flow: Option<FlowConfig>, quiesce: bool) -> RunReport {
+        static FIRED: AtomicU64 = AtomicU64::new(0);
+        FIRED.store(0, Ordering::SeqCst);
+        let net = NetworkModel::two_cluster_sweep(2, Dur::from_millis(2));
+        let mut p = Program::new();
+        let arr = p.array("burst", 2, Mapping::Block, |_| {
+            Box::new(Burst { burst: 16, rounds_left: 4, got: 0 }) as Box<dyn Chare>
+        });
+        p.on_startup(move |ctl| ctl.send(arr, ElemId(0), ROUND_ACK, vec![]));
+        if quiesce {
+            p.on_quiescence(|ctl| {
+                FIRED.fetch_add(1, Ordering::SeqCst);
+                ctl.exit();
+            });
+        }
+        let cfg = RunConfig { flow, detect_quiescence: quiesce, ..RunConfig::default() };
+        let report =
+            SimEngine::new(net, cfg).with_limits(SimConfig { max_time: None, max_events: Some(200_000) }).run(p);
+        if quiesce {
+            assert_eq!(FIRED.load(Ordering::SeqCst), 1, "quiescence fired exactly once despite shed traffic");
+        }
+        report
+    }
+
+    #[test]
+    fn block_flow_stalls_senders_but_delivers_everything() {
+        let plain = flow_burst_run(None, false);
+        let gated = flow_burst_run(Some(FlowConfig::default().with_credit_bytes(64)), false);
+        assert_eq!(plain.pe_messages, gated.pe_messages, "Block only re-times traffic, it never loses or duplicates");
+        assert!(gated.credit_stalls > 0, "a 16-envelope burst cannot fit a 64-byte window");
+        assert!(gated.credit_wait > Dur::ZERO, "deferred envelopes waited for credit");
+        assert_eq!(gated.sheds, 0, "Block never drops");
+        assert!(gated.end_time >= plain.end_time, "stalls can only stretch the makespan");
+        assert!(gated.transport_error.is_none());
+    }
+
+    #[test]
+    fn block_flow_is_deterministic() {
+        let flow = Some(FlowConfig::default().with_credit_bytes(96));
+        let a = flow_burst_run(flow, false);
+        let b = flow_burst_run(flow, false);
+        assert_eq!(a.end_time, b.end_time);
+        assert_eq!(a.pe_messages, b.pe_messages);
+        assert_eq!(a.credit_stalls, b.credit_stalls);
+        assert_eq!(a.credit_wait, b.credit_wait);
+    }
+
+    #[test]
+    fn shed_flow_drops_overflow_and_quiescence_still_terminates() {
+        let flow = FlowConfig::default().with_credit_bytes(64).with_policy(OverloadPolicy::Shed);
+        let report = flow_burst_run(Some(flow), true);
+        assert!(report.sheds > 0, "overflow past the window was shed");
+        assert!(report.shed_bytes >= report.sheds * 24, "byte accounting follows wire sizes");
+        assert_eq!(report.credit_stalls, 0, "Shed never stalls the sender");
+        assert!(report.unrecoverable.is_none());
+        assert!(report.transport_error.is_none());
     }
 
     #[test]

@@ -16,8 +16,8 @@ use std::time::{Duration, Instant};
 
 use mdo_netsim::network::NetworkStats;
 use mdo_netsim::{
-    ClusterId, CrashTrigger, Dur, FailureCause, FaultModelStats, JoinSpec, JoinTrigger, LatencyMatrix, Pe, PeFailed,
-    Time, Topology, TransportError, UnrecoverableError,
+    ClusterId, CrashTrigger, Dur, FailureCause, FaultModelStats, FaultPlan, JoinSpec, JoinTrigger, LatencyMatrix, Pe,
+    PeFailed, Time, Topology, TransportError, UnrecoverableError,
 };
 use mdo_vmi::{Aggregator, CrcDevice, FaultDevice, ReliableTransport, Transport, TransportConfig};
 
@@ -205,6 +205,7 @@ impl ThreadedEngine {
         let failure_plan = cfg.failure_plan.clone();
         let join_plan = cfg.join_plan.clone();
         let agg_cfg = cfg.agg_active();
+        let flow_cfg = cfg.flow;
         let restart_cfg = cfg.clone();
         // Original cluster of every original PE: a rejoin without an
         // explicit cluster goes back where the PE came from.
@@ -225,6 +226,7 @@ impl ThreadedEngine {
         let mut pe_messages_total = vec![0u64; orig_n_pes];
         let mut pe_queue_depth = vec![0usize; orig_n_pes];
         let mut network = NetworkStats::default();
+        let mut peak_mailbox_bytes = 0u64;
         let mut faults_total = FaultModelStats::default();
         // One accumulated recording per ORIGINAL PE; each generation's
         // per-thread recordings are absorbed here after the join.
@@ -274,13 +276,23 @@ impl ThreadedEngine {
                 (fault, verify)
             });
             let raw = Transport::new(tc);
-            let transport = match &fault_plan {
-                Some(plan) => ReliableTransport::with_plan(Arc::clone(&raw), plan.clone()),
-                None => ReliableTransport::passthrough(Arc::clone(&raw)),
+            let transport = match (&fault_plan, flow_cfg) {
+                (Some(plan), Some(flow)) => ReliableTransport::with_flow(Arc::clone(&raw), plan.clone(), flow),
+                (Some(plan), None) => ReliableTransport::with_plan(Arc::clone(&raw), plan.clone()),
+                // Credit grants ride acks, so flow control needs the
+                // reliable layer even on a clean network; a generous RTO
+                // keeps the retransmit machinery from firing spuriously.
+                (None, Some(flow)) => ReliableTransport::with_flow(
+                    Arc::clone(&raw),
+                    FaultPlan::default().with_rto(Dur::from_millis(1000)),
+                    flow,
+                ),
+                (None, None) => ReliableTransport::passthrough(Arc::clone(&raw)),
             };
-            let agg = match agg_cfg {
-                Some(c) => Aggregator::with_policy(Arc::clone(&transport), c),
-                None => Aggregator::passthrough(Arc::clone(&transport)),
+            let agg = match (agg_cfg, flow_cfg) {
+                (Some(c), Some(f)) => Aggregator::with_flow(Arc::clone(&transport), c, f),
+                (Some(c), None) => Aggregator::with_policy(Arc::clone(&transport), c),
+                (None, _) => Aggregator::passthrough(Arc::clone(&transport)),
             };
             let stop = Arc::new(AtomicBool::new(false));
             let status: Arc<Vec<AtomicU8>> = Arc::new((0..n_pes).map(|_| AtomicU8::new(PE_ALIVE)).collect());
@@ -466,6 +478,11 @@ impl ThreadedEngine {
             gctr.add(Ctr::FrameBytesSaved, ast.bytes_saved);
             gctr.add(Ctr::FlushBySize, ast.flush_by_size);
             gctr.add(Ctr::FlushByDeadline, ast.flush_by_deadline);
+            gctr.add(Ctr::CreditStalls, transport.credit_stalls());
+            gctr.add(Ctr::CreditWaitNs, transport.credit_wait_ns());
+            gctr.add(Ctr::EnvelopesShed, ast.envelopes_shed);
+            gctr.add(Ctr::ShedBytes, ast.shed_bytes);
+            gctr.add(Ctr::QueueFull, ast.queue_full);
             for r in &mut results {
                 let o = orig[r.pe.index()].index();
                 pe_busy_total[o] += r.busy;
@@ -474,6 +491,8 @@ impl ThreadedEngine {
                 // the unframed pending bank; the high-water mark sees both.
                 let depth = raw.mailbox(r.pe).max_depth().max(agg.pending_max_depth(r.pe));
                 pe_queue_depth[o] = pe_queue_depth[o].max(depth);
+                let bytes = raw.mailbox(r.pe).max_bytes() as u64 + agg.pending_max_bytes(r.pe) as u64;
+                peak_mailbox_bytes = peak_mailbox_bytes.max(bytes);
                 if record_on {
                     // One mailbox high-water sample per generation: the
                     // threads cannot observe queue depth from outside.
@@ -678,6 +697,12 @@ impl ThreadedEngine {
             checkpoint_bytes: gctr.get(Ctr::CheckpointBytes),
             failures,
             unrecoverable,
+            credit_stalls: gctr.get(Ctr::CreditStalls),
+            credit_wait: Dur::from_nanos(gctr.get(Ctr::CreditWaitNs)),
+            queue_full: gctr.get(Ctr::QueueFull),
+            sheds: gctr.get(Ctr::EnvelopesShed),
+            shed_bytes: gctr.get(Ctr::ShedBytes),
+            peak_mailbox_bytes,
         }
     }
 }
@@ -721,7 +746,18 @@ fn pe_thread(pe: Pe, mut node: Node, ctl: ThreadCtl) -> PeResult {
     let mut died = false;
     let mut idle_pending = false;
     let mut last_hb: Option<Instant> = None;
+    let mut sheds_seen = 0u64;
     loop {
+        // Quiescence reconciliation: a shed envelope was counted as sent
+        // at its origin but will never be delivered; PE 0 folds the delta
+        // into the books so the sent/processed sums can still balance.
+        if pe == Pe(0) {
+            let shed = ctl.agg.sheds_total();
+            if shed > sheds_seen {
+                node.note_sheds(shed - sheds_seen);
+                sheds_seen = shed;
+            }
+        }
         // An injected crash kills the thread silently: no goodbye message,
         // no flushing — the failure detector has to notice on its own.
         if let Some(trigger) = ctl.crash {

@@ -272,6 +272,15 @@ impl Node {
         self.messages_processed
     }
 
+    /// Fold `n` envelopes the transport shed (overload policy `Shed`) into
+    /// the quiescence books.  A shed envelope was counted as sent at its
+    /// origin but will never be delivered; accounting it as "processed by
+    /// the network" here keeps the sent/processed sums balanced, so
+    /// quiescence detection still terminates under saturation.
+    pub fn note_sheds(&mut self, n: u64) {
+        self.qd.processed += n;
+    }
+
     /// Completed load-balancing rounds (meaningful on PE 0).
     pub fn lb_rounds(&self) -> u32 {
         self.lb.rounds

@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use mdo_netsim::network::NetworkStats;
 use mdo_netsim::{
-    AggConfig, Dur, FailurePlan, FaultModelStats, FaultPlan, JoinPlan, PeFailed, Time, TransportError,
+    AggConfig, Dur, FailurePlan, FaultModelStats, FaultPlan, FlowConfig, JoinPlan, PeFailed, Time, TransportError,
     UnrecoverableError,
 };
 use mdo_obs::{ObsConfig, ObsReport};
@@ -289,6 +289,18 @@ pub struct RunConfig {
     /// every envelope standalone, exactly as before; building `mdo-core`
     /// without the `agg` feature compiles the coalescing paths out.
     pub agg: Option<AggConfig>,
+    /// End-to-end backpressure: when set, each cross-cluster (src, dst)
+    /// pair is held to the config's credit window and per-PE delivery
+    /// mailboxes to its byte/envelope budget, with the configured
+    /// [`OverloadPolicy`](mdo_netsim::OverloadPolicy) (`Block` stalls
+    /// senders losslessly; `Shed` drops the least-urgent application
+    /// envelopes with accounting — system/control traffic is never shed).
+    /// The threaded engine implements it as credit grants riding the
+    /// reliable layer's acks; the simulation engine applies the same
+    /// windows in virtual time, so credit stalls and sheds are
+    /// deterministic and explorable.  `None` (the default) leaves both
+    /// engines exactly as they are: unbounded in-flight traffic.
+    pub flow: Option<FlowConfig>,
 }
 
 impl RunConfig {
@@ -339,6 +351,7 @@ impl Default for RunConfig {
             delivery: DeliverySpec::Fifo,
             schedule_sink: None,
             agg: None,
+            flow: None,
         }
     }
 }
@@ -404,6 +417,24 @@ pub struct RunReport {
     /// Set when a failure could not be recovered from; the run ended
     /// early (but cleanly) and results are incomplete.
     pub unrecoverable: Option<UnrecoverableError>,
+    /// Times a sender found its cross-WAN credit window exhausted and had
+    /// to stall (0 unless [`RunConfig::flow`] was set).
+    pub credit_stalls: u64,
+    /// Total time senders spent blocked waiting for credit (virtual for
+    /// the sim engine, wall-clock for the threaded engine).
+    pub credit_wait: Dur,
+    /// Posts that found a bounded delivery mailbox at its budget.
+    pub queue_full: u64,
+    /// Application envelopes dropped by the `Shed` overload policy
+    /// (system/control traffic is never shed; always 0 under `Block`).
+    pub sheds: u64,
+    /// Payload bytes dropped by the `Shed` overload policy.
+    pub shed_bytes: u64,
+    /// High-water mark, over PEs, of delivery-queue payload bytes — the
+    /// quantity the flow-control mailbox budget bounds.  Reported even
+    /// without flow control, so overload ablations can contrast bounded
+    /// against unbounded growth.
+    pub peak_mailbox_bytes: u64,
 }
 
 impl RunReport {
@@ -505,6 +536,12 @@ mod tests {
             checkpoint_bytes: 0,
             failures: Vec::new(),
             unrecoverable: None,
+            credit_stalls: 0,
+            credit_wait: Dur::ZERO,
+            queue_full: 0,
+            sheds: 0,
+            shed_bytes: 0,
+            peak_mailbox_bytes: 0,
         };
         assert!((report.mean_utilization() - 0.75).abs() < 1e-12);
     }

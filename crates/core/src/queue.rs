@@ -33,6 +33,8 @@ pub struct SchedQueue {
     len: usize,
     next_seq: u64,
     max_depth: usize,
+    bytes: u64,
+    max_bytes: u64,
 }
 
 impl SchedQueue {
@@ -45,6 +47,8 @@ impl SchedQueue {
     pub fn push(&mut self, env: Envelope) {
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.bytes += env.wire_size();
+        self.max_bytes = self.max_bytes.max(self.bytes);
         self.classes.entry(env.priority).or_default().push_back((seq, env));
         self.len += 1;
         self.max_depth = self.max_depth.max(self.len);
@@ -72,6 +76,7 @@ impl SchedQueue {
             self.classes.remove(&prio);
         }
         self.len -= 1;
+        self.bytes -= env.wire_size();
         Some(env)
     }
 
@@ -88,6 +93,12 @@ impl SchedQueue {
     /// High-water mark of queue depth (for the harness's overhead reports).
     pub fn max_depth(&self) -> usize {
         self.max_depth
+    }
+
+    /// High-water mark of queued envelope bytes (wire sizes) — the
+    /// virtual-time analogue of the VMI mailbox byte watermark.
+    pub fn max_bytes(&self) -> u64 {
+        self.max_bytes
     }
 }
 
@@ -180,6 +191,20 @@ mod tests {
         // The lower-urgency class is only reachable once the front drained.
         assert_eq!(q.pop_nth(0).unwrap().sent_at_ns, 99);
         assert!(q.pop_nth(0).is_none());
+    }
+
+    #[test]
+    fn byte_watermark_tracks_wire_sizes() {
+        let mut q = SchedQueue::new();
+        let sz = env(0, 1).wire_size();
+        q.push(env(0, 1));
+        q.push(env(0, 2));
+        q.pop();
+        q.push(env(0, 3));
+        assert_eq!(q.max_bytes(), 2 * sz, "watermark saw two queued envelopes at once");
+        q.pop();
+        q.pop();
+        assert_eq!(q.max_bytes(), 2 * sz, "draining does not lower the high-water mark");
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub mod bandwidth;
 pub mod event;
 pub mod failure;
 pub mod fault;
+pub mod flowctl;
 pub mod join;
 pub mod latency;
 pub mod network;
@@ -64,6 +65,7 @@ pub use bandwidth::{LinkModel, WanContention};
 pub use event::{EventId, EventQueue};
 pub use failure::{CrashSpec, CrashTrigger, FailureCause, FailurePlan, PeFailed, UnrecoverableError};
 pub use fault::{DeliveryPlan, FaultModel, FaultModelStats, FaultPlan, TransportError};
+pub use flowctl::{FlowConfig, OverloadPolicy};
 pub use join::{JoinPlan, JoinSpec, JoinTrigger};
 pub use latency::{LatencyMatrix, LatencyMatrixBuilder};
 pub use network::{DeliveryOracle, NetworkModel, NetworkStats};

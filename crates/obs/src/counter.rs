@@ -62,11 +62,23 @@ pub enum Ctr {
     ObjectsMigrated,
     /// Topology generations the run went through (1 + shrinks + expands).
     Generations,
+    /// Times a sender found its cross-WAN credit window exhausted and had
+    /// to stall (Block) or divert (Shed).
+    CreditStalls,
+    /// Nanoseconds senders spent blocked waiting for credit to return.
+    CreditWaitNs,
+    /// Posts that found a bounded mailbox at its byte/envelope budget.
+    QueueFull,
+    /// Application envelopes dropped by the `Shed` overload policy
+    /// (system/control traffic is never shed).
+    EnvelopesShed,
+    /// Payload bytes dropped by the `Shed` overload policy.
+    ShedBytes,
 }
 
 impl Ctr {
     /// Every counter, in declaration order.
-    pub const ALL: [Ctr; 26] = [
+    pub const ALL: [Ctr; 31] = [
         Ctr::MsgsSent,
         Ctr::MsgsRecvd,
         Ctr::BytesSent,
@@ -93,6 +105,11 @@ impl Ctr {
         Ctr::RebalanceTriggers,
         Ctr::ObjectsMigrated,
         Ctr::Generations,
+        Ctr::CreditStalls,
+        Ctr::CreditWaitNs,
+        Ctr::QueueFull,
+        Ctr::EnvelopesShed,
+        Ctr::ShedBytes,
     ];
 
     /// Stable snake_case name, used in CSV and JSON exports.
@@ -124,6 +141,11 @@ impl Ctr {
             Ctr::RebalanceTriggers => "rebalance_triggers",
             Ctr::ObjectsMigrated => "objects_migrated",
             Ctr::Generations => "generations",
+            Ctr::CreditStalls => "credit_stalls",
+            Ctr::CreditWaitNs => "credit_wait_ns",
+            Ctr::QueueFull => "queue_full",
+            Ctr::EnvelopesShed => "envelopes_shed",
+            Ctr::ShedBytes => "shed_bytes",
         }
     }
 }

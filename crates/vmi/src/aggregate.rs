@@ -38,11 +38,11 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::BytesMut;
-use mdo_netsim::{AggConfig, Pe, TransportError};
+use mdo_netsim::{AggConfig, FlowConfig, Pe, TransportError};
 use parking_lot::Mutex;
 
 use crate::frame::{self, FrameBuilder, CHUNK_HEADER_LEN};
-use crate::mailbox::Mailbox;
+use crate::mailbox::{Mailbox, MailboxBudget, SHED_EXEMPT_PRIORITY};
 use crate::packet::Packet;
 use crate::reliable::{ReliableTransport, HEADER_LEN};
 use crate::transport::Transport;
@@ -68,6 +68,11 @@ struct PairBuf {
 struct Shared {
     rt: Arc<ReliableTransport>,
     cfg: AggConfig,
+    /// Flow-control policy, when backpressure is active.  `Shed` drops
+    /// sheddable envelopes right here at the send site once the pair's
+    /// credit window is exhausted — envelope granularity, so a jumbo frame
+    /// is never torn.
+    flow: Option<FlowConfig>,
     /// Accumulation buffers, sharded by source PE so concurrent senders
     /// never contend (each PE thread writes only its own shard).
     pairs: Vec<Mutex<HashMap<u32, PairBuf>>>,
@@ -78,6 +83,8 @@ struct Shared {
     flush_by_deadline: AtomicU64,
     flush_urgent: AtomicU64,
     flush_final: AtomicU64,
+    envelopes_shed: AtomicU64,
+    shed_bytes: AtomicU64,
     stop: AtomicBool,
 }
 
@@ -132,6 +139,14 @@ pub struct AggStats {
     pub flush_urgent: u64,
     /// Frames flushed by shutdown / barrier drains.
     pub flush_final: u64,
+    /// Application envelopes dropped by the `Shed` overload policy — at the
+    /// send site (credit window exhausted) plus at the receiver's bounded
+    /// pending bank.
+    pub envelopes_shed: u64,
+    /// Payload bytes dropped by the `Shed` overload policy.
+    pub shed_bytes: u64,
+    /// Posts that found a bounded pending bank at its budget.
+    pub queue_full: u64,
 }
 
 /// The aggregation layer.  Built with [`Aggregator::passthrough`] it
@@ -155,10 +170,27 @@ impl Aggregator {
 
     /// Aggregation on, coalescing under `cfg`.
     pub fn with_policy(rt: Arc<ReliableTransport>, cfg: AggConfig) -> Arc<Self> {
+        Self::build(rt, cfg, None)
+    }
+
+    /// Aggregation on, with end-to-end backpressure: under `Shed` the
+    /// per-PE pending bank is bounded (least-urgent application envelopes
+    /// drop with accounting) and sheddable envelopes are dropped at the
+    /// send site once the pair's credit window is exhausted; under `Block`
+    /// the pending bank stays unbounded locally (the poster *is* the
+    /// consumer thread, so blocking it would self-deadlock) and instead its
+    /// occupancy is advertised to senders as receive headroom on acks, so
+    /// they stall remotely.
+    pub fn with_flow(rt: Arc<ReliableTransport>, cfg: AggConfig, flow: FlowConfig) -> Arc<Self> {
+        Self::build(rt, cfg, Some(flow))
+    }
+
+    fn build(rt: Arc<ReliableTransport>, cfg: AggConfig, flow: Option<FlowConfig>) -> Arc<Self> {
         let n = rt.inner().topology().num_pes();
         let shared = Arc::new(Shared {
             rt: Arc::clone(&rt),
             cfg,
+            flow,
             pairs: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
             frames_sent: AtomicU64::new(0),
             envelopes_coalesced: AtomicU64::new(0),
@@ -167,13 +199,19 @@ impl Aggregator {
             flush_by_deadline: AtomicU64::new(0),
             flush_urgent: AtomicU64::new(0),
             flush_final: AtomicU64::new(0),
+            envelopes_shed: AtomicU64::new(0),
+            shed_bytes: AtomicU64::new(0),
             stop: AtomicBool::new(false),
         });
+        let bank = || match flow {
+            Some(f) if f.sheds() => Arc::new(Mailbox::bounded(MailboxBudget::from_flow(&f))),
+            _ => Arc::new(Mailbox::new()),
+        };
         let flusher = spawn_deadline_flusher(Arc::clone(&shared));
         Arc::new(Aggregator {
             rt,
             shared: Some(shared),
-            pending: (0..n).map(|_| Arc::new(Mailbox::new())).collect(),
+            pending: (0..n).map(|_| bank()).collect(),
             flusher: Mutex::new(Some(flusher)),
         })
     }
@@ -212,6 +250,21 @@ impl Aggregator {
             self.rt.send(Packet::with_priority(src, dst, priority, buf.freeze()));
             return;
         };
+        if sh.flow.is_some_and(|f| f.sheds())
+            && !urgent
+            && priority != SHED_EXEMPT_PRIORITY
+            && self.rt.credit_available(src, dst) == 0
+        {
+            // The pair's window is exhausted and the policy is to degrade
+            // rather than stall: drop the envelope here, before it joins a
+            // frame (frames are never torn).  Encode into a scratch buffer
+            // only to account the dropped bytes.
+            let mut scratch = BytesMut::with_capacity(64);
+            write(&mut scratch);
+            sh.envelopes_shed.fetch_add(1, Ordering::Relaxed);
+            sh.shed_bytes.fetch_add(scratch.len() as u64, Ordering::Relaxed);
+            return;
+        }
         let mut shard = sh.pairs[src.index()].lock();
         let buf = shard.entry(dst.0).or_insert_with(|| PairBuf { builder: FrameBuilder::new(), opened: None });
         if buf.opened.is_none() {
@@ -265,6 +318,7 @@ impl Aggregator {
                 self.absorb(pe, pkt);
             }
             if let Some(pkt) = self.pending[pe.index()].try_take() {
+                self.advertise(pe);
                 return Some(pkt);
             }
             let remaining = deadline.checked_duration_since(Instant::now())?;
@@ -280,6 +334,7 @@ impl Aggregator {
         }
         loop {
             if let Some(pkt) = self.pending[pe.index()].try_take() {
+                self.advertise(pe);
                 return Some(pkt);
             }
             let pkt = self.rt.try_recv(pe)?;
@@ -302,6 +357,18 @@ impl Aggregator {
         } else {
             self.pending[pe.index()].post(pkt);
         }
+        self.advertise(pe);
+    }
+
+    /// Refresh the receive headroom `pe` advertises on its acks: the
+    /// mailbox byte budget minus what is queued in its pending bank.  With
+    /// `Block` senders this is what turns local queue growth into remote
+    /// sender stalls — end-to-end backpressure.
+    fn advertise(&self, pe: Pe) {
+        if let Some(flow) = self.shared.as_ref().and_then(|sh| sh.flow.as_ref()) {
+            let used = self.pending[pe.index()].bytes();
+            self.rt.set_advertised_window(pe, flow.mailbox_bytes.saturating_sub(used) as u64);
+        }
     }
 
     /// Sub-packets currently waiting in `pe`'s pending bank.
@@ -315,17 +382,45 @@ impl Aggregator {
         self.pending.get(pe.index()).map_or(0, |mb| mb.max_depth())
     }
 
-    /// Counter snapshot.
+    /// High-water mark of `pe`'s pending bank in payload bytes (the
+    /// quantity the flow-control mailbox budget bounds).
+    pub fn pending_max_bytes(&self, pe: Pe) -> usize {
+        self.pending.get(pe.index()).map_or(0, |mb| mb.max_bytes())
+    }
+
+    /// Counter snapshot.  Shed accounting folds both shed sites: the send
+    /// path (credit window exhausted) and the receiver's bounded pending
+    /// bank.
     pub fn stats(&self) -> AggStats {
-        self.shared.as_ref().map_or_else(AggStats::default, |sh| AggStats {
-            frames_sent: sh.frames_sent.load(Ordering::Relaxed),
-            envelopes_coalesced: sh.envelopes_coalesced.load(Ordering::Relaxed),
-            bytes_saved: sh.bytes_saved.load(Ordering::Relaxed),
-            flush_by_size: sh.flush_by_size.load(Ordering::Relaxed),
-            flush_by_deadline: sh.flush_by_deadline.load(Ordering::Relaxed),
-            flush_urgent: sh.flush_urgent.load(Ordering::Relaxed),
-            flush_final: sh.flush_final.load(Ordering::Relaxed),
+        self.shared.as_ref().map_or_else(AggStats::default, |sh| {
+            let mut st = AggStats {
+                frames_sent: sh.frames_sent.load(Ordering::Relaxed),
+                envelopes_coalesced: sh.envelopes_coalesced.load(Ordering::Relaxed),
+                bytes_saved: sh.bytes_saved.load(Ordering::Relaxed),
+                flush_by_size: sh.flush_by_size.load(Ordering::Relaxed),
+                flush_by_deadline: sh.flush_by_deadline.load(Ordering::Relaxed),
+                flush_urgent: sh.flush_urgent.load(Ordering::Relaxed),
+                flush_final: sh.flush_final.load(Ordering::Relaxed),
+                envelopes_shed: sh.envelopes_shed.load(Ordering::Relaxed),
+                shed_bytes: sh.shed_bytes.load(Ordering::Relaxed),
+                queue_full: 0,
+            };
+            for mb in &self.pending {
+                st.envelopes_shed += mb.sheds();
+                st.shed_bytes += mb.shed_bytes();
+                st.queue_full += mb.queue_full();
+            }
+            st
         })
+    }
+
+    /// Quick running total of envelopes shed so far, covering both shed
+    /// sites (send-path credit exhaustion and the bounded pending banks).
+    /// Cheap enough — a handful of atomic loads — for the engine to poll
+    /// every scheduling iteration when reconciling quiescence books.
+    pub fn sheds_total(&self) -> u64 {
+        let send_side = self.shared.as_ref().map_or(0, |sh| sh.envelopes_shed.load(Ordering::Relaxed));
+        send_side + self.pending.iter().map(|mb| mb.sheds()).sum::<u64>()
     }
 
     /// Flush every buffer and stop the deadline flusher (idempotent).
@@ -377,7 +472,7 @@ mod tests {
     use crate::devices::fault::FaultDevice;
     use crate::transport::TransportConfig;
     use bytes::Bytes;
-    use mdo_netsim::{Dur, FaultPlan, LatencyMatrix, Topology};
+    use mdo_netsim::{Dur, FaultPlan, LatencyMatrix, OverloadPolicy, Topology};
 
     fn rig(pes: u32, cfg: Option<AggConfig>, plan: Option<FaultPlan>) -> Arc<Aggregator> {
         let topo = Topology::two_cluster(pes);
@@ -522,6 +617,91 @@ mod tests {
         assert_eq!(b.payload.len(), 512);
         let st = agg.stats();
         assert_eq!((st.frames_sent, st.flush_by_size, st.flush_by_deadline), (1, 1, 0));
+        teardown(&agg);
+    }
+
+    fn rig_flow(cfg: AggConfig, flow: FlowConfig) -> Arc<Aggregator> {
+        let topo = Topology::two_cluster(2);
+        let latency = LatencyMatrix::uniform(&topo, Dur::ZERO, Dur::ZERO);
+        let tcfg = TransportConfig::new(topo, latency);
+        let plan = FaultPlan::default().with_rto(Dur::from_millis(200));
+        let rt = ReliableTransport::with_flow(Transport::new(tcfg), plan, flow);
+        Aggregator::with_flow(rt, cfg, flow)
+    }
+
+    #[test]
+    fn shed_policy_drops_envelopes_once_credit_is_exhausted() {
+        // Every send flushes its own frame (max_bytes below one envelope),
+        // and the receiver never drains, so no acks return credit: the
+        // first frames exhaust the 64-byte window, everything after sheds
+        // at the send site with byte accounting.
+        let cfg = AggConfig::default().with_max_bytes(16).with_max_delay(Dur::from_millis(10_000));
+        let flow = FlowConfig::default().with_credit_bytes(64).with_policy(OverloadPolicy::Shed);
+        let agg = rig_flow(cfg, flow);
+        let n = 10u64;
+        for i in 0..n {
+            agg.send_with(Pe(0), Pe(1), 0, false, |buf| {
+                buf.put_u64_le(i);
+                buf.put_slice(&[0u8; 24]);
+            });
+        }
+        let st = agg.stats();
+        assert!(st.envelopes_shed > 0, "credit exhaustion shed envelopes");
+        assert!(st.shed_bytes >= st.envelopes_shed * 32, "dropped payload bytes were accounted");
+        assert_eq!(agg.reliable().credit_stalls(), 0, "Shed never stalls the sender");
+        // Conservation: every envelope either shipped in a frame or shed.
+        assert_eq!(st.envelopes_coalesced + st.envelopes_shed, n);
+        let mut delivered = 0u64;
+        while agg.recv_timeout(Pe(1), Duration::from_millis(100)).is_some() {
+            delivered += 1;
+        }
+        assert_eq!(delivered, st.envelopes_coalesced, "what shipped arrived; what shed did not");
+        teardown(&agg);
+    }
+
+    #[test]
+    fn urgent_traffic_is_never_shed() {
+        let cfg = AggConfig::default().with_max_bytes(16).with_max_delay(Dur::from_millis(10_000));
+        let flow = FlowConfig::default().with_credit_bytes(32).with_policy(OverloadPolicy::Shed);
+        let agg = rig_flow(cfg, flow);
+        // Saturate the window with application envelopes.
+        for _ in 0..6 {
+            agg.send_with(Pe(0), Pe(1), 0, false, |buf| buf.put_slice(&[1u8; 32]));
+        }
+        let shed_before = agg.stats().envelopes_shed;
+        assert!(shed_before > 0, "window saturated");
+        // Urgent system traffic still goes through, regardless of credit.
+        agg.send_with(Pe(0), Pe(1), SHED_EXEMPT_PRIORITY, true, |buf| buf.put_slice(b"URGENT"));
+        assert_eq!(agg.stats().envelopes_shed, shed_before, "the urgent envelope was not shed");
+        let mut saw_urgent = false;
+        while let Some(p) = agg.recv_timeout(Pe(1), Duration::from_millis(100)) {
+            if &p.payload[..] == b"URGENT" {
+                saw_urgent = true;
+            }
+        }
+        assert!(saw_urgent, "urgent traffic delivered under saturation");
+        teardown(&agg);
+    }
+
+    #[test]
+    fn block_policy_keeps_pending_bank_unbounded() {
+        // Under Block the poster of the pending bank is the consumer
+        // thread itself, so the bank must never block locally — remote
+        // backpressure comes from the advertised window instead.
+        let cfg = AggConfig::default().with_max_bytes(16).with_max_delay(Dur::from_millis(10_000));
+        let flow = FlowConfig::default().with_credit_bytes(1 << 20).with_mailbox_bytes(64);
+        let agg = rig_flow(cfg, flow);
+        for i in 0..8u64 {
+            agg.send_with(Pe(0), Pe(1), 0, false, |buf| buf.put_u64_le(i));
+        }
+        agg.flush(Pe(0));
+        let mut got = Vec::new();
+        while got.len() < 8 {
+            let p = agg.recv_timeout(Pe(1), Duration::from_secs(2)).expect("lossless under Block");
+            got.push(u64::from_le_bytes(p.payload[..8].try_into().unwrap()));
+        }
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+        assert_eq!(agg.stats().envelopes_shed, 0, "Block never drops");
         teardown(&agg);
     }
 

@@ -5,16 +5,48 @@
 //! is by `(priority, arrival sequence)` so equal-priority traffic is FIFO,
 //! matching the Charm++ scheduler queue semantics that the message-driven
 //! model depends on.
+//!
+//! A mailbox can be *bounded* ([`Mailbox::bounded`]): when a byte or
+//! envelope budget is exhausted the configured [`OverloadPolicy`] applies —
+//! `Block` stalls posters until takers make room, `Shed` drops the
+//! least-urgent application packet with structured accounting.  Packets at
+//! [`SHED_EXEMPT_PRIORITY`] (runtime-internal control traffic: acks,
+//! heartbeats, quiescence and checkpoint control) are always admitted
+//! immediately and never shed, so collective progress stays live even when
+//! the application side of the queue is saturated.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
 
+use mdo_netsim::{FlowConfig, OverloadPolicy};
 use parking_lot::{Condvar, Mutex};
 
 use crate::device::Forwarder;
 use crate::packet::Packet;
+
+/// Packets at this priority (the runtime's system priority) bypass budget
+/// checks and are never shed.
+pub const SHED_EXEMPT_PRIORITY: i32 = i32::MIN;
+
+/// Byte + envelope budget and overload behavior for a bounded mailbox.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MailboxBudget {
+    /// Queued payload bytes before the policy applies.
+    pub max_bytes: usize,
+    /// Queued packets before the policy applies.
+    pub max_envelopes: usize,
+    /// What a poster does when the budget is exhausted.
+    pub policy: OverloadPolicy,
+}
+
+impl MailboxBudget {
+    /// The mailbox budget described by an engine-level flow-control config.
+    pub fn from_flow(cfg: &FlowConfig) -> Self {
+        MailboxBudget { max_bytes: cfg.mailbox_bytes, max_envelopes: cfg.mailbox_envelopes, policy: cfg.policy }
+    }
+}
 
 struct Entry {
     priority: i32,
@@ -54,6 +86,13 @@ struct Inner {
     closed: bool,
     posted: u64,
     max_depth: usize,
+    /// Queued payload bytes (sum of `payload.len()` over queued packets).
+    bytes: usize,
+    max_bytes: usize,
+    budget: Option<MailboxBudget>,
+    queue_full: u64,
+    sheds: u64,
+    shed_bytes: u64,
 }
 
 impl Inner {
@@ -61,6 +100,7 @@ impl Inner {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.posted += 1;
+        self.bytes += pkt.payload.len();
         if self.heap.is_empty() && (self.fifo.is_empty() || self.fifo_priority == Some(pkt.priority)) {
             self.fifo_priority = Some(pkt.priority);
             self.fifo.push_back((seq, pkt));
@@ -72,18 +112,89 @@ impl Inner {
             }
             self.heap.push(Entry { priority: pkt.priority, seq, pkt });
         }
+    }
+
+    /// Record the high-water marks once per post (or per batch), after all
+    /// inserts of the batch landed — not per-envelope, so a `post_many` of
+    /// a whole unpacked jumbo frame costs one watermark update.
+    fn note_watermarks(&mut self) {
         self.max_depth = self.max_depth.max(self.depth());
+        self.max_bytes = self.max_bytes.max(self.bytes);
     }
 
     fn pop(&mut self) -> Option<Packet> {
-        if let Some((_, pkt)) = self.fifo.pop_front() {
-            return Some(pkt);
+        let pkt = if let Some((_, pkt)) = self.fifo.pop_front() { Some(pkt) } else { self.heap.pop().map(|e| e.pkt) };
+        if let Some(p) = &pkt {
+            self.bytes -= p.payload.len();
         }
-        self.heap.pop().map(|e| e.pkt)
+        pkt
     }
 
     fn depth(&self) -> usize {
         self.heap.len() + self.fifo.len()
+    }
+
+    /// True if admitting one more packet would exceed the budget (exempt
+    /// packets are admitted regardless).
+    fn at_budget(&self) -> bool {
+        match &self.budget {
+            Some(b) => self.bytes >= b.max_bytes || self.depth() >= b.max_envelopes,
+            None => false,
+        }
+    }
+
+    /// Shed-policy admission: either queue `pkt` (possibly evicting the
+    /// least-urgent queued application packet) or drop it.  The packet that
+    /// loses is the one with the numerically largest `(priority, seq)` —
+    /// the least urgent, newest on ties — among sheddable candidates
+    /// including `pkt` itself.  Exempt-priority packets are never shed.
+    fn insert_or_shed(&mut self, pkt: Packet) {
+        if pkt.priority == SHED_EXEMPT_PRIORITY {
+            self.insert(pkt);
+            return;
+        }
+        // Least-urgent queued sheddable entry, if any.
+        let worst_heap =
+            self.heap.iter().filter(|e| e.priority != SHED_EXEMPT_PRIORITY).map(|e| (e.priority, e.seq)).max();
+        let worst_fifo = match (self.fifo_priority, self.fifo.back()) {
+            (Some(p), Some((seq, _))) if p != SHED_EXEMPT_PRIORITY => Some((p, *seq)),
+            _ => None,
+        };
+        let worst = worst_heap.max(worst_fifo);
+        match worst {
+            // The incoming packet is at least as un-urgent as anything
+            // queued (or nothing queued is sheddable): drop it.
+            Some((p, _)) if pkt.priority < p => {
+                let evicted = self.remove(worst.expect("checked above"));
+                self.sheds += 1;
+                self.shed_bytes += evicted.payload.len() as u64;
+                self.insert(pkt);
+            }
+            _ => {
+                self.sheds += 1;
+                self.shed_bytes += pkt.payload.len() as u64;
+            }
+        }
+    }
+
+    /// Remove the queued entry with this exact `(priority, seq)`.
+    fn remove(&mut self, key: (i32, u64)) -> Packet {
+        if self.fifo_priority == Some(key.0) {
+            if let Some(pos) = self.fifo.iter().position(|(seq, _)| *seq == key.1) {
+                let (_, pkt) = self.fifo.remove(pos).expect("position just found");
+                if self.fifo.is_empty() {
+                    self.fifo_priority = None;
+                }
+                self.bytes -= pkt.payload.len();
+                return pkt;
+            }
+        }
+        let mut entries = std::mem::take(&mut self.heap).into_vec();
+        let pos = entries.iter().position(|e| (e.priority, e.seq) == key).expect("evictee is queued");
+        let entry = entries.swap_remove(pos);
+        self.heap = BinaryHeap::from(entries);
+        self.bytes -= entry.pkt.payload.len();
+        entry.pkt
     }
 }
 
@@ -91,6 +202,8 @@ impl Inner {
 pub struct Mailbox {
     inner: Mutex<Inner>,
     cond: Condvar,
+    /// Posters blocked by a `Block`-policy budget wait here; takers signal.
+    space: Condvar,
 }
 
 impl Default for Mailbox {
@@ -100,8 +213,17 @@ impl Default for Mailbox {
 }
 
 impl Mailbox {
-    /// An empty, open mailbox.
+    /// An empty, open, unbounded mailbox.
     pub fn new() -> Self {
+        Self::with_budget(None)
+    }
+
+    /// An empty, open mailbox with a byte + envelope budget.
+    pub fn bounded(budget: MailboxBudget) -> Self {
+        Self::with_budget(Some(budget))
+    }
+
+    fn with_budget(budget: Option<MailboxBudget>) -> Self {
         Mailbox {
             inner: Mutex::new(Inner {
                 heap: BinaryHeap::new(),
@@ -111,35 +233,91 @@ impl Mailbox {
                 closed: false,
                 posted: 0,
                 max_depth: 0,
+                bytes: 0,
+                max_bytes: 0,
+                budget,
+                queue_full: 0,
+                sheds: 0,
+                shed_bytes: 0,
             }),
             cond: Condvar::new(),
+            space: Condvar::new(),
         }
     }
 
+    /// Wait (Block policy) until the mailbox is under budget, the packet is
+    /// exempt, or the mailbox closes.  Returns false if the mailbox closed.
+    /// The budget is a high-water admission gate: once under it, a post (or
+    /// a whole batch) is admitted even if it overshoots, which guarantees
+    /// progress for packets larger than the remaining headroom.
+    fn wait_for_space(&self, inner: &mut parking_lot::MutexGuard<'_, Inner>, priority: i32) -> bool {
+        if priority == SHED_EXEMPT_PRIORITY {
+            return !inner.closed;
+        }
+        let mut noted_full = false;
+        loop {
+            if inner.closed {
+                return false;
+            }
+            if !inner.at_budget() {
+                return true;
+            }
+            if !noted_full {
+                inner.queue_full += 1;
+                noted_full = true;
+            }
+            match inner.budget.as_ref().map(|b| b.policy) {
+                Some(OverloadPolicy::Block) => self.space.wait(inner),
+                // Shed never blocks; the caller sheds instead.
+                _ => return true,
+            }
+        }
+    }
+
+    /// True if this post should go through the shedding path.
+    fn should_shed(inner: &Inner) -> bool {
+        matches!(inner.budget, Some(MailboxBudget { policy: OverloadPolicy::Shed, .. })) && inner.at_budget()
+    }
+
     /// Post a packet. Posting to a closed mailbox silently drops (shutdown
-    /// races with in-flight delayed packets are benign).
+    /// races with in-flight delayed packets are benign).  On a bounded
+    /// mailbox at budget this blocks (`Block`) or sheds the least-urgent
+    /// application packet (`Shed`).
     pub fn post(&self, pkt: Packet) {
         let mut inner = self.inner.lock();
-        if inner.closed {
+        if !self.wait_for_space(&mut inner, pkt.priority) {
             return;
         }
-        inner.insert(pkt);
+        if Self::should_shed(&inner) {
+            inner.insert_or_shed(pkt);
+        } else {
+            inner.insert(pkt);
+        }
+        inner.note_watermarks();
         drop(inner);
         self.cond.notify_one();
     }
 
     /// Post a batch under one lock acquisition — how a whole unpacked
-    /// jumbo frame lands in the destination mailbox.  `max_depth` sees the
-    /// full batch, exactly as `post` called in a loop would.
+    /// jumbo frame lands in the destination mailbox.  `max_depth` and the
+    /// byte watermark see the full batch at once, exactly as `post` called
+    /// in a loop would, but are updated once, not per-envelope.
     pub fn post_many<I: IntoIterator<Item = Packet>>(&self, pkts: I) {
         let mut inner = self.inner.lock();
-        if inner.closed {
-            return;
-        }
         let mut any = false;
         for pkt in pkts {
-            inner.insert(pkt);
+            if !self.wait_for_space(&mut inner, pkt.priority) {
+                return;
+            }
+            if Self::should_shed(&inner) {
+                inner.insert_or_shed(pkt);
+            } else {
+                inner.insert(pkt);
+            }
             any = true;
+        }
+        if any {
+            inner.note_watermarks();
         }
         drop(inner);
         if any {
@@ -147,12 +325,20 @@ impl Mailbox {
         }
     }
 
+    fn pop_and_signal(&self, inner: &mut Inner) -> Option<Packet> {
+        let pkt = inner.pop();
+        if pkt.is_some() {
+            self.space.notify_all();
+        }
+        pkt
+    }
+
     /// Take the most urgent packet, blocking until one arrives or the
     /// mailbox is closed (then `None`).
     pub fn take(&self) -> Option<Packet> {
         let mut inner = self.inner.lock();
         loop {
-            if let Some(pkt) = inner.pop() {
+            if let Some(pkt) = self.pop_and_signal(&mut inner) {
                 return Some(pkt);
             }
             if inner.closed {
@@ -167,27 +353,29 @@ impl Mailbox {
         let deadline = std::time::Instant::now() + timeout;
         let mut inner = self.inner.lock();
         loop {
-            if let Some(pkt) = inner.pop() {
+            if let Some(pkt) = self.pop_and_signal(&mut inner) {
                 return Some(pkt);
             }
             if inner.closed {
                 return None;
             }
             if self.cond.wait_until(&mut inner, deadline).timed_out() {
-                return inner.pop();
+                return self.pop_and_signal(&mut inner);
             }
         }
     }
 
     /// Non-blocking take.
     pub fn try_take(&self) -> Option<Packet> {
-        self.inner.lock().pop()
+        let mut inner = self.inner.lock();
+        self.pop_and_signal(&mut inner)
     }
 
-    /// Close the mailbox, waking all blocked takers.
+    /// Close the mailbox, waking all blocked takers and posters.
     pub fn close(&self) {
         self.inner.lock().closed = true;
         self.cond.notify_all();
+        self.space.notify_all();
     }
 
     /// Packets currently queued.
@@ -208,6 +396,42 @@ impl Mailbox {
     /// High-water mark of queue depth (messages waiting at once).
     pub fn max_depth(&self) -> usize {
         self.inner.lock().max_depth
+    }
+
+    /// Payload bytes currently queued.
+    pub fn bytes(&self) -> usize {
+        self.inner.lock().bytes
+    }
+
+    /// High-water mark of queued payload bytes.
+    pub fn max_bytes(&self) -> usize {
+        self.inner.lock().max_bytes
+    }
+
+    /// Payload bytes of headroom before the budget gate closes (the
+    /// receiver-side quantity a credit grant advertises).  Unbounded
+    /// mailboxes report `u64::MAX`.
+    pub fn free_bytes(&self) -> u64 {
+        let inner = self.inner.lock();
+        match &inner.budget {
+            Some(b) => b.max_bytes.saturating_sub(inner.bytes) as u64,
+            None => u64::MAX,
+        }
+    }
+
+    /// Posts that found the mailbox at its budget.
+    pub fn queue_full(&self) -> u64 {
+        self.inner.lock().queue_full
+    }
+
+    /// Application packets dropped by the `Shed` policy.
+    pub fn sheds(&self) -> u64 {
+        self.inner.lock().sheds
+    }
+
+    /// Payload bytes dropped by the `Shed` policy.
+    pub fn shed_bytes(&self) -> u64 {
+        self.inner.lock().shed_bytes
     }
 }
 
@@ -238,6 +462,12 @@ mod tests {
 
     fn pkt(prio: i32, tag: u8) -> Packet {
         Packet::with_priority(Pe(0), Pe(0), prio, Bytes::copy_from_slice(&[tag]))
+    }
+
+    fn sized_pkt(prio: i32, tag: u8, len: usize) -> Packet {
+        let mut payload = vec![tag];
+        payload.resize(len, 0);
+        Packet::with_priority(Pe(0), Pe(0), prio, Bytes::from(payload))
     }
 
     #[test]
@@ -334,6 +564,7 @@ mod tests {
         }
         assert_eq!(a.len(), b.len());
         assert_eq!(a.max_depth(), b.max_depth());
+        assert_eq!(a.max_bytes(), b.max_bytes());
         assert_eq!(a.total_posted(), b.total_posted());
         for _ in 0..4 {
             assert_eq!(a.take().unwrap().payload[0], b.take().unwrap().payload[0]);
@@ -357,5 +588,122 @@ mod tests {
         assert!(boxes[0].is_empty());
         assert!(boxes[1].is_empty());
         assert_eq!(boxes[2].len(), 1);
+    }
+
+    #[test]
+    fn byte_accounting_tracks_queue_contents() {
+        let mb = Mailbox::new();
+        mb.post(sized_pkt(0, 1, 100));
+        mb.post(sized_pkt(0, 2, 50));
+        assert_eq!(mb.bytes(), 150);
+        assert_eq!(mb.max_bytes(), 150);
+        mb.try_take();
+        assert_eq!(mb.bytes(), 50);
+        assert_eq!(mb.max_bytes(), 150, "watermark survives drains");
+        assert_eq!(mb.free_bytes(), u64::MAX, "unbounded mailbox has unlimited headroom");
+    }
+
+    fn small_budget(policy: OverloadPolicy) -> MailboxBudget {
+        MailboxBudget { max_bytes: 100, max_envelopes: 4, policy }
+    }
+
+    #[test]
+    fn block_policy_stalls_poster_until_taker_makes_room() {
+        let mb = Arc::new(Mailbox::bounded(small_budget(OverloadPolicy::Block)));
+        mb.post(sized_pkt(0, 1, 60));
+        mb.post(sized_pkt(0, 2, 60)); // over 100 bytes now; next post must wait
+        let mb2 = Arc::clone(&mb);
+        let poster = std::thread::spawn(move || {
+            mb2.post(sized_pkt(0, 3, 10));
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(mb.len(), 2, "third post is blocked at the budget");
+        assert_eq!(mb.queue_full(), 1);
+        assert_eq!(mb.try_take().unwrap().payload[0], 1);
+        poster.join().unwrap();
+        assert_eq!(mb.len(), 2);
+        assert_eq!(mb.sheds(), 0, "Block never drops");
+    }
+
+    #[test]
+    fn block_policy_admits_exempt_traffic_over_budget() {
+        let mb = Mailbox::bounded(small_budget(OverloadPolicy::Block));
+        mb.post(sized_pkt(0, 1, 200)); // way over budget
+        mb.post(sized_pkt(SHED_EXEMPT_PRIORITY, 2, 10)); // must not block
+        assert_eq!(mb.len(), 2);
+        assert_eq!(mb.take().unwrap().payload[0], 2, "control traffic still overtakes");
+    }
+
+    #[test]
+    fn close_wakes_blocked_poster() {
+        let mb = Arc::new(Mailbox::bounded(small_budget(OverloadPolicy::Block)));
+        mb.post(sized_pkt(0, 1, 200));
+        let mb2 = Arc::clone(&mb);
+        let poster = std::thread::spawn(move || mb2.post(sized_pkt(0, 2, 10)));
+        std::thread::sleep(Duration::from_millis(20));
+        mb.close();
+        poster.join().unwrap();
+        assert_eq!(mb.len(), 1, "the blocked post was dropped on close");
+    }
+
+    #[test]
+    fn shed_policy_drops_least_urgent_application_packet() {
+        let mb = Mailbox::bounded(MailboxBudget { max_bytes: 1000, max_envelopes: 3, policy: OverloadPolicy::Shed });
+        mb.post(pkt(5, 1));
+        mb.post(pkt(1, 2));
+        mb.post(pkt(3, 3));
+        // At the envelope budget: a *less* urgent packet sheds itself...
+        mb.post(pkt(9, 4));
+        assert_eq!(mb.sheds(), 1);
+        assert_eq!(mb.len(), 3);
+        // ...while a *more* urgent packet evicts the least-urgent one (5).
+        mb.post(pkt(0, 5));
+        assert_eq!(mb.sheds(), 2);
+        assert_eq!(mb.len(), 3);
+        let order: Vec<u8> = (0..3).map(|_| mb.take().unwrap().payload[0]).collect();
+        assert_eq!(order, vec![5, 2, 3], "packet 1 (priority 5) was evicted, packet 4 was refused");
+        assert!(mb.shed_bytes() >= 2);
+        assert_eq!(mb.queue_full(), 2);
+    }
+
+    #[test]
+    fn shed_policy_never_sheds_exempt_packets() {
+        let mb = Mailbox::bounded(MailboxBudget { max_bytes: 1000, max_envelopes: 2, policy: OverloadPolicy::Shed });
+        mb.post(pkt(SHED_EXEMPT_PRIORITY, 1));
+        mb.post(pkt(SHED_EXEMPT_PRIORITY, 2));
+        // Over budget with only exempt packets queued: the app packet sheds
+        // itself rather than evicting control traffic.
+        mb.post(pkt(-100, 3));
+        assert_eq!(mb.sheds(), 1);
+        assert_eq!(mb.len(), 2);
+        // Exempt traffic is admitted over budget, never shed.
+        mb.post(pkt(SHED_EXEMPT_PRIORITY, 4));
+        assert_eq!(mb.len(), 3);
+        assert_eq!(mb.sheds(), 1);
+        let tags: Vec<u8> = (0..3).map(|_| mb.take().unwrap().payload[0]).collect();
+        assert_eq!(tags, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn shed_eviction_reaches_into_the_fifo_lane() {
+        let mb = Mailbox::bounded(MailboxBudget { max_bytes: 1000, max_envelopes: 2, policy: OverloadPolicy::Shed });
+        // Two equal-priority packets ride the FIFO lane.
+        mb.post(pkt(7, 1));
+        mb.post(pkt(7, 2));
+        // A more urgent packet evicts the newest lane occupant.
+        mb.post(pkt(2, 3));
+        assert_eq!(mb.sheds(), 1);
+        let order: Vec<u8> = (0..2).map(|_| mb.take().unwrap().payload[0]).collect();
+        assert_eq!(order, vec![3, 1], "the newest equal-priority packet (2) was shed");
+    }
+
+    #[test]
+    fn free_bytes_reflects_budget_headroom() {
+        let mb = Mailbox::bounded(MailboxBudget { max_bytes: 100, max_envelopes: 64, policy: OverloadPolicy::Block });
+        assert_eq!(mb.free_bytes(), 100);
+        mb.post(sized_pkt(0, 1, 30));
+        assert_eq!(mb.free_bytes(), 70);
+        mb.post(sized_pkt(SHED_EXEMPT_PRIORITY, 2, 200));
+        assert_eq!(mb.free_bytes(), 0, "saturating: exempt overshoot cannot go negative");
     }
 }

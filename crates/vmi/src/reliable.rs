@@ -21,6 +21,24 @@
 //! Acks are control traffic: the fault device spares them (and draws
 //! nothing for them), so recovery is driven purely by data-frame loss.
 //!
+//! ## Credit-based flow control
+//!
+//! With a [`FlowConfig`] active the layer also enforces end-to-end
+//! backpressure: each (src, dst) pair may have at most `credit_bytes` of
+//! unacknowledged payload in flight.  Credit grants ride on the acks the
+//! receiver already sends (a [`CreditGrant`] extension carrying the pair
+//! generation and the receiver's advertised headroom), so flow control
+//! costs zero extra frames.  A sender that exhausts its window either
+//! stalls (`Block` — while stalled it keeps draining its own inbox, so two
+//! mutually-saturated peers still exchange the acks that unblock them) or
+//! admits over the window (`Shed` — the shedding itself happens at
+//! envelope granularity in the aggregation layer and at the receiver's
+//! bounded mailbox, never here, so a frame is never torn).  Control
+//! traffic at [`SHED_EXEMPT_PRIORITY`](crate::mailbox::SHED_EXEMPT_PRIORITY)
+//! neither consumes credit nor waits for it.  [`ReliableTransport::reset_peer`]
+//! bumps the pair generation and re-arms a fresh window, so grants from a
+//! previous life of a crashed/rejoined PE are recognizably stale.
+//!
 //! Only framed application data ever comes out of [`ReliableTransport`]'s
 //! receive calls; acks, duplicates and retransmissions are absorbed here.
 //! Anything above this layer — the engine's scheduler, quiescence
@@ -33,9 +51,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use mdo_netsim::{Dur, FaultPlan, Pe, SplitMix64, TransportError};
-use parking_lot::Mutex;
+use mdo_netsim::{Dur, FaultPlan, FlowConfig, OverloadPolicy, Pe, SplitMix64, TransportError};
+use parking_lot::{Condvar, Mutex};
 
+use crate::mailbox::SHED_EXEMPT_PRIORITY;
 use crate::packet::Packet;
 use crate::transport::Transport;
 
@@ -66,6 +85,111 @@ pub fn encode_ack(cum: u64) -> Bytes {
     v.push(KIND_ACK);
     v.extend_from_slice(&cum.to_le_bytes());
     Bytes::from(v)
+}
+
+/// Bytes of the credit-grant extension an ack may carry after its header:
+/// `[gen: u32 LE, grant: u64 LE]`.
+pub const CREDIT_EXT_LEN: usize = 4 + 8;
+
+/// A credit grant riding on a cumulative ack: "generation `gen` of this
+/// pair may have up to `grant` unacknowledged payload bytes in flight".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CreditGrant {
+    /// The pair generation the grant belongs to (stale generations are
+    /// rejected — a grant from a peer's previous life must not open the
+    /// window of its successor).
+    pub gen: u32,
+    /// Advertised window in payload bytes.
+    pub grant: u64,
+}
+
+/// A malformed credit extension (wrong length).  Hostile or corrupted
+/// grants become this structured error, never a panic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CreditError {
+    /// What was wrong with the extension.
+    pub context: &'static str,
+}
+
+impl std::fmt::Display for CreditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed credit grant: {}", self.context)
+    }
+}
+
+impl std::error::Error for CreditError {}
+
+/// Build an ack frame carrying a credit grant.
+pub fn encode_ack_credit(cum: u64, grant: CreditGrant) -> Bytes {
+    let mut v = Vec::with_capacity(HEADER_LEN + CREDIT_EXT_LEN);
+    v.push(KIND_ACK);
+    v.extend_from_slice(&cum.to_le_bytes());
+    v.extend_from_slice(&grant.gen.to_le_bytes());
+    v.extend_from_slice(&grant.grant.to_le_bytes());
+    Bytes::from(v)
+}
+
+/// Parse the extension bytes of an ack frame (everything after the
+/// 9-byte header).  Empty means a plain ack with no grant; exactly
+/// [`CREDIT_EXT_LEN`] bytes is a grant; anything else is a structured
+/// [`CreditError`].
+pub fn decode_credit_ext(ext: &[u8]) -> Result<Option<CreditGrant>, CreditError> {
+    if ext.is_empty() {
+        return Ok(None);
+    }
+    if ext.len() != CREDIT_EXT_LEN {
+        return Err(CreditError { context: "credit extension length" });
+    }
+    let gen = u32::from_le_bytes(ext[..4].try_into().expect("4-byte field"));
+    let grant = u64::from_le_bytes(ext[4..].try_into().expect("8-byte field"));
+    Ok(Some(CreditGrant { gen, grant }))
+}
+
+/// Sender-side credit balance of one (src, dst) pair.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CreditState {
+    /// Current pair generation (bumped by [`ReliableTransport::reset_peer`]).
+    pub gen: u32,
+    /// Latest grant from the receiver, clamped to the configured window.
+    pub granted: u64,
+    /// Unacknowledged payload bytes in flight.
+    pub in_flight: u64,
+}
+
+impl CreditState {
+    /// A fresh pair: a full window, nothing in flight.
+    pub fn fresh(window: u64) -> Self {
+        CreditState { gen: 0, granted: window, in_flight: 0 }
+    }
+
+    /// Payload bytes this pair may still put in flight.  Saturating — a
+    /// hostile grant can shrink the window below what is already in
+    /// flight, but the balance never goes negative.
+    pub fn available(&self, window: u64) -> u64 {
+        self.granted.min(window).saturating_sub(self.in_flight)
+    }
+}
+
+/// What applying a received grant did to the pair state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GrantOutcome {
+    /// The grant matched the current generation and was applied (clamped
+    /// to the configured window, so an overflowing grant cannot open the
+    /// window wider than configured).
+    Applied,
+    /// The grant named a different generation and was ignored.
+    StaleGeneration,
+}
+
+/// Apply a decoded grant to a pair's sender-side state.  Total: every
+/// input produces either an applied (clamped) grant or a structured
+/// rejection — never a panic, never a negative balance.
+pub fn apply_grant(state: &mut CreditState, grant: CreditGrant, window: u64) -> GrantOutcome {
+    if grant.gen != state.gen {
+        return GrantOutcome::StaleGeneration;
+    }
+    state.granted = grant.grant.min(window);
+    GrantOutcome::Applied
 }
 
 /// Parse a frame: `(kind, seq-or-cum, payload)`.  `None` for anything too
@@ -110,6 +234,80 @@ struct Pending {
     pkt: Packet,
     deadline: Instant,
     retries: u32,
+    /// True if this frame reserved credit that must be released on ack.
+    counted: bool,
+}
+
+/// Shared credit-accounting state when a [`FlowConfig`] is active.
+struct FlowCtl {
+    cfg: FlowConfig,
+    pairs: Mutex<HashMap<(u32, u32), CreditState>>,
+    /// Blocked senders wait here; ack absorption signals.
+    space: Condvar,
+    /// Per-PE receiver headroom advertised on outgoing acks (set by the
+    /// aggregation layer from its delivery-mailbox budget; `u64::MAX`
+    /// until someone advertises).
+    advertised: Vec<AtomicU64>,
+    stalls: AtomicU64,
+    wait_ns: AtomicU64,
+    /// Grants rejected as malformed, stale, or for an unknown pair.
+    rejected_grants: AtomicU64,
+    /// Hard cap on one blocking reservation: liveness beats the window if
+    /// acks stop coming entirely (peer death is handled by the failure
+    /// detector, not by wedging a sender forever).
+    max_wait: Duration,
+}
+
+impl FlowCtl {
+    fn new(cfg: FlowConfig, n: usize) -> Self {
+        FlowCtl {
+            cfg,
+            pairs: Mutex::new(HashMap::new()),
+            space: Condvar::new(),
+            advertised: (0..n).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            stalls: AtomicU64::new(0),
+            wait_ns: AtomicU64::new(0),
+            rejected_grants: AtomicU64::new(0),
+            max_wait: Duration::from_secs(1),
+        }
+    }
+
+    /// The grant to put on an ack for traffic flowing `sender -> receiver`.
+    fn grant_for(&self, sender: u32, receiver: Pe) -> CreditGrant {
+        let headroom = self.advertised[receiver.index()].load(Ordering::Relaxed);
+        let gen = self.pairs.lock().get(&(sender, receiver.0)).map_or(0, |s| s.gen);
+        CreditGrant { gen, grant: self.cfg.credit_bytes.min(headroom) }
+    }
+
+    /// Fold an arriving ack into the pair's balance: release the acked
+    /// bytes, then apply any riding grant.  Hostile grants (malformed,
+    /// stale generation, unknown pair) are counted and ignored.
+    fn on_ack(&self, key: (u32, u32), release: u64, ext: &[u8]) {
+        let grant = match decode_credit_ext(ext) {
+            Ok(g) => g,
+            Err(_) => {
+                self.rejected_grants.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        };
+        {
+            let mut pairs = self.pairs.lock();
+            let Some(st) = pairs.get_mut(&key) else {
+                if grant.is_some() {
+                    // A grant for a pair we never sent on: unknown pair.
+                    self.rejected_grants.fetch_add(1, Ordering::Relaxed);
+                }
+                return;
+            };
+            st.in_flight = st.in_flight.saturating_sub(release);
+            if let Some(g) = grant {
+                if apply_grant(st, g, self.cfg.credit_bytes) != GrantOutcome::Applied {
+                    self.rejected_grants.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        self.space.notify_all();
+    }
 }
 
 /// Sender-side state of one ordered (src, dst) pair.
@@ -145,6 +343,7 @@ struct Shared {
     retransmits: AtomicU64,
     dup_dropped: AtomicU64,
     stop: AtomicBool,
+    flow: Option<FlowCtl>,
 }
 
 /// The reliable layer.  Built with [`ReliableTransport::passthrough`] it
@@ -171,6 +370,17 @@ impl ReliableTransport {
     /// Reliable delivery configured from `plan` (its `rto` and
     /// `max_retries` drive the retransmission schedule).
     pub fn with_plan(inner: Arc<Transport>, plan: FaultPlan) -> Arc<Self> {
+        Self::build(inner, plan, None)
+    }
+
+    /// Reliable delivery plus credit-based flow control: `plan` drives the
+    /// retransmission schedule (use `FaultPlan::default()` with a generous
+    /// rto on a lossless wire), `flow` the per-pair credit window.
+    pub fn with_flow(inner: Arc<Transport>, plan: FaultPlan, flow: FlowConfig) -> Arc<Self> {
+        Self::build(inner, plan, Some(flow))
+    }
+
+    fn build(inner: Arc<Transport>, plan: FaultPlan, flow: Option<FlowConfig>) -> Arc<Self> {
         let n = inner.topology().num_pes();
         let shared = Arc::new(Shared {
             inner: Arc::clone(&inner),
@@ -180,6 +390,7 @@ impl ReliableTransport {
             retransmits: AtomicU64::new(0),
             dup_dropped: AtomicU64::new(0),
             stop: AtomicBool::new(false),
+            flow: flow.map(|cfg| FlowCtl::new(cfg, n)),
         });
         let timer = spawn_retransmit_timer(Arc::clone(&shared));
         let layer = Layer {
@@ -196,7 +407,8 @@ impl ReliableTransport {
     }
 
     /// Send a packet: framed + tracked if it crosses the WAN and the layer
-    /// is active, raw otherwise.
+    /// is active, raw otherwise.  With flow control active this is where a
+    /// `Block`-policy sender stalls until its credit window re-opens.
     pub fn send(&self, pkt: Packet) {
         let Some(layer) = &self.layer else {
             self.inner.send(pkt);
@@ -207,6 +419,7 @@ impl ReliableTransport {
             return;
         }
         let sh = &layer.shared;
+        let counted = self.reserve_credit(layer, &pkt);
         let framed = {
             let mut send = sh.send.lock();
             let pair = send.entry((pkt.src.0, pkt.dst.0)).or_default();
@@ -216,11 +429,74 @@ impl ReliableTransport {
                 Packet { src: pkt.src, dst: pkt.dst, priority: pkt.priority, payload: encode_data(seq, &pkt.payload) };
             pair.pending.insert(
                 seq,
-                Pending { pkt: framed.clone(), deadline: Instant::now() + sh.plan.rto.to_std(), retries: 0 },
+                Pending { pkt: framed.clone(), deadline: Instant::now() + sh.plan.rto.to_std(), retries: 0, counted },
             );
             framed
         };
         self.inner.send(framed);
+    }
+
+    /// Reserve `pkt`'s payload bytes against the pair's credit window.
+    /// Returns true if credit was consumed (and must be released on ack).
+    ///
+    /// Control traffic is exempt.  Under `Block` the call stalls until the
+    /// window re-opens — and, crucially, keeps draining the *sender's own*
+    /// inbox while stalled: a blocked sender still absorbs incoming acks
+    /// (releasing its peers' frames) and still acks incoming data
+    /// (releasing peers blocked on *us*), so two mutually-saturated PEs
+    /// unblock each other instead of deadlocking.  Under `Shed` the
+    /// reservation never stalls: shedding happens at envelope granularity
+    /// upstream, and whatever still reaches this layer is admitted so
+    /// frames are never torn.
+    fn reserve_credit(&self, layer: &Layer, pkt: &Packet) -> bool {
+        let sh = &layer.shared;
+        let Some(flow) = &sh.flow else { return false };
+        if pkt.priority == SHED_EXEMPT_PRIORITY {
+            return false;
+        }
+        let bytes = pkt.payload.len() as u64;
+        let window = flow.cfg.credit_bytes;
+        let key = (pkt.src.0, pkt.dst.0);
+        let start = Instant::now();
+        let mut stalled = false;
+        loop {
+            {
+                let mut pairs = flow.pairs.lock();
+                let st = pairs.entry(key).or_insert_with(|| CreditState::fresh(window));
+                // `in_flight == 0` admits packets larger than the whole
+                // window: progress beats strictness.
+                let admit = st.available(window) >= bytes
+                    || st.in_flight == 0
+                    || flow.cfg.policy == OverloadPolicy::Shed
+                    || sh.stop.load(Ordering::Acquire)
+                    || start.elapsed() >= flow.max_wait;
+                if admit {
+                    st.in_flight += bytes;
+                    if stalled {
+                        flow.wait_ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    }
+                    return true;
+                }
+                if !stalled {
+                    flow.stalls.fetch_add(1, Ordering::Relaxed);
+                    stalled = true;
+                }
+                flow.space.wait_for(&mut pairs, Duration::from_micros(200));
+            }
+            // Off-lock: keep our own receive side moving while we stall.
+            while let Some(raw) = self.inner.try_recv(pkt.src) {
+                self.absorb(layer, pkt.src, raw);
+            }
+            if sh.error.lock().is_some() {
+                // A dead pair cannot return credit; let the failure
+                // machinery see the traffic instead of wedging here.
+                let mut pairs = flow.pairs.lock();
+                let st = pairs.entry(key).or_insert_with(|| CreditState::fresh(window));
+                st.in_flight += bytes;
+                flow.wait_ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                return true;
+            }
+        }
     }
 
     /// Receive for `pe`, blocking up to `timeout`: returns the next
@@ -265,11 +541,23 @@ impl ReliableTransport {
         }
         let sh = &layer.shared;
         match decode_frame(&pkt.payload) {
-            Some((KIND_ACK, cum, _)) => {
+            Some((KIND_ACK, cum, ext)) => {
                 // Ack from pkt.src for data this PE sent to pkt.src.
-                let mut send = sh.send.lock();
-                if let Some(pair) = send.get_mut(&(pe.0, pkt.src.0)) {
-                    pair.pending = pair.pending.split_off(&cum);
+                let mut release = 0u64;
+                {
+                    let mut send = sh.send.lock();
+                    if let Some(pair) = send.get_mut(&(pe.0, pkt.src.0)) {
+                        let kept = pair.pending.split_off(&cum);
+                        for p in pair.pending.values() {
+                            if p.counted {
+                                release += p.pkt.payload.len().saturating_sub(HEADER_LEN) as u64;
+                            }
+                        }
+                        pair.pending = kept;
+                    }
+                }
+                if let Some(flow) = &sh.flow {
+                    flow.on_ack((pe.0, pkt.src.0), release, ext);
                 }
             }
             Some((KIND_DATA, seq, _body)) => {
@@ -329,7 +617,13 @@ impl ReliableTransport {
                     }
                 };
                 if let Some(cum) = ack {
-                    self.inner.send(Packet::with_priority(pe, pkt.src, ACK_PRIORITY, encode_ack(cum)));
+                    // With flow control active the ack carries the pair's
+                    // credit grant — flow control costs no extra frames.
+                    let payload = match &sh.flow {
+                        Some(flow) => encode_ack_credit(cum, flow.grant_for(pkt.src.0, pe)),
+                        None => encode_ack(cum),
+                    };
+                    self.inner.send(Packet::with_priority(pe, pkt.src, ACK_PRIORITY, payload));
                 }
             }
             // Mangled beyond recognition — equivalent to a loss; the
@@ -353,6 +647,57 @@ impl ReliableTransport {
         self.layer.as_ref().map_or(0, |l| l.shared.dup_dropped.load(Ordering::Relaxed))
     }
 
+    fn flow(&self) -> Option<&FlowCtl> {
+        self.layer.as_ref().and_then(|l| l.shared.flow.as_ref())
+    }
+
+    /// True if credit-based flow control is active.
+    pub fn flow_active(&self) -> bool {
+        self.flow().is_some()
+    }
+
+    /// Payload bytes the pair may still put in flight (`u64::MAX` without
+    /// flow control).  The aggregation layer's `Shed` policy consults this
+    /// before buffering an envelope.
+    pub fn credit_available(&self, src: Pe, dst: Pe) -> u64 {
+        let Some(flow) = self.flow() else { return u64::MAX };
+        let window = flow.cfg.credit_bytes;
+        flow.pairs.lock().get(&(src.0, dst.0)).map_or(window, |st| st.available(window))
+    }
+
+    /// Snapshot of the pair's sender-side credit balance, if flow control
+    /// is active and the pair has sent.
+    pub fn credit_state(&self, src: Pe, dst: Pe) -> Option<CreditState> {
+        self.flow().and_then(|f| f.pairs.lock().get(&(src.0, dst.0)).copied())
+    }
+
+    /// Advertise `pe`'s receive-side headroom (payload bytes) — carried as
+    /// the grant on `pe`'s future acks.  Called by the aggregation layer
+    /// whenever its delivery-mailbox occupancy changes.
+    pub fn set_advertised_window(&self, pe: Pe, bytes: u64) {
+        if let Some(flow) = self.flow() {
+            flow.advertised[pe.index()].store(bytes, Ordering::Relaxed);
+            if bytes > 0 {
+                flow.space.notify_all();
+            }
+        }
+    }
+
+    /// Times a sender found its window exhausted and had to stall.
+    pub fn credit_stalls(&self) -> u64 {
+        self.flow().map_or(0, |f| f.stalls.load(Ordering::Relaxed))
+    }
+
+    /// Nanoseconds senders spent blocked waiting for credit.
+    pub fn credit_wait_ns(&self) -> u64 {
+        self.flow().map_or(0, |f| f.wait_ns.load(Ordering::Relaxed))
+    }
+
+    /// Credit grants rejected as malformed, stale, or for an unknown pair.
+    pub fn rejected_grants(&self) -> u64 {
+        self.flow().map_or(0, |f| f.rejected_grants.load(Ordering::Relaxed))
+    }
+
     /// Forget all per-pair sequence state involving `pe`: its send pairs
     /// (either direction), its entire receive side, and every other PE's
     /// receive pair keyed by it.  Called when a crashed PE re-enters the
@@ -366,6 +711,24 @@ impl ReliableTransport {
         {
             let mut send = layer.shared.send.lock();
             send.retain(|&(src, dst), _| src != pe.0 && dst != pe.0);
+        }
+        if let Some(flow) = &layer.shared.flow {
+            // Credits reset with the sequence state: the rejoined PE's
+            // pairs restart at a fresh full window in a new generation, so
+            // grants from its previous life are recognizably stale and
+            // in-flight bytes that will never be acked are forgotten.
+            {
+                let mut pairs = flow.pairs.lock();
+                for (&(src, dst), st) in pairs.iter_mut() {
+                    if src == pe.0 || dst == pe.0 {
+                        st.gen = st.gen.wrapping_add(1);
+                        st.granted = flow.cfg.credit_bytes;
+                        st.in_flight = 0;
+                    }
+                }
+            }
+            flow.advertised[pe.index()].store(u64::MAX, Ordering::Relaxed);
+            flow.space.notify_all();
         }
         for (i, side) in layer.recv.iter().enumerate() {
             let mut side = side.lock();
@@ -480,6 +843,158 @@ mod tests {
         assert!(!is_control_frame(&data));
         assert_eq!(decode_frame(b"xx"), None);
         assert_eq!(decode_frame(&[0x00; 16]), None);
+    }
+
+    fn rig_flow(flow: FlowConfig) -> Arc<ReliableTransport> {
+        let topo = Topology::two_cluster(2);
+        let latency = LatencyMatrix::uniform(&topo, Dur::ZERO, Dur::ZERO);
+        let cfg = TransportConfig::new(topo, latency);
+        let plan = FaultPlan::default().with_rto(Dur::from_millis(200));
+        ReliableTransport::with_flow(Transport::new(cfg), plan, flow)
+    }
+
+    #[test]
+    fn credit_codec_roundtrip_and_hostile_lengths() {
+        let grant = CreditGrant { gen: 3, grant: 4096 };
+        let frame = encode_ack_credit(99, grant);
+        assert!(is_control_frame(&frame));
+        let (kind, cum, ext) = decode_frame(&frame).expect("credit acks still parse as ack frames");
+        assert_eq!((kind, cum), (KIND_ACK, 99));
+        assert_eq!(decode_credit_ext(ext), Ok(Some(grant)));
+        let plain = encode_ack(7);
+        let (_, _, ext) = decode_frame(&plain).unwrap();
+        assert_eq!(decode_credit_ext(ext), Ok(None), "plain acks carry no grant");
+        for len in [1usize, 5, 11, 13, 64] {
+            let err = decode_credit_ext(&vec![0u8; len]).expect_err("bad length rejected");
+            assert!(err.to_string().contains("length"), "structured error for length {len}");
+        }
+    }
+
+    #[test]
+    fn apply_grant_rejects_stale_and_clamps_overflow() {
+        let mut st = CreditState::fresh(1000);
+        st.in_flight = 400;
+        assert_eq!(apply_grant(&mut st, CreditGrant { gen: 1, grant: 5000 }, 1000), GrantOutcome::StaleGeneration);
+        assert_eq!(st.granted, 1000, "stale-generation grant ignored");
+        assert_eq!(apply_grant(&mut st, CreditGrant { gen: 0, grant: u64::MAX }, 1000), GrantOutcome::Applied);
+        assert_eq!(st.granted, 1000, "overflowing grant clamped to the configured window");
+        assert_eq!(apply_grant(&mut st, CreditGrant { gen: 0, grant: 100 }, 1000), GrantOutcome::Applied);
+        assert_eq!(st.available(1000), 0, "window shrunk below in-flight saturates, never negative");
+    }
+
+    #[test]
+    fn window_accounting_reserves_and_releases() {
+        let rt = rig_flow(FlowConfig::default().with_credit_bytes(64));
+        assert!(rt.flow_active());
+        assert_eq!(rt.credit_available(Pe(0), Pe(1)), 64);
+        rt.send(Packet::new(Pe(0), Pe(1), Bytes::from(vec![0u8; 32])));
+        rt.send(Packet::new(Pe(0), Pe(1), Bytes::from(vec![0u8; 32])));
+        assert_eq!(rt.credit_available(Pe(0), Pe(1)), 0, "both frames counted against the window");
+        for _ in 0..2 {
+            rt.recv_timeout(Pe(1), Duration::from_secs(5)).expect("delivered");
+        }
+        // The receiver's acks land in PE 0's inbox; credit returns when
+        // PE 0's receive path absorbs them.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while rt.credit_available(Pe(0), Pe(1)) < 64 && Instant::now() < deadline {
+            let _ = rt.try_recv(Pe(0));
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(rt.credit_available(Pe(0), Pe(1)), 64, "acks returned the credit");
+        rt.shutdown();
+        rt.inner().shutdown();
+    }
+
+    #[test]
+    fn exempt_traffic_bypasses_the_window() {
+        let rt = rig_flow(FlowConfig::default().with_credit_bytes(16));
+        for _ in 0..8 {
+            rt.send(Packet::with_priority(Pe(0), Pe(1), SHED_EXEMPT_PRIORITY, Bytes::from(vec![0u8; 64])));
+        }
+        assert_eq!(rt.credit_available(Pe(0), Pe(1)), 16, "control traffic consumed no credit");
+        assert_eq!(rt.credit_stalls(), 0, "and never stalled despite dwarfing the window");
+        rt.shutdown();
+        rt.inner().shutdown();
+    }
+
+    #[test]
+    fn block_policy_stalls_sender_until_receiver_drains() {
+        let rt = rig_flow(FlowConfig::default().with_credit_bytes(64));
+        let n = 24u64;
+        let sender = {
+            let rt = Arc::clone(&rt);
+            std::thread::spawn(move || {
+                for i in 0..n {
+                    // 32-byte payloads against a 64-byte window: at most two
+                    // in flight, so the sender must stall repeatedly.
+                    rt.send(Packet::new(Pe(0), Pe(1), Bytes::from(i.to_le_bytes().repeat(4))));
+                }
+            })
+        };
+        let mut got = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while (got.len() as u64) < n && Instant::now() < deadline {
+            if let Some(p) = rt.recv_timeout(Pe(1), Duration::from_millis(20)) {
+                got.push(u64::from_le_bytes(p.payload[..8].try_into().unwrap()));
+            }
+        }
+        sender.join().unwrap();
+        assert_eq!(got, (0..n).collect::<Vec<_>>(), "Block policy is lossless and ordered");
+        assert!(rt.credit_stalls() > 0, "the tiny window forced stalls");
+        assert!(rt.credit_wait_ns() > 0, "stall time was accounted");
+        assert!(rt.error().is_none());
+        rt.shutdown();
+        rt.inner().shutdown();
+    }
+
+    #[test]
+    fn mutually_saturated_pairs_do_not_deadlock() {
+        // Both directions saturate a 64-byte window at once.  A naive
+        // blocking sender would deadlock: each side stalls before it can
+        // absorb the acks that would free the other.  The stall loop keeps
+        // draining the sender's own inbox, so the pairs unblock each other.
+        let rt = rig_flow(FlowConfig::default().with_credit_bytes(64));
+        let n = 12u64;
+        let spawn_sender = |src: Pe, dst: Pe| {
+            let rt = Arc::clone(&rt);
+            std::thread::spawn(move || {
+                for i in 0..n {
+                    rt.send(Packet::new(src, dst, Bytes::from(i.to_le_bytes().repeat(6))));
+                }
+            })
+        };
+        let a = spawn_sender(Pe(0), Pe(1));
+        let b = spawn_sender(Pe(1), Pe(0));
+        let start = Instant::now();
+        let (mut got0, mut got1) = (0u64, 0u64);
+        while (got0 < n || got1 < n) && start.elapsed() < Duration::from_secs(30) {
+            if got1 < n && rt.recv_timeout(Pe(1), Duration::from_millis(5)).is_some() {
+                got1 += 1;
+            }
+            if got0 < n && rt.recv_timeout(Pe(0), Duration::from_millis(5)).is_some() {
+                got0 += 1;
+            }
+        }
+        a.join().unwrap();
+        b.join().unwrap();
+        assert_eq!((got0, got1), (n, n), "both directions drained under mutual saturation");
+        rt.shutdown();
+        rt.inner().shutdown();
+    }
+
+    #[test]
+    fn reset_peer_rearms_a_fresh_window() {
+        let rt = rig_flow(FlowConfig::default().with_credit_bytes(64));
+        rt.send(Packet::new(Pe(0), Pe(1), Bytes::from(vec![0u8; 64])));
+        assert_eq!(rt.credit_available(Pe(0), Pe(1)), 0, "window fully reserved");
+        let gen_before = rt.credit_state(Pe(0), Pe(1)).unwrap().gen;
+        rt.reset_peer(Pe(1));
+        let st = rt.credit_state(Pe(0), Pe(1)).unwrap();
+        assert_eq!(st.gen, gen_before + 1, "generation bumped so old grants are stale");
+        assert_eq!(st.in_flight, 0, "in-flight bytes that will never be acked are forgotten");
+        assert_eq!(rt.credit_available(Pe(0), Pe(1)), 64, "the rejoined pair starts with a full window");
+        rt.shutdown();
+        rt.inner().shutdown();
     }
 
     #[test]

@@ -7,7 +7,10 @@
 //! is exactly parking_lot's behaviour.
 
 use std::fmt;
-use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{self};
+/// Guard types are std's own — re-exported so callers can name them as
+/// `parking_lot::MutexGuard` etc., like the real crate.
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
 
 /// A mutex that hands out guards directly (no poisoning).

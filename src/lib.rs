@@ -32,8 +32,8 @@ pub mod prelude {
     pub use mdo_core::{SimEngine, ThreadedConfig, ThreadedEngine};
     pub use mdo_netsim::network::NetworkModel;
     pub use mdo_netsim::{
-        CrashTrigger, Dur, FailureCause, FailurePlan, FaultPlan, LatencyMatrix, Pe, PeFailed, Time, Topology,
-        TransportError, UnrecoverableError,
+        CrashTrigger, Dur, FailureCause, FailurePlan, FaultPlan, FlowConfig, LatencyMatrix, OverloadPolicy, Pe,
+        PeFailed, Time, Topology, TransportError, UnrecoverableError,
     };
     pub use mdo_obs::{ObsConfig, ObsReport};
 }

@@ -13,7 +13,8 @@ use gridmdo::runtime::checkpoint::{ArraySnapshot, Snapshot};
 use gridmdo::runtime::envelope::{Envelope, MsgBody};
 use gridmdo::runtime::ids::{ArrayId, ElemId, EntryId, ObjKey};
 use gridmdo::vmi::reliable::{
-    decode_frame, encode_ack, encode_data, is_control_frame, HEADER_LEN, KIND_ACK, KIND_DATA,
+    apply_grant, decode_credit_ext, decode_frame, encode_ack, encode_ack_credit, encode_data, is_control_frame,
+    CreditGrant, CreditState, GrantOutcome, CREDIT_EXT_LEN, HEADER_LEN, KIND_ACK, KIND_DATA,
 };
 use mdo_check::ScheduleFile;
 use proptest::prelude::*;
@@ -102,6 +103,66 @@ proptest! {
         prop_assert!(rest.is_empty());
         prop_assert!(is_control_frame(&ack));
         prop_assert!(!is_control_frame(&data));
+    }
+
+    /// Arbitrary bytes into the credit-extension parser — the surface a
+    /// hostile peer reaches by appending garbage to an ack frame.  Empty
+    /// is a plain ack, exactly [`CREDIT_EXT_LEN`] bytes is a grant, any
+    /// other length is a structured [`CreditError`] — never a panic.
+    #[test]
+    fn credit_ext_decode_survives_arbitrary_bytes(buf in prop::collection::vec(any::<u8>(), 0..64)) {
+        match decode_credit_ext(&buf) {
+            Ok(None) => prop_assert!(buf.is_empty()),
+            Ok(Some(grant)) => {
+                prop_assert_eq!(buf.len(), CREDIT_EXT_LEN);
+                // A parsed grant re-encodes to the same extension bytes.
+                let ack = encode_ack_credit(9, grant);
+                prop_assert_eq!(&ack[HEADER_LEN..], &buf[..]);
+            }
+            Err(e) => {
+                prop_assert!(!buf.is_empty() && buf.len() != CREDIT_EXT_LEN);
+                prop_assert!(!e.to_string().is_empty());
+            }
+        }
+    }
+
+    /// A credit-bearing ack round-trips through the frame parser and the
+    /// extension parser field for field.
+    #[test]
+    fn ack_credit_roundtrip(cum in any::<u64>(), gen in any::<u32>(), grant in any::<u64>()) {
+        let ack = encode_ack_credit(cum, CreditGrant { gen, grant });
+        prop_assert!(is_control_frame(&ack));
+        let (kind, num, ext) = decode_frame(&ack).expect("credit ack parses");
+        prop_assert_eq!(kind, KIND_ACK);
+        prop_assert_eq!(num, cum);
+        prop_assert_eq!(decode_credit_ext(ext).expect("well-formed extension"),
+                        Some(CreditGrant { gen, grant }));
+    }
+
+    /// Hostile grants against live sender-side credit state: `u64::MAX`
+    /// windows are clamped to the configured window, grants from stale
+    /// (or future) generations are ignored outright, and no input drives
+    /// the available balance negative or past the window.
+    #[test]
+    fn hostile_grants_never_panic_and_never_overrun_the_window(
+        window in 1u64..1_000_000,
+        in_flight in 0u64..2_000_000,
+        state_gen in any::<u32>(),
+        grant_gen in any::<u32>(),
+        grant in any::<u64>())
+    {
+        let mut state = CreditState { gen: state_gen, granted: window, in_flight };
+        let before = state;
+        let outcome = apply_grant(&mut state, CreditGrant { gen: grant_gen, grant }, window);
+        if grant_gen == state_gen {
+            prop_assert_eq!(outcome, GrantOutcome::Applied);
+            prop_assert!(state.granted <= window, "overflowing grant was clamped");
+        } else {
+            prop_assert_eq!(outcome, GrantOutcome::StaleGeneration);
+            prop_assert_eq!(state, before);
+        }
+        prop_assert!(state.available(window) <= window, "balance never exceeds the window");
+        prop_assert_eq!(state.in_flight, in_flight);
     }
 
     /// Arbitrary bytes into the versioned snapshot decoder — the surface

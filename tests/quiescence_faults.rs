@@ -89,7 +89,7 @@ fn sim_quiescence_fires_once_under_drop_and_reorder() {
 
     // The mdo-check oracle: with a quiescent exit, no application message
     // may have been sent but undelivered, and none delivered twice.
-    let violations = check_report(&report, &Expectation { quiescent_exit: true });
+    let violations = check_report(&report, &Expectation { quiescent_exit: true, ..Expectation::default() });
     assert!(violations.is_empty(), "quiescence soundness violated: {violations:?}");
 }
 
@@ -110,7 +110,7 @@ fn sim_quiescence_is_sound_under_exploration_plus_faults() {
         let report = SimEngine::new(net, run_cfg).run(program);
         assert_eq!(fired.load(Ordering::SeqCst), 1, "seed {seed}: fired once");
         assert_eq!(received.load(Ordering::SeqCst), u64::from(HOPS) + 1, "seed {seed}: exactly-once");
-        let violations = check_report(&report, &Expectation { quiescent_exit: true });
+        let violations = check_report(&report, &Expectation { quiescent_exit: true, ..Expectation::default() });
         assert!(violations.is_empty(), "seed {seed}: {violations:?}");
     }
 }
