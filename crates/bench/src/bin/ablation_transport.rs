@@ -1,0 +1,262 @@
+//! Ablation A13: the real transport over loopback TCP.
+//!
+//! Two node processes-worth of stack (run as threads over real
+//! 127.0.0.1 sockets — the same `NetSession`/`NetMesh`/`WireBinding`
+//! path `mdo_launch` children take) exchange a fixed count of envelopes
+//! per configuration, sweeping:
+//!
+//!  * envelope size: 32 B .. 64 KiB,
+//!  * stripe count: 1 vs 4 TCP streams per node pair (MPWide-style),
+//!  * TRAM aggregation: off (passthrough) vs on (default policy).
+//!
+//! Every configuration runs the full production stack — framed records
+//! over TCP_NODELAY sockets, the reliable layer (seq/ack, so k = 4's
+//! inter-stream reordering is re-sequenced), and the aggregator — and
+//! reports delivered envelopes/s plus one-way p50/p99 latency measured
+//! against a clock shared by both endpoints (one process, so no clock
+//! skew).  The expected shape mirrors the paper's story: aggregation
+//! pays at small envelopes (per-record and per-ack overhead amortized
+//! across a frame), is bypassed above the eager cutoff, and striping
+//! helps bulk transfers, not fine-grain messaging.
+//!
+//! Results land in `results/BENCH_transport.json`.
+//!
+//! Usage: `ablation_transport [--quick] [--out FILE] [--csv]`
+
+use mdo_bench::table::Table;
+use mdo_bench::{arg_flag, arg_value};
+use mdo_net::{localhost_rendezvous, NetConfig, NetEvent, NetSession};
+use mdo_netsim::{AggConfig, Dur, FaultPlan, LatencyMatrix, Pe, Topology};
+use mdo_vmi::{Aggregator, ReliableTransport, Transport, TransportConfig, Wire, WireBinding};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Untimed envelopes at the head of each run: connection buffers and the
+/// first-frame paths warm up outside the measurement window.
+const WARMUP: usize = 64;
+/// Per-configuration completion deadline — a wedged config is a failure,
+/// not a hang.
+const DEADLINE: Duration = Duration::from_secs(60);
+
+struct Row {
+    size: usize,
+    streams: usize,
+    agg: bool,
+    count: usize,
+    wall_s: f64,
+    env_per_s: f64,
+    mib_per_s: f64,
+    p50_us: f64,
+    p99_us: f64,
+    wire_packets: u64,
+}
+
+/// One endpoint's full stack for a single configuration.
+struct Stack {
+    mesh: Arc<mdo_net::NetMesh>,
+    raw: Arc<Transport>,
+    agg: Arc<Aggregator>,
+}
+
+impl Stack {
+    fn build(session: &NetSession, topo: &Topology, me: u32, agg_on: bool) -> Self {
+        let mesh = Arc::new(session.establish(0, topo, &[0, 1]).expect("establish mesh"));
+        let mut tc = TransportConfig::new(topo.clone(), LatencyMatrix::uniform(topo, Dur::ZERO, Dur::ZERO));
+        tc.wire = Some(WireBinding::new(Arc::clone(&mesh) as Arc<dyn Wire>, &[Pe(me)], 2));
+        let raw = Transport::new(tc);
+        // The reliable layer is always on: k-striped streams reorder
+        // between sockets and seq/ack re-sequences them.  A long RTO
+        // keeps spurious retransmits out of the measurement.
+        let rt = ReliableTransport::with_plan(Arc::clone(&raw), FaultPlan::default().with_rto(Dur::from_millis(500)));
+        let agg = if agg_on { Aggregator::with_policy(rt, AggConfig::default()) } else { Aggregator::passthrough(rt) };
+        {
+            let raw = Arc::clone(&raw);
+            mesh.start(move |pkt| raw.mailbox(pkt.dst).post(pkt));
+        }
+        Stack { mesh, raw, agg }
+    }
+
+    fn shutdown(self) {
+        self.agg.shutdown();
+        self.raw.shutdown();
+        self.mesh.shutdown();
+    }
+}
+
+/// Run one configuration: node 0 sends `WARMUP + count` envelopes of
+/// `size` bytes to node 1, which confirms completion over the control
+/// plane.  Timestamps are nanoseconds since a shared epoch.
+fn run_config(size: usize, streams: usize, agg_on: bool, count: usize) -> Row {
+    let topo = Topology::two_cluster(2);
+    let (listeners, addrs) = localhost_rendezvous(2).expect("rendezvous ports");
+    let total = WARMUP + count;
+    let epoch = Instant::now();
+    let send_ns: Arc<Vec<AtomicU64>> = Arc::new((0..count).map(|_| AtomicU64::new(0)).collect());
+    let recv_ns: Arc<Vec<AtomicU64>> = Arc::new((0..count).map(|_| AtomicU64::new(0)).collect());
+    let wall_ns = Arc::new(AtomicU64::new(0));
+    let frames = Arc::new(AtomicU64::new(0));
+
+    let mut handles = Vec::new();
+    for (node, listener) in listeners.into_iter().enumerate().rev() {
+        let topo = topo.clone();
+        let addrs = addrs.clone();
+        let send_ns = Arc::clone(&send_ns);
+        let recv_ns = Arc::clone(&recv_ns);
+        let wall_ns = Arc::clone(&wall_ns);
+        let frames = Arc::clone(&frames);
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("bench-node{node}"))
+                .spawn(move || {
+                    let cfg = NetConfig::new(node as u32, addrs).with_streams(streams);
+                    let session = NetSession::with_listener(cfg, listener).expect("session");
+                    let stack = Stack::build(&session, &topo, node as u32, agg_on);
+                    if node == 0 {
+                        let body = vec![0u8; size.max(8)];
+                        let t0 = Instant::now();
+                        for seq in 0..total as u64 {
+                            stack.agg.send_with(Pe(0), Pe(1), 0, false, |b| {
+                                b.put_u64_le(seq);
+                                b.put_slice(&body[8..]);
+                            });
+                            if seq as usize >= WARMUP {
+                                let at = epoch.elapsed().as_nanos() as u64;
+                                send_ns[seq as usize - WARMUP].store(at, Ordering::Relaxed);
+                            }
+                        }
+                        stack.agg.flush_all();
+                        // Hold the mesh open until the receiver confirms
+                        // full delivery over the control plane.
+                        let confirmed = loop {
+                            match stack.mesh.next_event(DEADLINE) {
+                                Some(NetEvent::Control { .. }) => break true,
+                                Some(NetEvent::PeerDown { .. }) => continue,
+                                None => break false,
+                            }
+                        };
+                        assert!(confirmed, "receiver never confirmed {total} envelopes of {size} B (k={streams})");
+                        wall_ns.store(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        // Packets the raw layer pushed onto the wire:
+                        // coalesced frames when aggregation is on, one per
+                        // envelope (plus acks' worth of nothing — acks ride
+                        // the reverse path) when it is off.
+                        frames.store(stack.raw.cross_traffic().0, Ordering::Relaxed);
+                        stack.shutdown();
+                    } else {
+                        let deadline = Instant::now() + DEADLINE;
+                        let mut got = 0usize;
+                        while got < total && Instant::now() < deadline {
+                            let Some(p) = stack.agg.recv_timeout(Pe(1), Duration::from_millis(20)) else { continue };
+                            let at = epoch.elapsed().as_nanos() as u64;
+                            let seq = u64::from_le_bytes(p.payload[..8].try_into().expect("seq header")) as usize;
+                            if seq >= WARMUP {
+                                recv_ns[seq - WARMUP].store(at, Ordering::Relaxed);
+                            }
+                            got += 1;
+                        }
+                        assert_eq!(got, total, "receiver drained every envelope ({size} B, k={streams}, agg={agg_on})");
+                        stack.mesh.send_control(0, b"done").expect("confirm completion");
+                        stack.shutdown();
+                    }
+                })
+                .expect("spawn bench node"),
+        );
+    }
+    for h in handles {
+        h.join().expect("bench node must not panic");
+    }
+
+    let mut oneway_us: Vec<f64> = send_ns
+        .iter()
+        .zip(recv_ns.iter())
+        .filter_map(|(s, r)| {
+            let (s, r) = (s.load(Ordering::Relaxed), r.load(Ordering::Relaxed));
+            (s > 0 && r > s).then(|| (r - s) as f64 / 1e3)
+        })
+        .collect();
+    oneway_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let pct = |p: f64| -> f64 {
+        if oneway_us.is_empty() {
+            return 0.0;
+        }
+        let idx = ((oneway_us.len() - 1) as f64 * p).round() as usize;
+        oneway_us[idx]
+    };
+    let wall_s = wall_ns.load(Ordering::Relaxed) as f64 / 1e9;
+    Row {
+        size,
+        streams,
+        agg: agg_on,
+        count,
+        wall_s,
+        env_per_s: total as f64 / wall_s,
+        mib_per_s: (total * size) as f64 / wall_s / (1 << 20) as f64,
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        wire_packets: frames.load(Ordering::Relaxed),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = arg_flag(&args, "--quick");
+    let csv = arg_flag(&args, "--csv");
+    let out_path = arg_value(&args, "--out").unwrap_or_else(|| "results/BENCH_transport.json".into());
+
+    let sizes: &[usize] = if quick { &[32, 4096, 65536] } else { &[32, 256, 2048, 16384, 65536] };
+    let budget: usize = if quick { 1 << 20 } else { 4 << 20 };
+    let cap: usize = if quick { 4_000 } else { 20_000 };
+
+    println!("== A13: transport ablation (loopback TCP, {} mode) ==\n", if quick { "quick" } else { "full" });
+    let mut table =
+        Table::new(vec!["size B", "k", "agg", "envelopes", "wall ms", "env/s", "MiB/s", "p50 us", "p99 us"]);
+    let mut rows_json = Vec::new();
+    for &size in sizes {
+        for &streams in &[1usize, 4] {
+            for &agg_on in &[false, true] {
+                let count = (budget / size).clamp(256, cap);
+                let r = run_config(size, streams, agg_on, count);
+                table.row(vec![
+                    format!("{}", r.size),
+                    format!("{}", r.streams),
+                    if r.agg { "on".into() } else { "off".into() },
+                    format!("{}", r.count),
+                    format!("{:.1}", r.wall_s * 1e3),
+                    format!("{:.0}", r.env_per_s),
+                    format!("{:.1}", r.mib_per_s),
+                    format!("{:.1}", r.p50_us),
+                    format!("{:.1}", r.p99_us),
+                ]);
+                rows_json.push(format!(
+                    "    {{ \"size_bytes\": {}, \"streams\": {}, \"agg\": {}, \"envelopes\": {}, \
+                     \"wall_s\": {:.6}, \"env_per_s\": {:.1}, \"mib_per_s\": {:.3}, \
+                     \"p50_us\": {:.2}, \"p99_us\": {:.2}, \"wire_packets\": {} }}",
+                    r.size,
+                    r.streams,
+                    r.agg,
+                    r.count,
+                    r.wall_s,
+                    r.env_per_s,
+                    r.mib_per_s,
+                    r.p50_us,
+                    r.p99_us,
+                    r.wire_packets,
+                ));
+            }
+        }
+    }
+
+    println!("{}", if csv { table.render_csv() } else { table.render() });
+    println!("(reliable layer on everywhere; agg = TRAM default policy, eager cutoff 1 KiB)\n");
+
+    let json = format!(
+        "{{\n  \"schema\": 1,\n  \"quick\": {quick},\n  \"warmup\": {WARMUP},\n  \"sweep\": [\n{}\n  ]\n}}\n",
+        rows_json.join(",\n")
+    );
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(dir).expect("create results directory");
+    }
+    std::fs::write(&out_path, &json).expect("write results json");
+    println!("wrote {out_path}");
+}

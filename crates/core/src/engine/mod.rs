@@ -14,6 +14,7 @@
 //! queued messages a PE dispatches next, turning the deterministic engine
 //! into a systematic schedule explorer (see the `mdo-check` crate).
 
+pub mod net;
 pub mod policy;
 pub mod sim;
 pub mod threaded;

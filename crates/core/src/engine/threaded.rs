@@ -109,22 +109,22 @@ impl NodeHooks for ThreadHooks {
 /// the buddy pieces stored inside it and — on PE 0 — the host closures.
 /// A PE that died (injected crash or panic) returns `node: None`; its
 /// in-memory state is gone, exactly like a real process crash.
-struct PeResult {
-    pe: Pe,
-    busy: Dur,
-    messages: u64,
-    lb_rounds: u32,
-    migrations: u64,
-    rebalance: u32,
-    obs: PeObs,
-    ft_epochs: u32,
-    ft_bytes: u64,
-    node: Option<Node>,
+pub(super) struct PeResult {
+    pub(super) pe: Pe,
+    pub(super) busy: Dur,
+    pub(super) messages: u64,
+    pub(super) lb_rounds: u32,
+    pub(super) migrations: u64,
+    pub(super) rebalance: u32,
+    pub(super) obs: PeObs,
+    pub(super) ft_epochs: u32,
+    pub(super) ft_bytes: u64,
+    pub(super) node: Option<Node>,
 }
 
 impl PeResult {
     /// Placeholder for a thread that could not be joined.
-    fn lost(pe: Pe) -> Self {
+    pub(super) fn lost(pe: Pe) -> Self {
         PeResult {
             pe,
             busy: Dur::ZERO,
@@ -141,42 +141,42 @@ impl PeResult {
 }
 
 /// Per-PE liveness flags shared with the watchdog.
-const PE_ALIVE: u8 = 0;
-const PE_CRASHED: u8 = 1;
-const PE_PANICKED: u8 = 2;
+pub(super) const PE_ALIVE: u8 = 0;
+pub(super) const PE_CRASHED: u8 = 1;
+pub(super) const PE_PANICKED: u8 = 2;
 
 /// Shared wiring handed to every PE thread.
-struct ThreadCtl {
-    agg: Arc<Aggregator>,
-    stop: Arc<AtomicBool>,
-    exit_announced: Arc<AtomicBool>,
-    end_ns: Arc<AtomicU64>,
-    decode_rejected: Arc<AtomicU64>,
-    status: Arc<Vec<AtomicU8>>,
-    last_heard: Arc<Vec<AtomicU64>>,
-    t0: Instant,
-    topo: Topology,
-    record_on: bool,
-    obs_cfg: ObsConfig,
+pub(super) struct ThreadCtl {
+    pub(super) agg: Arc<Aggregator>,
+    pub(super) stop: Arc<AtomicBool>,
+    pub(super) exit_announced: Arc<AtomicBool>,
+    pub(super) end_ns: Arc<AtomicU64>,
+    pub(super) decode_rejected: Arc<AtomicU64>,
+    pub(super) status: Arc<Vec<AtomicU8>>,
+    pub(super) last_heard: Arc<Vec<AtomicU64>>,
+    pub(super) t0: Instant,
+    pub(super) topo: Topology,
+    pub(super) record_on: bool,
+    pub(super) obs_cfg: ObsConfig,
     /// Current → original PE numbering for this generation; recorders log
     /// in original numbers so generations concatenate.
-    orig_map: Arc<Vec<Pe>>,
-    compute_sleep: bool,
+    pub(super) orig_map: Arc<Vec<Pe>>,
+    pub(super) compute_sleep: bool,
     /// Heartbeat cadence; `None` disables liveness traffic (no failure plan).
-    hb_interval: Option<Duration>,
+    pub(super) hb_interval: Option<Duration>,
     /// This PE's injected crash, already translated to the current
     /// generation's numbering.
-    crash: Option<CrashTrigger>,
+    pub(super) crash: Option<CrashTrigger>,
     /// Envelopes this PE had processed in previous generations (crash
     /// triggers count across restarts).
-    msgs_before: u64,
+    pub(super) msgs_before: u64,
     /// Set to (epoch + 1) by PE 0 when a buddy-checkpoint epoch completes
     /// cluster-wide; the watchdog admits pending joins only when non-zero,
     /// so the widened cluster always has a snapshot to restart from.
-    ckpt_done: Arc<AtomicU64>,
+    pub(super) ckpt_done: Arc<AtomicU64>,
 }
 
-fn elapsed_ns(t0: Instant) -> u64 {
+pub(super) fn elapsed_ns(t0: Instant) -> u64 {
     u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
@@ -195,6 +195,17 @@ impl ThreadedEngine {
     /// restore protocol as the virtual-time engine, driven by wall-clock
     /// generations of real threads.
     pub fn run(self, program: Program) -> RunReport {
+        // Multi-process mode: each process runs only its own cluster's PEs
+        // and cross-cluster traffic moves over real TCP.  Transport-level
+        // failures (rendezvous, handshake, a dead peer) abort loudly —
+        // callers that want them structured use
+        // [`super::net::run_multi_process`] directly.
+        if self.cfg.net.is_some() {
+            return match super::net::run_multi_process(self.topo, self.tcfg, self.cfg, program) {
+                Ok(report) => report,
+                Err(e) => panic!("multi-process run failed: {e}"),
+            };
+        }
         let ThreadedEngine { topo, tcfg, cfg } = self;
         let orig_n_pes = topo.num_pes();
         let trace_on = cfg.trace;
@@ -733,7 +744,7 @@ fn record_spans(rec: &mut PeRecorder, outcome: &HandleOutcome, start: Time, took
     }
 }
 
-fn pe_thread(pe: Pe, mut node: Node, ctl: ThreadCtl) -> PeResult {
+pub(super) fn pe_thread(pe: Pe, mut node: Node, ctl: ThreadCtl) -> PeResult {
     let mut busy = Dur::ZERO;
     let mut hooks = ThreadHooks {
         t0: ctl.t0,

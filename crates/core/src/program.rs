@@ -301,6 +301,15 @@ pub struct RunConfig {
     /// deterministic and explorable.  `None` (the default) leaves both
     /// engines exactly as they are: unbounded in-flight traffic.
     pub flow: Option<FlowConfig>,
+    /// Multi-process mode: when set, the threaded engine runs only the
+    /// PEs of this process's topology cluster and moves cross-cluster
+    /// traffic over real TCP (mdo-net) instead of in-process mailboxes.
+    /// One process per cluster; node 0 hosts PE 0 and merges the final
+    /// report from every node's control-plane submission.  `None` (the
+    /// default) keeps the whole job in one process, exactly as before.
+    /// Ignored by the simulation engine.  In net mode `join_plan`, `obs`
+    /// and `trace` are unsupported and ignored (see DESIGN.md).
+    pub net: Option<mdo_net::NetConfig>,
 }
 
 impl RunConfig {
@@ -352,6 +361,7 @@ impl Default for RunConfig {
             schedule_sink: None,
             agg: None,
             flow: None,
+            net: None,
         }
     }
 }

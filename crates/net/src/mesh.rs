@@ -1,0 +1,750 @@
+//! The live TCP mesh: per-pair striped connections between node processes.
+//!
+//! One [`NetSession`] per process holds the listening socket named in the
+//! manifest; [`NetSession::establish`] builds a [`NetMesh`] for one run
+//! generation — the full set of pairwise connections, handshaken and
+//! validated.  Rendezvous is deterministic: for every pair the higher
+//! node id dials the lower, `k` sockets per pair (MPWide-style striping),
+//! each socket used bidirectionally with `TCP_NODELAY` set.
+//!
+//! The mesh implements [`Wire`]: outbound packets are framed as data
+//! records and round-robined over the pair's `k` streams.  Inbound,
+//! one reader thread per socket decodes records and posts packets
+//! straight into the destination PE's landing mailbox (the `deliver`
+//! callback given to [`NetMesh::start`]), so the reliable layer and the
+//! aggregator above the seam see exactly the bytes they would have seen
+//! in one process.  Control records (opaque to this crate) and peer-death
+//! evidence surface through the [`NetEvent`] queue.
+
+use std::io::{BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use mdo_netsim::Topology;
+use mdo_vmi::{Packet, Wire};
+use parking_lot::Mutex;
+
+use crate::config::NetConfig;
+use crate::error::TransportError;
+use crate::record::{
+    decode_control_body, decode_data_body, read_record, Handshake, RecordError, HANDSHAKE_LEN, KIND_CONTROL, KIND_DATA,
+    RECORD_HEADER_LEN,
+};
+
+/// An asynchronous mesh notification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetEvent {
+    /// A control-plane message from a peer (payload is caller-defined).
+    Control {
+        /// Sending node.
+        from: u32,
+        /// Opaque payload.
+        bytes: Vec<u8>,
+    },
+    /// A peer's sockets closed or broke while the mesh was up — evidence
+    /// of node death (or of a peer finishing without the control-plane
+    /// goodbye).  Emitted at most once per peer per mesh.
+    PeerDown {
+        /// The node whose connection went away.
+        node: u32,
+    },
+}
+
+/// Fault-injection hook applied to outgoing data-record bodies: given the
+/// running record index and the encoded body, optionally replace it.
+/// Used by tests to model a corrupting network segment beneath the
+/// reliable layer.
+pub type FaultHook = Box<dyn Fn(u64, &[u8]) -> Option<Vec<u8>> + Send + Sync>;
+
+struct Pair {
+    /// Write halves, one per stripe stream; whole records are written
+    /// under the per-stream lock so concurrent senders never interleave.
+    writers: Vec<Mutex<TcpStream>>,
+    /// Read halves, drained by [`NetMesh::start`].
+    readers: Mutex<Vec<TcpStream>>,
+    /// Round-robin stripe cursor.
+    rr: AtomicUsize,
+    /// Per-stream death flags (a stream is noted down at most once, by
+    /// whichever of its reader or writer hits the broken socket first).
+    stream_down: Vec<AtomicBool>,
+    /// Streams still up; the peer is declared down only when this hits
+    /// zero, so a `Done` in flight on stream 0 is always delivered before
+    /// the striped streams' EOFs turn into a `PeerDown`.
+    live_streams: AtomicUsize,
+}
+
+/// One generation's fully-connected, handshaken TCP mesh.
+pub struct NetMesh {
+    node: u32,
+    k: usize,
+    node_of_pe: Vec<u32>,
+    pairs: Vec<Option<Pair>>,
+    events_tx: mpsc::Sender<NetEvent>,
+    events_rx: Mutex<mpsc::Receiver<NetEvent>>,
+    drops: AtomicU64,
+    data_sent: AtomicU64,
+    closing: AtomicBool,
+    down: Vec<AtomicBool>,
+    reader_handles: Mutex<Vec<JoinHandle<()>>>,
+    fault_hook: Mutex<Option<FaultHook>>,
+}
+
+impl std::fmt::Debug for NetMesh {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetMesh")
+            .field("node", &self.node)
+            .field("k", &self.k)
+            .field("peers", &self.pairs.iter().filter(|p| p.is_some()).count())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A process's listening endpoint, reusable across run generations.
+pub struct NetSession {
+    cfg: NetConfig,
+    listener: TcpListener,
+}
+
+impl NetSession {
+    /// Bind this node's manifest address.
+    pub fn bind(cfg: NetConfig) -> Result<Self, TransportError> {
+        let addr = *cfg
+            .manifest
+            .get(cfg.node as usize)
+            .ok_or_else(|| TransportError::Malformed { what: format!("node {} not in manifest", cfg.node) })?;
+        let listener = TcpListener::bind(addr).map_err(|e| TransportError::io(format!("bind {addr}"), &e))?;
+        Self::with_listener(cfg, listener)
+    }
+
+    /// Adopt an already-bound listener (tests bind port 0 first, then
+    /// build the manifest from the real addresses).
+    pub fn with_listener(cfg: NetConfig, listener: TcpListener) -> Result<Self, TransportError> {
+        listener.set_nonblocking(true).map_err(|e| TransportError::io("listener nonblocking", &e))?;
+        Ok(NetSession { cfg, listener })
+    }
+
+    /// The bound listen address.
+    pub fn local_addr(&self) -> Result<SocketAddr, TransportError> {
+        self.listener.local_addr().map_err(|e| TransportError::io("local_addr", &e))
+    }
+
+    /// This node's id.
+    pub fn node(&self) -> u32 {
+        self.cfg.node
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &NetConfig {
+        &self.cfg
+    }
+
+    /// Build the generation-`generation` mesh over the `live` node set:
+    /// dial every live node with a lower id, accept from every live node
+    /// with a higher id, `k` sockets per pair, and validate every
+    /// handshake (version, node, generation, topology digest, stripe
+    /// count).  Bounded by the config's `connect_timeout`; failures are
+    /// structured, never a hang.
+    pub fn establish(&self, generation: u32, topo: &Topology, live: &[u32]) -> Result<NetMesh, TransportError> {
+        let me = self.cfg.node;
+        let k = self.cfg.streams.max(1);
+        let k16 = u16::try_from(k).map_err(|_| TransportError::Malformed { what: format!("stream count {k}") })?;
+        let digest = topo.digest();
+        let deadline = Instant::now() + self.cfg.connect_timeout;
+        let n_nodes = self.cfg.manifest.len();
+        let mut streams: Vec<Option<Vec<Option<TcpStream>>>> = (0..n_nodes).map(|_| None).collect();
+        for &j in live.iter().filter(|&&j| j != me) {
+            let slot = streams
+                .get_mut(j as usize)
+                .ok_or_else(|| TransportError::Malformed { what: format!("live node {j} not in manifest") })?;
+            *slot = Some((0..k).map(|_| None).collect());
+        }
+
+        // Dial lower-numbered peers; their accept loops answer.
+        for &j in live.iter().filter(|&&j| j < me) {
+            let addr = self.cfg.manifest[j as usize];
+            for s in 0..k {
+                let stream = dial(addr, deadline)?;
+                let hs = Handshake { node: me, generation, stream: s as u16, k: k16, digest };
+                handshake_dial(&stream, &hs, j, deadline)?;
+                streams[j as usize].as_mut().expect("live peer").insert_checked(s, stream, j)?;
+            }
+        }
+
+        // Accept from higher-numbered peers; the handshake tells us who.
+        let expected = live.iter().filter(|&&j| j > me).count() * k;
+        let mut accepted = 0;
+        while accepted < expected {
+            let stream = match self.listener.accept() {
+                Ok((s, _)) => s,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(TransportError::Timeout {
+                            what: format!("{} of {} inbound connections at node {me}", expected - accepted, expected),
+                        });
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                    continue;
+                }
+                Err(e) => return Err(TransportError::io("accept", &e)),
+            };
+            stream.set_nonblocking(false).map_err(|e| TransportError::io("accepted blocking", &e))?;
+            let peer = handshake_accept(&stream, me, generation, k16, digest, deadline)?;
+            if peer.node as u64 <= me as u64 || !live.contains(&peer.node) {
+                return Err(TransportError::HandshakeMismatch {
+                    peer: peer.node,
+                    field: crate::error::HandshakeField::Node,
+                    expected: me as u64 + 1,
+                    got: peer.node as u64,
+                });
+            }
+            let slot = streams
+                .get_mut(peer.node as usize)
+                .and_then(|s| s.as_mut())
+                .ok_or(TransportError::PeerClosed { node: peer.node })?;
+            slot.insert_checked(peer.stream as usize, stream, peer.node)?;
+            accepted += 1;
+        }
+
+        // Assemble pairs: split each socket into a locked write half and
+        // a reader-owned half.
+        let mut pairs: Vec<Option<Pair>> = Vec::with_capacity(n_nodes);
+        for per_node in streams {
+            match per_node {
+                None => pairs.push(None),
+                Some(socks) => {
+                    let mut writers = Vec::with_capacity(k);
+                    let mut readers = Vec::with_capacity(k);
+                    for s in socks {
+                        let s = s.expect("established stream");
+                        writers.push(Mutex::new(s.try_clone().map_err(|e| TransportError::io("clone", &e))?));
+                        readers.push(s);
+                    }
+                    let k = writers.len();
+                    pairs.push(Some(Pair {
+                        writers,
+                        readers: Mutex::new(readers),
+                        rr: AtomicUsize::new(0),
+                        stream_down: (0..k).map(|_| AtomicBool::new(false)).collect(),
+                        live_streams: AtomicUsize::new(k),
+                    }));
+                }
+            }
+        }
+        let (events_tx, events_rx) = mpsc::channel();
+        Ok(NetMesh {
+            node: me,
+            k,
+            node_of_pe: topo.pes().map(|pe| topo.cluster_of(pe).index() as u32).collect(),
+            pairs,
+            events_tx,
+            events_rx: Mutex::new(events_rx),
+            drops: AtomicU64::new(0),
+            data_sent: AtomicU64::new(0),
+            closing: AtomicBool::new(false),
+            down: (0..n_nodes).map(|_| AtomicBool::new(false)).collect(),
+            reader_handles: Mutex::new(Vec::new()),
+            fault_hook: Mutex::new(None),
+        })
+    }
+}
+
+/// Slot-insertion helper with duplicate/out-of-range checks.
+trait InsertChecked {
+    fn insert_checked(&mut self, idx: usize, stream: TcpStream, peer: u32) -> Result<(), TransportError>;
+}
+
+impl InsertChecked for Vec<Option<TcpStream>> {
+    fn insert_checked(&mut self, idx: usize, stream: TcpStream, peer: u32) -> Result<(), TransportError> {
+        match self.get_mut(idx) {
+            Some(slot @ None) => {
+                *slot = Some(stream);
+                Ok(())
+            }
+            _ => Err(TransportError::Malformed { what: format!("duplicate stream {idx} from node {peer}") }),
+        }
+    }
+}
+
+fn dial(addr: SocketAddr, deadline: Instant) -> Result<TcpStream, TransportError> {
+    loop {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(TransportError::Timeout { what: format!("connect to {addr}") });
+        }
+        match TcpStream::connect_timeout(&addr, remaining.min(Duration::from_millis(500))) {
+            Ok(s) => return Ok(s),
+            // The peer may simply not have bound yet; rendezvous retries.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::ConnectionRefused
+                        | std::io::ErrorKind::ConnectionReset
+                        | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => return Err(TransportError::io(format!("connect to {addr}"), &e)),
+        }
+    }
+}
+
+fn prep(stream: &TcpStream, deadline: Instant) -> Result<(), TransportError> {
+    stream.set_nodelay(true).map_err(|e| TransportError::io("TCP_NODELAY", &e))?;
+    let remaining = deadline.saturating_duration_since(Instant::now()).max(Duration::from_millis(10));
+    stream.set_read_timeout(Some(remaining)).map_err(|e| TransportError::io("read timeout", &e))
+}
+
+fn read_handshake(stream: &TcpStream) -> Result<Handshake, TransportError> {
+    let mut buf = [0u8; HANDSHAKE_LEN];
+    (&mut (&*stream))
+        .read_exact(&mut buf)
+        .map_err(|e| match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => TransportError::PeerClosed { node: u32::MAX },
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                TransportError::Timeout { what: "peer handshake".into() }
+            }
+            _ => TransportError::io("read handshake", &e),
+        })
+        .and_then(|()| Handshake::decode(&buf))
+}
+
+/// Dial-side handshake: send ours, read the reply, validate fully.
+fn handshake_dial(
+    stream: &TcpStream,
+    ours: &Handshake,
+    expect_node: u32,
+    deadline: Instant,
+) -> Result<(), TransportError> {
+    prep(stream, deadline)?;
+    (&*stream).write_all(&ours.encode()).map_err(|e| TransportError::io("send handshake", &e))?;
+    let peer = read_handshake(stream)?;
+    peer.check(Some(expect_node), ours.generation, ours.digest, ours.k)?;
+    if peer.stream != ours.stream {
+        return Err(TransportError::HandshakeMismatch {
+            peer: peer.node,
+            field: crate::error::HandshakeField::Streams,
+            expected: ours.stream as u64,
+            got: peer.stream as u64,
+        });
+    }
+    stream.set_read_timeout(None).map_err(|e| TransportError::io("clear timeout", &e))?;
+    Ok(())
+}
+
+/// Accept-side handshake: read the caller's greeting, reply with ours
+/// (echoing its stream index), then validate.  Replying before validating
+/// lets a mismatched peer diagnose the same disagreement symmetrically.
+fn handshake_accept(
+    stream: &TcpStream,
+    me: u32,
+    generation: u32,
+    k: u16,
+    digest: u64,
+    deadline: Instant,
+) -> Result<Handshake, TransportError> {
+    prep(stream, deadline)?;
+    let peer = read_handshake(stream)?;
+    let reply = Handshake { node: me, generation, stream: peer.stream, k, digest };
+    (&*stream).write_all(&reply.encode()).map_err(|e| TransportError::io("send handshake", &e))?;
+    peer.check(None, generation, digest, k)?;
+    stream.set_read_timeout(None).map_err(|e| TransportError::io("clear timeout", &e))?;
+    Ok(peer)
+}
+
+impl NetMesh {
+    /// This process's node id.
+    pub fn node(&self) -> u32 {
+        self.node
+    }
+
+    /// Which node hosts a PE (by the cluster = node mapping).
+    pub fn node_of(&self, pe: mdo_netsim::Pe) -> Option<u32> {
+        self.node_of_pe.get(pe.index()).copied()
+    }
+
+    /// Spawn the reader threads: every inbound data record is decoded and
+    /// handed to `deliver` (which posts it into the destination PE's
+    /// landing mailbox); control records and peer-death evidence go to
+    /// the event queue.  Call exactly once per mesh.
+    pub fn start(self: &Arc<Self>, deliver: impl Fn(Packet) + Send + Sync + 'static) {
+        let deliver = Arc::new(deliver);
+        let mut handles = self.reader_handles.lock();
+        for (node, pair) in self.pairs.iter().enumerate() {
+            let Some(pair) = pair else { continue };
+            for (si, stream) in pair.readers.lock().drain(..).enumerate() {
+                let mesh = Arc::clone(self);
+                let deliver = Arc::clone(&deliver);
+                let handle = std::thread::Builder::new()
+                    .name(format!("mdo-net-r{}-{}s{}", self.node, node, si))
+                    .spawn(move || mesh.reader_loop(node as u32, si, stream, &*deliver))
+                    .expect("spawn net reader");
+                handles.push(handle);
+            }
+        }
+    }
+
+    fn reader_loop(&self, from_node: u32, si: usize, stream: TcpStream, deliver: &(dyn Fn(Packet) + Send + Sync)) {
+        let mut br = BufReader::with_capacity(64 << 10, stream);
+        loop {
+            match read_record(&mut br) {
+                Ok(None) => {
+                    self.note_down(from_node, si);
+                    return;
+                }
+                Ok(Some((KIND_DATA, body))) => match decode_data_body(&body) {
+                    Ok(pkt) => deliver(pkt),
+                    Err(e) => {
+                        // A malformed body poisons only this record: count
+                        // the drop and keep reading — the reliable layer's
+                        // retransmission replaces the lost packet.
+                        self.drops.fetch_add(1, Ordering::Relaxed);
+                        if self.drops.load(Ordering::Relaxed) <= 3 {
+                            eprintln!(
+                                "mdo-net node {}: dropping malformed data record from node {from_node}: {e}",
+                                self.node
+                            );
+                        }
+                    }
+                },
+                Ok(Some((KIND_CONTROL, body))) => match decode_control_body(&body) {
+                    Ok((from, bytes)) => {
+                        let _ = self.events_tx.send(NetEvent::Control { from, bytes });
+                    }
+                    Err(_) => {
+                        self.drops.fetch_add(1, Ordering::Relaxed);
+                    }
+                },
+                Ok(Some(_)) => unreachable!("read_record rejects unknown kinds"),
+                Err(e) => {
+                    // Corrupt framing (or a broken socket) poisons the
+                    // stream: surface peer death rather than misparse.
+                    if !self.closing.load(Ordering::Acquire) && !matches!(e, RecordError::Io(_)) {
+                        self.drops.fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.note_down(from_node, si);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Note that one stream of the pair to `node` broke.  Only when every
+    /// stream of the pair is down is the peer itself declared down — EOFs
+    /// race control records across striped streams, and a record already
+    /// written (e.g. the coordinator's final `Done`) must win that race.
+    fn note_down(&self, node: u32, stream: usize) {
+        if self.closing.load(Ordering::Acquire) {
+            return;
+        }
+        let Some(pair) = self.pairs.get(node as usize).and_then(|p| p.as_ref()) else { return };
+        let Some(flag) = pair.stream_down.get(stream) else { return };
+        if flag.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        if pair.live_streams.fetch_sub(1, Ordering::AcqRel) == 1
+            && !self.down[node as usize].swap(true, Ordering::AcqRel)
+        {
+            let _ = self.events_tx.send(NetEvent::PeerDown { node });
+        }
+    }
+
+    /// Install (or clear) the outgoing-record fault hook.
+    pub fn set_fault_hook(&self, hook: Option<FaultHook>) {
+        *self.fault_hook.lock() = hook;
+    }
+
+    /// Ship one packet to the node hosting `pkt.dst`, round-robining the
+    /// pair's striped streams.  Unknown or already-down destinations drop
+    /// the packet (the reliable layer's retransmit-then-error machinery
+    /// owns that failure).
+    fn send_data(&self, pkt: &Packet) {
+        let Some(&to) = self.node_of_pe.get(pkt.dst.index()) else {
+            self.drops.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        let Some(pair) = self.pairs.get(to as usize).and_then(|p| p.as_ref()) else {
+            self.drops.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        let idx = self.data_sent.fetch_add(1, Ordering::Relaxed);
+        let mut body = Vec::with_capacity(12 + pkt.payload.len());
+        body.extend_from_slice(&pkt.src.0.to_le_bytes());
+        body.extend_from_slice(&pkt.dst.0.to_le_bytes());
+        body.extend_from_slice(&pkt.priority.to_le_bytes());
+        body.extend_from_slice(&pkt.payload);
+        if let Some(hook) = &*self.fault_hook.lock() {
+            if let Some(mangled) = hook(idx, &body) {
+                body = mangled;
+            }
+        }
+        let mut frame = Vec::with_capacity(RECORD_HEADER_LEN + body.len());
+        frame.push(KIND_DATA);
+        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&body);
+        let s = pair.rr.fetch_add(1, Ordering::Relaxed) % self.k;
+        let mut w = pair.writers[s].lock();
+        if (*w).write_all(&frame).is_err() {
+            drop(w);
+            self.note_down(to, s);
+        }
+    }
+
+    /// Send an opaque control-plane message to `to` (stream 0 of the
+    /// pair; a message to this node itself loops back through the event
+    /// queue, so control broadcasts are uniform).
+    pub fn send_control(&self, to: u32, bytes: &[u8]) -> Result<(), TransportError> {
+        if to == self.node {
+            let _ = self.events_tx.send(NetEvent::Control { from: self.node, bytes: bytes.to_vec() });
+            return Ok(());
+        }
+        let Some(pair) = self.pairs.get(to as usize).and_then(|p| p.as_ref()) else {
+            return Err(TransportError::PeerClosed { node: to });
+        };
+        let mut frame = Vec::with_capacity(RECORD_HEADER_LEN + 4 + bytes.len());
+        frame.push(KIND_CONTROL);
+        frame.extend_from_slice(&((4 + bytes.len()) as u32).to_le_bytes());
+        frame.extend_from_slice(&self.node.to_le_bytes());
+        frame.extend_from_slice(bytes);
+        let mut w = pair.writers[0].lock();
+        if let Err(e) = (*w).write_all(&frame) {
+            drop(w);
+            self.note_down(to, 0);
+            return Err(TransportError::io(format!("control to node {to}"), &e));
+        }
+        Ok(())
+    }
+
+    /// Wait up to `timeout` for the next mesh event.
+    pub fn next_event(&self, timeout: Duration) -> Option<NetEvent> {
+        self.events_rx.lock().recv_timeout(timeout).ok()
+    }
+
+    /// Malformed records dropped (plus sends to unreachable peers).
+    pub fn drops(&self) -> u64 {
+        self.drops.load(Ordering::Relaxed)
+    }
+
+    /// Data records sent.
+    pub fn data_sent(&self) -> u64 {
+        self.data_sent.load(Ordering::Relaxed)
+    }
+
+    /// True once `node`'s connection broke.
+    pub fn is_down(&self, node: u32) -> bool {
+        self.down.get(node as usize).map(|d| d.load(Ordering::Acquire)).unwrap_or(true)
+    }
+
+    /// Close every socket and join the reader threads.  Idempotent.
+    pub fn shutdown(&self) {
+        if self.closing.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        for pair in self.pairs.iter().flatten() {
+            for w in &pair.writers {
+                let _ = w.lock().shutdown(Shutdown::Both);
+            }
+        }
+        let mut handles = self.reader_handles.lock();
+        for h in handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Wire for NetMesh {
+    fn send(&self, pkt: Packet) {
+        self.send_data(&pkt);
+    }
+
+    fn shutdown(&self) {
+        NetMesh::shutdown(self);
+    }
+}
+
+impl Drop for NetMesh {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Bind one localhost listener per node on an OS-assigned port and return
+/// `(listeners, manifest)` — the hermetic-test and launcher rendezvous
+/// helper (the listeners are handed to [`NetSession::with_listener`], so
+/// there is no bind race).
+pub fn localhost_rendezvous(nodes: usize) -> Result<(Vec<TcpListener>, Vec<SocketAddr>), TransportError> {
+    let mut listeners = Vec::with_capacity(nodes);
+    let mut manifest = Vec::with_capacity(nodes);
+    for _ in 0..nodes {
+        let l = TcpListener::bind(("127.0.0.1", 0)).map_err(|e| TransportError::io("bind :0", &e))?;
+        manifest.push(l.local_addr().map_err(|e| TransportError::io("local_addr", &e))?);
+        listeners.push(l);
+    }
+    Ok((listeners, manifest))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use mdo_netsim::Pe;
+
+    /// Sessions for an n-node localhost mesh, pre-bound (no port race).
+    fn sessions(n: usize, streams: usize) -> Vec<NetSession> {
+        let (listeners, manifest) = localhost_rendezvous(n).unwrap();
+        listeners
+            .into_iter()
+            .enumerate()
+            .map(|(i, l)| {
+                let cfg = NetConfig::new(i as u32, manifest.clone()).with_streams(streams);
+                NetSession::with_listener(cfg, l).unwrap()
+            })
+            .collect()
+    }
+
+    fn establish_all(sessions: Vec<NetSession>, topo: &Topology, generation: u32) -> Vec<Arc<NetMesh>> {
+        let live: Vec<u32> = (0..sessions.len() as u32).collect();
+        let handles: Vec<_> = sessions
+            .into_iter()
+            .map(|s| {
+                let topo = topo.clone();
+                let live = live.clone();
+                std::thread::spawn(move || s.establish(generation, &topo, &live).map(Arc::new))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap().expect("mesh established")).collect()
+    }
+
+    #[test]
+    fn two_node_mesh_moves_packets_both_ways() {
+        let topo = Topology::two_cluster(4); // PEs 0,1 on node 0; 2,3 on node 1
+        let meshes = establish_all(sessions(2, 1), &topo, 0);
+        let (rx0_tx, rx0) = mpsc::channel();
+        let (rx1_tx, rx1) = mpsc::channel();
+        meshes[0].start(move |pkt| rx0_tx.send(pkt).unwrap());
+        meshes[1].start(move |pkt| rx1_tx.send(pkt).unwrap());
+        meshes[0].send(Packet::with_priority(Pe(0), Pe(2), -3, Bytes::from_static(b"east")));
+        meshes[1].send(Packet::with_priority(Pe(3), Pe(1), 5, Bytes::from_static(b"west")));
+        let east = rx1.recv_timeout(Duration::from_secs(5)).expect("node 1 got the packet");
+        assert_eq!((east.src, east.dst, east.priority), (Pe(0), Pe(2), -3));
+        assert_eq!(&east.payload[..], b"east");
+        let west = rx0.recv_timeout(Duration::from_secs(5)).expect("node 0 got the packet");
+        assert_eq!(&west.payload[..], b"west");
+        for m in &meshes {
+            m.shutdown();
+        }
+    }
+
+    #[test]
+    fn striped_mesh_delivers_everything() {
+        let topo = Topology::two_cluster(2);
+        let meshes = establish_all(sessions(2, 4), &topo, 0);
+        let (tx, rx) = mpsc::channel();
+        meshes[1].start(move |pkt| tx.send(pkt).unwrap());
+        meshes[0].start(|_| {});
+        for i in 0..100u32 {
+            meshes[0].send(Packet::new(Pe(0), Pe(1), Bytes::from(i.to_le_bytes().to_vec())));
+        }
+        let mut got: Vec<u32> = (0..100)
+            .map(|_| {
+                let pkt = rx.recv_timeout(Duration::from_secs(5)).expect("striped packet");
+                u32::from_le_bytes(pkt.payload[..4].try_into().unwrap())
+            })
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..100).collect::<Vec<_>>(), "all 100 packets arrive across 4 streams");
+        for m in &meshes {
+            m.shutdown();
+        }
+    }
+
+    #[test]
+    fn control_plane_and_peer_down() {
+        let topo = Topology::two_cluster(2);
+        let meshes = establish_all(sessions(2, 1), &topo, 3);
+        meshes[0].start(|_| {});
+        meshes[1].start(|_| {});
+        meshes[1].send_control(0, b"report").unwrap();
+        match meshes[0].next_event(Duration::from_secs(5)) {
+            Some(NetEvent::Control { from: 1, bytes }) => assert_eq!(bytes, b"report"),
+            other => panic!("expected control from node 1, got {other:?}"),
+        }
+        // Loopback control reaches our own queue.
+        meshes[0].send_control(0, b"self").unwrap();
+        assert!(matches!(meshes[0].next_event(Duration::from_secs(5)), Some(NetEvent::Control { from: 0, .. })));
+        // Killing node 1's mesh surfaces PeerDown at node 0.
+        meshes[1].shutdown();
+        match meshes[0].next_event(Duration::from_secs(5)) {
+            Some(NetEvent::PeerDown { node: 1 }) => {}
+            other => panic!("expected PeerDown node 1, got {other:?}"),
+        }
+        assert!(meshes[0].is_down(1));
+        meshes[0].shutdown();
+    }
+
+    #[test]
+    fn topology_digest_mismatch_is_rejected_without_hanging() {
+        let (listeners, manifest) = localhost_rendezvous(2).unwrap();
+        let mut it = listeners.into_iter();
+        let mk = |i: u32, l: TcpListener| {
+            let mut cfg = NetConfig::new(i, manifest.clone());
+            cfg.connect_timeout = Duration::from_secs(5);
+            NetSession::with_listener(cfg, l).unwrap()
+        };
+        let s0 = mk(0, it.next().unwrap());
+        let s1 = mk(1, it.next().unwrap());
+        let t0 = Topology::two_cluster(4);
+        let t1 = Topology::two_cluster(8); // disagree about the job
+        let h0 = std::thread::spawn(move || s0.establish(0, &t0, &[0, 1]));
+        let h1 = std::thread::spawn(move || s1.establish(0, &t1, &[0, 1]));
+        let started = Instant::now();
+        let e0 = h0.join().unwrap();
+        let e1 = h1.join().unwrap();
+        assert!(started.elapsed() < Duration::from_secs(10), "rejection is prompt, not a hang");
+        // Both sides reject, each with a structured digest mismatch (one
+        // side may instead observe the peer closing on it first).
+        let mismatch = |r: &Result<NetMesh, TransportError>| {
+            matches!(
+                r,
+                Err(TransportError::HandshakeMismatch { field: crate::error::HandshakeField::TopologyDigest, .. })
+            )
+        };
+        let closed = |r: &Result<NetMesh, TransportError>| {
+            matches!(r, Err(TransportError::PeerClosed { .. }) | Err(TransportError::Io { .. }))
+        };
+        assert!(mismatch(&e0) || closed(&e0), "node 0: {e0:?}");
+        assert!(mismatch(&e1) || closed(&e1), "node 1: {e1:?}");
+        assert!(mismatch(&e0) || mismatch(&e1), "at least one side names the digest");
+    }
+
+    #[test]
+    fn wire_version_mismatch_is_structured() {
+        let (listeners, manifest) = localhost_rendezvous(2).unwrap();
+        let cfg = {
+            let mut c = NetConfig::new(0, manifest.clone());
+            c.connect_timeout = Duration::from_secs(5);
+            c
+        };
+        let session = NetSession::with_listener(cfg, listeners.into_iter().next().unwrap()).unwrap();
+        let topo = Topology::two_cluster(2);
+        // A "node 1" speaking wire version 99 dials node 0 directly.
+        let addr = manifest[0];
+        let rogue = std::thread::spawn(move || {
+            let s = TcpStream::connect(addr).unwrap();
+            let mut buf = Handshake { node: 1, generation: 0, stream: 0, k: 1, digest: 0 }.encode();
+            buf[4..6].copy_from_slice(&99u16.to_le_bytes());
+            (&s).write_all(&buf).unwrap();
+            let mut reply = [0u8; HANDSHAKE_LEN];
+            let _ = (&s).read_exact(&mut reply); // node 0 closes on us
+        });
+        let err = session.establish(0, &topo, &[0, 1]).expect_err("version mismatch must fail");
+        rogue.join().unwrap();
+        match err {
+            TransportError::HandshakeMismatch { field: crate::error::HandshakeField::Version, got: 99, .. } => {}
+            other => panic!("expected version mismatch, got {other:?}"),
+        }
+    }
+}

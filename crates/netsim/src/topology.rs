@@ -157,6 +157,28 @@ impl Topology {
         (0..self.clusters.len() as u16).map(ClusterId)
     }
 
+    /// A stable 64-bit fingerprint of the layout (FNV-1a over the cluster
+    /// names and sizes, in order).  Two processes agree on the digest iff
+    /// they were configured with the same topology — the check a
+    /// multi-process handshake performs before exchanging traffic.
+    pub fn digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for b in bytes {
+                h ^= *b as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        for c in &self.clusters {
+            eat(c.name.as_bytes());
+            eat(&[0xff]); // name terminator: ("ab",1)+("c",..) != ("a",..)+("bc",..)
+            eat(&c.pes.to_le_bytes());
+        }
+        h
+    }
+
     /// The shrunken topology after the PEs in `dead` are lost, plus the
     /// new→old PE mapping (`map[new.index()] == old`).
     ///
@@ -348,5 +370,14 @@ mod tests {
     #[should_panic(expected = "the topology has none")]
     fn expand_into_missing_cluster_panics() {
         let _ = Topology::single(2).with_pes(&[ClusterId(3)]);
+    }
+
+    #[test]
+    fn digest_separates_layouts() {
+        assert_eq!(Topology::uniform(4, 2).digest(), Topology::uniform(4, 2).digest());
+        assert_ne!(Topology::uniform(4, 2).digest(), Topology::uniform(2, 4).digest());
+        assert_ne!(Topology::two_cluster(8).digest(), Topology::single(8).digest());
+        let (shrunk, _) = Topology::two_cluster(8).without_pes(&[Pe(1)]);
+        assert_ne!(shrunk.digest(), Topology::two_cluster(8).digest(), "generations differ");
     }
 }

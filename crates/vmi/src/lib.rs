@@ -28,6 +28,11 @@
 //! * [`transport`] — routes each packet through the intra-cluster or
 //!   cross-cluster chain based on the job topology, exactly like VMI's
 //!   affiliation mechanism.
+//! * [`wire`] — the inter-node seam: in a multi-process run the chains
+//!   terminate in a router that posts local destinations to their
+//!   mailbox and ships remote destinations through a pluggable
+//!   [`Wire`](wire::Wire) backend (the TCP implementation lives in
+//!   `mdo-net`).
 //!
 //! Everything here deals in raw bytes; the message-driven runtime
 //! (`mdo-core`) serializes its envelopes on top.
@@ -63,6 +68,7 @@ pub mod mailbox;
 pub mod packet;
 pub mod reliable;
 pub mod transport;
+pub mod wire;
 
 pub use aggregate::{AggStats, Aggregator};
 pub use device::{Chain, Device, Forwarder};
@@ -78,3 +84,4 @@ pub use mailbox::Mailbox;
 pub use packet::Packet;
 pub use reliable::{jittered_backoff, ReliableTransport};
 pub use transport::{Transport, TransportConfig};
+pub use wire::{Wire, WireBinding, WireRouter};

@@ -18,11 +18,12 @@ use std::time::Duration;
 
 use mdo_netsim::{LatencyMatrix, Topology};
 
-use crate::device::{Chain, Device};
+use crate::device::{Chain, Device, Forwarder};
 use crate::devices::counter::CounterDevice;
 use crate::devices::delay::DelayDevice;
 use crate::mailbox::{Mailbox, MailboxSink};
 use crate::packet::Packet;
+use crate::wire::{WireBinding, WireRouter};
 
 /// Configuration for building a [`Transport`].
 pub struct TransportConfig {
@@ -36,12 +37,18 @@ pub struct TransportConfig {
     pub cross_extra: Vec<Arc<dyn Device>>,
     /// Extra devices on the intra-cluster chain.
     pub intra_extra: Vec<Arc<dyn Device>>,
+    /// Optional inter-node backend for multi-process runs: packets whose
+    /// destination PE is not local to this process leave through the
+    /// bound [`Wire`](crate::wire::Wire) instead of a mailbox.  `None`
+    /// (the default) keeps the single-process behavior where every PE's
+    /// mailbox is local.
+    pub wire: Option<WireBinding>,
 }
 
 impl TransportConfig {
-    /// Plain configuration: no extra devices.
+    /// Plain configuration: no extra devices, single-process.
     pub fn new(topo: Topology, latency: LatencyMatrix) -> Self {
-        TransportConfig { topo, latency, cross_extra: Vec::new(), intra_extra: Vec::new() }
+        TransportConfig { topo, latency, cross_extra: Vec::new(), intra_extra: Vec::new(), wire: None }
     }
 }
 
@@ -61,7 +68,12 @@ impl Transport {
     pub fn new(cfg: TransportConfig) -> Arc<Self> {
         let n = cfg.topo.num_pes();
         let mailboxes: Vec<Arc<Mailbox>> = (0..n).map(|_| Arc::new(Mailbox::new())).collect();
-        let sink = Arc::new(MailboxSink::new(mailboxes.clone()));
+        // The terminal forwarder: every-PE-is-local mailbox bank in a
+        // single process, a local/remote router when a wire is bound.
+        let sink: Arc<dyn Forwarder> = match cfg.wire {
+            Some(binding) => Arc::new(WireRouter::new(mailboxes.clone(), binding)),
+            None => Arc::new(MailboxSink::new(mailboxes.clone())),
+        };
 
         let intra_counter = CounterDevice::new("intra");
         let cross_counter = CounterDevice::new("cross");

@@ -1,0 +1,135 @@
+//! The Wire seam: pluggable inter-node backends under the device stack.
+//!
+//! The threaded engine's [`Transport`](crate::transport::Transport) ends
+//! every device chain in a terminal [`Forwarder`].  In a single process
+//! that terminal is a [`MailboxSink`](crate::mailbox::MailboxSink): every
+//! destination PE has a landing mailbox right here.  In a *multi-process*
+//! run only some PEs are local; packets for the rest must leave the
+//! process.  A [`Wire`] is that exit: an inter-node byte mover (e.g. the
+//! TCP backend in `mdo-net`) that ships a packet to the node hosting
+//! `pkt.dst`, where the peer posts it into the real landing mailbox.
+//!
+//! The seam sits *below* the reliable transport and the aggregator — both
+//! talk to `Transport::send`/`recv_timeout` only, so sequence numbers,
+//! acks, retransmission, credit grants and jumbo frames ride the wire
+//! unchanged.  Sender-side devices (delay, CRC, fault injection) run
+//! before the wire too: an artificial-latency delay device composes with
+//! a real network exactly as §5.1's delay device composes with Myrinet.
+
+use std::sync::Arc;
+
+use mdo_netsim::Pe;
+
+use crate::device::Forwarder;
+use crate::mailbox::Mailbox;
+use crate::packet::Packet;
+
+/// An inter-node packet mover: the pluggable backend behind the device
+/// chains of a multi-process [`Transport`](crate::transport::Transport).
+///
+/// Implementations must be thread-safe: every PE thread of the process
+/// (plus the delay-device timer thread) may call [`Wire::send`]
+/// concurrently.  Delivery order per `(src, dst)` pair need not be
+/// preserved — the reliable layer above the seam re-sequences — but an
+/// implementation should be lossless while up; losses surface through
+/// the reliable layer's retransmission and, eventually, its structured
+/// delivery error.
+pub trait Wire: Send + Sync {
+    /// Ship a packet whose destination PE lives on another node.
+    fn send(&self, pkt: Packet);
+
+    /// Stop background threads and close connections.  Idempotent.
+    fn shutdown(&self) {}
+}
+
+/// A [`Wire`] bound to the set of PEs that are local to this process.
+///
+/// [`Transport::new`](crate::transport::Transport::new) uses the binding
+/// to build its terminal router: local destinations land in their
+/// mailbox, remote destinations leave through the wire.
+#[derive(Clone)]
+pub struct WireBinding {
+    /// The inter-node backend.
+    pub wire: Arc<dyn Wire>,
+    /// `local[pe.index()]` is true iff this process hosts `pe`.
+    pub local: Vec<bool>,
+}
+
+impl WireBinding {
+    /// Bind `wire` to a process hosting exactly `local_pes` of a job with
+    /// `num_pes` PEs total.
+    pub fn new(wire: Arc<dyn Wire>, local_pes: &[Pe], num_pes: usize) -> Self {
+        let mut local = vec![false; num_pes];
+        for pe in local_pes {
+            local[pe.index()] = true;
+        }
+        WireBinding { wire, local }
+    }
+
+    /// True iff this process hosts `pe`.
+    pub fn is_local(&self, pe: Pe) -> bool {
+        self.local.get(pe.index()).copied().unwrap_or(false)
+    }
+}
+
+/// Terminal forwarder of a multi-process transport: routes each packet to
+/// its local landing mailbox or out through the [`Wire`].
+pub struct WireRouter {
+    boxes: Vec<Arc<Mailbox>>,
+    binding: WireBinding,
+}
+
+impl WireRouter {
+    /// Router over this process's mailbox bank and its wire binding.
+    pub fn new(boxes: Vec<Arc<Mailbox>>, binding: WireBinding) -> Self {
+        WireRouter { boxes, binding }
+    }
+}
+
+impl Forwarder for WireRouter {
+    fn deliver(&self, pkt: Packet) {
+        if self.binding.is_local(pkt.dst) {
+            self.boxes[pkt.dst.index()].post(pkt);
+        } else {
+            self.binding.wire.send(pkt);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use parking_lot::Mutex;
+
+    struct CollectWire(Mutex<Vec<Packet>>);
+    impl Wire for CollectWire {
+        fn send(&self, pkt: Packet) {
+            self.0.lock().push(pkt);
+        }
+    }
+
+    #[test]
+    fn router_splits_local_and_remote() {
+        let boxes: Vec<_> = (0..4).map(|_| Arc::new(Mailbox::new())).collect();
+        let wire = Arc::new(CollectWire(Mutex::new(Vec::new())));
+        let binding = WireBinding::new(wire.clone(), &[Pe(0), Pe(1)], 4);
+        let router = WireRouter::new(boxes.clone(), binding);
+        router.deliver(Packet::new(Pe(0), Pe(1), Bytes::from_static(b"local")));
+        router.deliver(Packet::new(Pe(1), Pe(3), Bytes::from_static(b"remote")));
+        assert_eq!(boxes[1].len(), 1);
+        assert!(boxes[3].is_empty(), "remote destination never lands locally");
+        let out = wire.0.lock();
+        assert_eq!(out.len(), 1);
+        assert_eq!(&out[0].payload[..], b"remote");
+    }
+
+    #[test]
+    fn binding_locality() {
+        let wire = Arc::new(CollectWire(Mutex::new(Vec::new())));
+        let b = WireBinding::new(wire, &[Pe(2)], 3);
+        assert!(!b.is_local(Pe(0)));
+        assert!(b.is_local(Pe(2)));
+        assert!(!b.is_local(Pe(7)), "out-of-range PEs are never local");
+    }
+}

@@ -13,6 +13,8 @@
 //! * [`apps`] (`mdo-apps`) — the paper's applications.
 //! * [`obs`] (`mdo-obs`) — Projections-style observability: event
 //!   streams, counters, histograms, overlap analysis and exporters.
+//! * [`net`] (`mdo-net`) — the real TCP transport behind the `Wire`
+//!   seam, plus the multi-process node launcher (`mdo_launch`).
 //!
 //! Start with `examples/quickstart.rs`, then see README.md for the
 //! experiment harness.
@@ -20,6 +22,7 @@
 pub use mdo_ampi as ampi;
 pub use mdo_apps as apps;
 pub use mdo_core as runtime;
+pub use mdo_net as net;
 pub use mdo_netsim as netsim;
 pub use mdo_obs as obs;
 pub use mdo_vmi as vmi;
@@ -30,6 +33,7 @@ pub mod prelude {
     pub use mdo_core::prelude::*;
     pub use mdo_core::program::{LbChoice, RunConfig};
     pub use mdo_core::{SimEngine, ThreadedConfig, ThreadedEngine};
+    pub use mdo_net::{launch, KillPlan, LaunchOutcome, LaunchSpec, NetConfig};
     pub use mdo_netsim::network::NetworkModel;
     pub use mdo_netsim::{
         CrashTrigger, Dur, FailureCause, FailurePlan, FaultPlan, FlowConfig, LatencyMatrix, OverloadPolicy, Pe,
