@@ -51,6 +51,7 @@ fn main() {
         ("ablation_elastic", "ablation_elastic.txt", vec![], vec!["--steps", "6"]),
         ("ablation_overload", "ablation_overload.txt", vec![], vec!["--ticks", "20"]),
         ("ablation_transport", "ablation_transport.txt", vec![], vec!["--quick"]),
+        ("ablation_collectives", "ablation_collectives.txt", vec![], vec!["--quick"]),
     ];
 
     let mut job_rows = Vec::new();
@@ -76,6 +77,10 @@ fn main() {
             // The real-transport ablation writes its JSON next to the
             // text outputs.
             extra.extend(["--out", transport_json.to_str().expect("utf-8 out dir")]);
+        }
+        let collectives_json = out_dir.join("BENCH_collectives.json");
+        if bin == "ablation_collectives" {
+            extra.extend(["--out", collectives_json.to_str().expect("utf-8 out dir")]);
         }
         print!("running {bin:<22} -> {} ... ", out_dir.join(out_file).display());
         let started = Instant::now();

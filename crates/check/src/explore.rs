@@ -20,7 +20,7 @@ use std::sync::Arc;
 
 use mdo_core::program::RunConfig;
 use mdo_core::{DeliverySpec, ObsConfig, ScheduleSink, ScheduleTrace};
-use mdo_netsim::{AggConfig, FaultPlan, FlowConfig, SplitMix64};
+use mdo_netsim::{AggConfig, FaultPlan, FlowConfig, SplitMix64, TreeConfig};
 
 use crate::apps::CheckApp;
 use crate::invariant::{check_digest, check_report, Expectation, Violation};
@@ -57,6 +57,11 @@ pub struct ExploreConfig {
     /// comparison is skipped and the balance invariants tolerate exactly
     /// the reported shed count.
     pub flow: Option<FlowConfig>,
+    /// Topology-aware collective trees applied to every run.  Gateway
+    /// forwarding re-times broadcasts, multicasts and reduction fold-ins,
+    /// and reductions combine in tree order — yet every state digest must
+    /// still match the flat FIFO reference bit for bit.
+    pub tree: Option<TreeConfig>,
 }
 
 impl Default for ExploreConfig {
@@ -70,6 +75,7 @@ impl Default for ExploreConfig {
             fault_plan: None,
             agg: None,
             flow: None,
+            tree: None,
         }
     }
 }
@@ -181,6 +187,7 @@ fn run_cfg(cfg: &ExploreConfig, delivery: DeliverySpec, sink: Option<ScheduleSin
         obs: Some(ObsConfig::new()),
         agg: cfg.agg,
         flow: cfg.flow,
+        tree_collectives: cfg.tree,
         ..RunConfig::default()
     }
 }
@@ -377,6 +384,31 @@ mod tests {
         };
         let report = explore(&CheckApp::probe(), &cfg);
         assert!(report.passed(), "flow + agg + faults exploration failed: {:?}", report.failing);
+    }
+
+    #[test]
+    fn tree_collectives_digests_stay_bit_exact_across_schedules() {
+        // Gateway forwarding re-times every collective, and tree
+        // reductions combine partials in tree order rather than arrival
+        // order — the state digests must not notice.
+        let cfg = ExploreConfig { schedules: 4, tree: Some(TreeConfig::default()), ..ExploreConfig::default() };
+        let report = explore(&CheckApp::stencil_mini(), &cfg);
+        assert!(report.horizon > 0, "the reference run had contested dispatches");
+        assert!(report.passed(), "tree-collectives exploration failed: {:?}", report.failing);
+    }
+
+    #[test]
+    fn tree_collectives_compose_with_faults_and_aggregation() {
+        let plan = FaultPlan::loss(0.2).with_seed(5).with_rto(mdo_netsim::Dur::from_millis(4));
+        let cfg = ExploreConfig {
+            schedules: 4,
+            tree: Some(TreeConfig::new(2)),
+            agg: Some(AggConfig::default()),
+            fault_plan: Some(plan),
+            ..ExploreConfig::default()
+        };
+        let report = explore(&CheckApp::probe(), &cfg);
+        assert!(report.passed(), "tree + agg + faults exploration failed: {:?}", report.failing);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! mdo_check [--app stencil-mini|leanmd-mini] [--schedules N] [--seed S]
 //!           [--pct-depth D] [--differential-every N] [--shrink-budget N]
 //!           [--agg] [--flow | --flow-shed] [--credit-bytes N]
+//!           [--tree] [--tree-branch K]
 //!           [--out DIR] [--replay FILE]
 //! ```
 //!
@@ -55,6 +56,11 @@ fn parse_args() -> Result<Args, String> {
             "--credit-bytes" => {
                 let window = value()?.parse().map_err(|e| format!("{flag}: {e}"))?;
                 args.cfg.flow = Some(args.cfg.flow.unwrap_or_default().with_credit_bytes(window));
+            }
+            "--tree" => args.cfg.tree = Some(mdo_netsim::TreeConfig::default()),
+            "--tree-branch" => {
+                let branch = value()?.parse().map_err(|e| format!("{flag}: {e}"))?;
+                args.cfg.tree = Some(mdo_netsim::TreeConfig::new(branch));
             }
             "--out" => args.out = PathBuf::from(value()?),
             "--replay" => args.replay = Some(PathBuf::from(value()?)),

@@ -117,7 +117,7 @@ pub mod prelude {
     pub use crate::wire::{WireReader, WireWriter};
     pub use mdo_netsim::{
         AggConfig, ClusterId, CrashSpec, CrashTrigger, Dur, FailureCause, FailurePlan, JoinPlan, JoinSpec, JoinTrigger,
-        Pe, PeFailed, Time, Topology, UnrecoverableError,
+        Pe, PeFailed, SpanTree, Time, Topology, TreeConfig, UnrecoverableError,
     };
     pub use mdo_obs::{ObsConfig, ObsReport};
 }

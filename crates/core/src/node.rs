@@ -18,7 +18,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use bytes::Bytes;
-use mdo_netsim::{Dur, Pe, Time, Topology};
+use mdo_netsim::{Dur, Pe, SpanTree, Time, Topology};
 
 use crate::array::{petree, ArrayLocal, ArraySpec};
 use crate::balancer::{run_strategy, LbInput, ObjMeasurement, Strategy};
@@ -176,7 +176,16 @@ pub struct Node {
     elems: HashMap<ObjKey, Box<dyn Chare>>,
     arrays: Vec<ArrayLocal>,
     reductions: Vec<crate::reduction::PeReductions>,
+    /// Tree-mode child-partial buffers, one per array (unused when
+    /// `tree` is `None`: the flat path folds children on arrival).
+    tree_red: Vec<crate::reduction::TreeReductions>,
     root: Vec<crate::reduction::RootDelivery>,
+    /// The topology-aware collective tree, when
+    /// [`RunConfig::tree_collectives`] is armed.  Derived from
+    /// `shared.topo` at construction, so every shrink/expand generation —
+    /// which builds fresh nodes over the new topology — rebuilds it
+    /// consistently on every engine.
+    tree: Option<SpanTree>,
     host: HostParts,
     strategy: Arc<dyn Strategy>,
     lb: LbState,
@@ -236,13 +245,17 @@ impl Node {
             }
         }
         let strategy = shared.cfg.lb.strategy();
+        let tree = shared.cfg.tree_collectives.map(|tc| SpanTree::build(&shared.topo, tc));
+        let tree_red = (0..n_arrays).map(|_| crate::reduction::TreeReductions::new()).collect();
         Node {
             shared,
             pe,
             elems,
             arrays,
             reductions,
+            tree_red,
             root,
+            tree,
             host,
             strategy,
             lb: LbState::default(),
@@ -336,6 +349,7 @@ impl Node {
         }
         self.messages_processed += 1;
         let priority = env.priority;
+        let src = env.src;
         match env.body {
             MsgBody::App { target, entry, payload } => {
                 self.qd.processed += 1;
@@ -347,7 +361,7 @@ impl Node {
                 self.qd.active = true;
                 // Forward down the PE tree first so propagation overlaps
                 // with local delivery.
-                for child in petree::children(self.pe, self.num_pes()) {
+                for child in self.bcast_children() {
                     self.qd.sent += 1;
                     self.emit_env(
                         hooks,
@@ -369,13 +383,45 @@ impl Node {
             MsgBody::Multi { array, elems, entry, payload } => {
                 self.qd.processed += 1;
                 self.qd.active = true;
-                for elem in elems {
-                    let key = ObjKey::new(array, elem);
-                    self.deliver_app(key, entry, payload.clone(), priority, hooks, &mut outcome);
+                if self.tree.is_some() {
+                    // Tree multicast: a gateway receives one Multi for its
+                    // whole cluster and re-splits it by current element
+                    // location — locals are delivered, remote groups are
+                    // re-emitted as Multis (still one wire message per
+                    // destination, and still one WAN hop per cluster if a
+                    // migration moved elements across the wide area).
+                    let (locals, remote) = self.split_by_location(array, elems);
+                    for (dst, group) in remote {
+                        self.qd.sent += 1;
+                        self.emit_env(
+                            hooks,
+                            dst,
+                            priority,
+                            MsgBody::Multi { array, elems: group, entry, payload: payload.clone() },
+                            Dur::ZERO,
+                        );
+                    }
+                    for elem in locals {
+                        let key = ObjKey::new(array, elem);
+                        self.deliver_app(key, entry, payload.clone(), priority, hooks, &mut outcome);
+                    }
+                } else {
+                    for elem in elems {
+                        let key = ObjKey::new(array, elem);
+                        self.deliver_app(key, entry, payload.clone(), priority, hooks, &mut outcome);
+                    }
                 }
             }
             MsgBody::ReduceUp { array, seq, op, count, data } => {
-                self.reductions[array.0 as usize].fold(seq, op, count, data);
+                if self.tree.is_some() {
+                    // Tree mode: buffer the child's complete partial keyed
+                    // by its PE so the combine order is fixed by the tree,
+                    // not by delivery order.
+                    let partial = crate::reduction::Partial { op, count, data };
+                    self.tree_red[array.0 as usize].offer_child(seq, src.0, partial);
+                } else {
+                    self.reductions[array.0 as usize].fold(seq, op, count, data);
+                }
                 self.flush_reductions(array, hooks, &mut outcome);
             }
             MsgBody::AtSyncReady { stats } => {
@@ -641,13 +687,26 @@ impl Node {
                     self.emit_env(hooks, Pe(0), APP_PRIORITY, MsgBody::Broadcast { array, entry, payload }, at_charge);
                 }
                 CtxOut::Multicast { array, elems, entry, payload, at_charge } => {
-                    // Group destinations by their current PE: the payload
-                    // crosses the wire once per PE.
+                    // Group destinations by next hop.  Flat: the current
+                    // hosting PE — the payload crosses the wire once per
+                    // PE, so a section spanning a remote cluster pays one
+                    // WAN copy per remote PE.  Tree: remote-cluster
+                    // elements collapse into one group per cluster,
+                    // addressed to its gateway — one WAN copy per cluster,
+                    // re-split locally on arrival.
                     let mut by_pe: std::collections::BTreeMap<Pe, Vec<crate::ids::ElemId>> =
                         std::collections::BTreeMap::new();
                     let local = &self.arrays[array.0 as usize];
+                    let topo = &self.shared.topo;
                     for elem in elems {
-                        by_pe.entry(local.location(elem)).or_default().push(elem);
+                        let loc = local.location(elem);
+                        let hop = match &self.tree {
+                            Some(tree) if topo.crosses_wan(self.pe, loc) => {
+                                tree.gateway(topo.cluster_of(loc)).expect("a hosting cluster is non-empty")
+                            }
+                            _ => loc,
+                        };
+                        by_pe.entry(hop).or_default().push(elem);
                     }
                     for (dst, group) in by_pe {
                         let prio = if self.shared.cfg.grid_prio && self.topo().crosses_wan(self.pe, dst) {
@@ -693,36 +752,134 @@ impl Node {
         hooks.emit(env, after);
     }
 
+    // ---- collective topology --------------------------------------------
+
+    /// Children this PE forwards broadcasts to: the topology-aware
+    /// spanning tree when `tree_collectives` is on, the flat binary PE
+    /// heap otherwise.
+    fn bcast_children(&self) -> Vec<Pe> {
+        match &self.tree {
+            Some(tree) => tree.children(self.pe).to_vec(),
+            None => petree::children(self.pe, self.num_pes()).collect(),
+        }
+    }
+
+    /// Split a multicast element list by current location (tree mode):
+    /// elements hosted here are delivered locally; same-cluster elements
+    /// go straight to their PE; elements in other clusters collapse into
+    /// one group per cluster, addressed to that cluster's gateway.
+    fn split_by_location(
+        &self,
+        array: ArrayId,
+        elems: Vec<crate::ids::ElemId>,
+    ) -> (Vec<crate::ids::ElemId>, Vec<(Pe, Vec<crate::ids::ElemId>)>) {
+        let tree = self.tree.as_ref().expect("split_by_location requires tree collectives");
+        let topo = &self.shared.topo;
+        let local = &self.arrays[array.0 as usize];
+        let mut locals = Vec::new();
+        let mut remote: std::collections::BTreeMap<Pe, Vec<crate::ids::ElemId>> = std::collections::BTreeMap::new();
+        for elem in elems {
+            let loc = local.location(elem);
+            if loc == self.pe {
+                locals.push(elem);
+            } else if topo.crosses_wan(self.pe, loc) {
+                let gw = tree.gateway(topo.cluster_of(loc)).expect("a hosting cluster is non-empty");
+                remote.entry(gw).or_default().push(elem);
+            } else {
+                remote.entry(loc).or_default().push(elem);
+            }
+        }
+        (locals, remote.into_iter().collect())
+    }
+
     // ---- reductions -----------------------------------------------------
 
     /// Elements of `array` hosted in this PE's spanning-tree subtree.
     fn subtree_expected(&self, array: ArrayId) -> u64 {
         let local = &self.arrays[array.0 as usize];
-        petree::subtree(self.pe, self.num_pes()).into_iter().map(|pe| local.count_on(pe) as u64).sum()
+        match &self.tree {
+            Some(tree) => tree.subtree(self.pe).into_iter().map(|pe| local.count_on(pe) as u64).sum(),
+            None => petree::subtree(self.pe, self.num_pes()).into_iter().map(|pe| local.count_on(pe) as u64).sum(),
+        }
+    }
+
+    /// Tree children expected to send a `ReduceUp` for `array`: those
+    /// whose subtree hosts at least one element.
+    fn red_children(&self, array: ArrayId) -> Vec<u32> {
+        let tree = self.tree.as_ref().expect("red_children requires tree collectives");
+        let local = &self.arrays[array.0 as usize];
+        tree.children(self.pe)
+            .iter()
+            .filter(|&&c| tree.subtree(c).into_iter().any(|pe| local.count_on(pe) > 0))
+            .map(|&c| c.0)
+            .collect()
     }
 
     fn flush_reductions(&mut self, array: ArrayId, hooks: &mut dyn NodeHooks, outcome: &mut HandleOutcome) {
+        if self.tree.is_some() {
+            self.flush_reductions_tree(array, hooks, outcome);
+            return;
+        }
         let expected = self.subtree_expected(array);
         if expected == 0 {
             return;
         }
         let complete = self.reductions[array.0 as usize].take_complete(expected);
         for (seq, partial) in complete {
-            if self.pe == Pe(0) {
-                let deliverable = self.root[array.0 as usize].push(seq, partial);
-                for (s, p) in deliverable {
-                    self.deliver_reduction(array, s, p.data, hooks, outcome);
-                }
-            } else {
-                let parent = petree::parent(self.pe).expect("non-root PE has a parent");
-                self.emit_env(
-                    hooks,
-                    parent,
-                    SYSTEM_PRIORITY,
-                    MsgBody::ReduceUp { array, seq, op: partial.op, count: partial.count, data: partial.data },
-                    Dur::ZERO,
-                );
+            self.forward_or_deliver(array, seq, partial, hooks, outcome);
+        }
+    }
+
+    /// Tree-mode flush: local contributions complete against the local
+    /// element count only, then join the per-child partials in the fixed
+    /// tree order (local first, children ascending by PE) before one
+    /// `ReduceUp` to the tree parent — partial-combine at the gateway
+    /// ahead of the single wide-area hop.
+    fn flush_reductions_tree(&mut self, array: ArrayId, hooks: &mut dyn NodeHooks, outcome: &mut HandleOutcome) {
+        let total = self.subtree_expected(array);
+        if total == 0 {
+            return;
+        }
+        let local_expected = self.arrays[array.0 as usize].count_on(self.pe) as u64;
+        if local_expected > 0 {
+            for (seq, partial) in self.reductions[array.0 as usize].take_complete(local_expected) {
+                self.tree_red[array.0 as usize].offer_local(seq, partial);
             }
+        }
+        let expected_children = self.red_children(array);
+        let complete = self.tree_red[array.0 as usize].take_complete(local_expected > 0, &expected_children, total);
+        for (seq, partial) in complete {
+            self.forward_or_deliver(array, seq, partial, hooks, outcome);
+        }
+    }
+
+    /// A subtree-complete partial either reaches the host client (root)
+    /// or folds one hop up the active PE tree.
+    fn forward_or_deliver(
+        &mut self,
+        array: ArrayId,
+        seq: u32,
+        partial: crate::reduction::Partial,
+        hooks: &mut dyn NodeHooks,
+        outcome: &mut HandleOutcome,
+    ) {
+        if self.pe == Pe(0) {
+            let deliverable = self.root[array.0 as usize].push(seq, partial);
+            for (s, p) in deliverable {
+                self.deliver_reduction(array, s, p.data, hooks, outcome);
+            }
+        } else {
+            let parent = match &self.tree {
+                Some(tree) => tree.parent(self.pe).expect("non-root PE has a tree parent"),
+                None => petree::parent(self.pe).expect("non-root PE has a parent"),
+            };
+            self.emit_env(
+                hooks,
+                parent,
+                SYSTEM_PRIORITY,
+                MsgBody::ReduceUp { array, seq, op: partial.op, count: partial.count, data: partial.data },
+                Dur::ZERO,
+            );
         }
     }
 
@@ -750,7 +907,7 @@ impl Node {
             return;
         }
         assert!(
-            self.reductions.iter().all(|r| r.is_quiescent()),
+            self.reductions.iter().all(|r| r.is_quiescent()) && self.tree_red.iter().all(|t| t.is_quiescent()),
             "reductions must not be in flight at an AtSync barrier"
         );
         self.lb.in_barrier = true;

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use mdo_netsim::network::NetworkStats;
 use mdo_netsim::{
     AggConfig, Dur, FailurePlan, FaultModelStats, FaultPlan, FlowConfig, JoinPlan, PeFailed, Time, TransportError,
-    UnrecoverableError,
+    TreeConfig, UnrecoverableError,
 };
 use mdo_obs::{ObsConfig, ObsReport};
 
@@ -310,6 +310,18 @@ pub struct RunConfig {
     /// Ignored by the simulation engine.  In net mode `join_plan`, `obs`
     /// and `trace` are unsupported and ignored (see DESIGN.md).
     pub net: Option<mdo_net::NetConfig>,
+    /// Grid-topology-aware collectives: when set, broadcasts, reductions
+    /// and section multicasts route over a two-level
+    /// [`SpanTree`](mdo_netsim::SpanTree) — one gateway PE per cluster,
+    /// so each collective crosses the wide area once per remote cluster
+    /// instead of once per remote PE, with intra-cluster fan-in/fan-out
+    /// under the config's branching factor and reduction partial-combine
+    /// at the gateway (folded in fixed tree order).  Trees are a pure
+    /// function of the topology, so shrink/expand generation changes
+    /// rebuild them consistently on every engine.  `None` (the default)
+    /// keeps the flat binary PE tree, bit-identical to the historical
+    /// collectives.
+    pub tree_collectives: Option<TreeConfig>,
 }
 
 impl RunConfig {
@@ -362,6 +374,7 @@ impl Default for RunConfig {
             agg: None,
             flow: None,
             net: None,
+            tree_collectives: None,
         }
     }
 }

@@ -169,6 +169,91 @@ impl PeReductions {
     }
 }
 
+/// Tree-mode reduction state for one PE and one array: the locally-folded
+/// partial plus buffered child partials, combined in **fixed order** —
+/// local contributions first, then children ascending by PE — once every
+/// expected piece is present.
+///
+/// The flat path folds child partials in arrival order, which is fine for
+/// the exact operators but lets the delivery schedule pick the float
+/// combine order.  Under a [`SpanTree`](mdo_netsim::SpanTree) the combine
+/// order is a function of the tree alone, so a reduction's bit pattern
+/// cannot depend on which child's wide-area hop lands first.
+#[derive(Default, Debug)]
+struct TreePending {
+    local: Option<Partial>,
+    /// child PE number → that subtree's complete partial.
+    children: BTreeMap<u32, Partial>,
+}
+
+/// Per-PE, per-array buffer of tree-mode reductions in flight.
+#[derive(Default, Debug)]
+pub struct TreeReductions {
+    pending: BTreeMap<u32, TreePending>,
+}
+
+impl TreeReductions {
+    /// Fresh state.
+    pub fn new() -> Self {
+        TreeReductions::default()
+    }
+
+    /// True if no tree reduction is buffered here (required at LB
+    /// barriers, exactly like [`PeReductions::is_quiescent`]).
+    pub fn is_quiescent(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Buffer this PE's locally-complete partial for `seq`.
+    pub fn offer_local(&mut self, seq: u32, partial: Partial) {
+        let slot = self.pending.entry(seq).or_default();
+        assert!(slot.local.is_none(), "reduction {seq}: local partial offered twice");
+        slot.local = Some(partial);
+    }
+
+    /// Buffer a child subtree's complete partial for `seq`.
+    pub fn offer_child(&mut self, seq: u32, child: u32, partial: Partial) {
+        let prev = self.pending.entry(seq).or_default().children.insert(child, partial);
+        assert!(prev.is_none(), "reduction {seq}: child pe{child} reported twice");
+    }
+
+    /// Remove and return every reduction for which the local partial (when
+    /// `need_local`) and all `expected_children` are present, combined in
+    /// fixed order (local, then children ascending by PE).  Each result is
+    /// checked against `total`, the subtree's element count.
+    pub fn take_complete(&mut self, need_local: bool, expected_children: &[u32], total: u64) -> Vec<(u32, Partial)> {
+        let ready: Vec<u32> = self
+            .pending
+            .iter()
+            .filter(|(_, tp)| {
+                (!need_local || tp.local.is_some()) && expected_children.iter().all(|c| tp.children.contains_key(c))
+            })
+            .map(|(&s, _)| s)
+            .collect();
+        ready
+            .into_iter()
+            .map(|seq| {
+                let tp = self.pending.remove(&seq).expect("key just observed");
+                for child in tp.children.keys() {
+                    assert!(
+                        expected_children.contains(child),
+                        "reduction {seq}: partial from pe{child}, which is not an expected child"
+                    );
+                }
+                let mut pieces = tp.local.into_iter().chain(tp.children.into_values());
+                let mut acc = pieces.next().expect("a complete reduction has at least one piece");
+                for p in pieces {
+                    assert_eq!(acc.op, p.op, "reduction {seq}: conflicting operators");
+                    combine(acc.op, &mut acc.data, p.data);
+                    acc.count += p.count;
+                }
+                assert_eq!(acc.count, total, "reduction {seq}: subtree count mismatch");
+                (seq, acc)
+            })
+            .collect()
+    }
+}
+
 /// Root-side in-order delivery buffer.
 #[derive(Default, Debug)]
 pub struct RootDelivery {
@@ -361,6 +446,69 @@ mod tests {
         let p = || Partial { op: ReduceOp::SumF64, count: 1, data: ReduceData::F64(vec![0.0]) };
         root.push(1, p());
         root.push(1, p());
+    }
+
+    #[test]
+    fn tree_combine_order_is_fixed_regardless_of_arrival() {
+        // Same pieces, two arrival orders: identical bits out, because the
+        // combine order is (local, child 1, child 4), not arrival order.
+        let local = || Partial { op: ReduceOp::Gather, count: 1, data: ReduceData::Gathered(vec![(7, b"g".to_vec())]) };
+        let c1 = || Partial {
+            op: ReduceOp::Gather,
+            count: 2,
+            data: ReduceData::Gathered(vec![(0, b"a".to_vec()), (3, b"d".to_vec())]),
+        };
+        let c4 = || Partial { op: ReduceOp::Gather, count: 1, data: ReduceData::Gathered(vec![(5, b"f".to_vec())]) };
+        let run = |order: &[u32]| {
+            let mut t = TreeReductions::new();
+            for &who in order {
+                match who {
+                    0 => t.offer_local(0, local()),
+                    1 => t.offer_child(0, 1, c1()),
+                    4 => t.offer_child(0, 4, c4()),
+                    _ => unreachable!(),
+                }
+            }
+            let done = t.take_complete(true, &[1, 4], 4);
+            assert!(t.is_quiescent());
+            format!("{:?}", done)
+        };
+        assert_eq!(run(&[0, 1, 4]), run(&[4, 1, 0]));
+        assert_eq!(run(&[1, 4, 0]), run(&[0, 4, 1]));
+    }
+
+    #[test]
+    fn tree_take_complete_waits_for_every_piece() {
+        let p = |n: u64| Partial { op: ReduceOp::SumU64, count: n, data: ReduceData::U64(vec![n]) };
+        let mut t = TreeReductions::new();
+        t.offer_local(0, p(2));
+        assert!(t.take_complete(true, &[3], 5).is_empty(), "child 3 still missing");
+        t.offer_child(0, 3, p(3));
+        let done = t.take_complete(true, &[3], 5);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].1.data, ReduceData::U64(vec![5]));
+        // A PE with no local elements completes on children alone.
+        let mut t = TreeReductions::new();
+        t.offer_child(4, 2, p(5));
+        assert_eq!(t.take_complete(false, &[2], 5).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "reported twice")]
+    fn tree_duplicate_child_partial_panics() {
+        let p = || Partial { op: ReduceOp::SumU64, count: 1, data: ReduceData::U64(vec![1]) };
+        let mut t = TreeReductions::new();
+        t.offer_child(0, 2, p());
+        t.offer_child(0, 2, p());
+    }
+
+    #[test]
+    #[should_panic(expected = "not an expected child")]
+    fn tree_unexpected_child_partial_panics() {
+        let p = || Partial { op: ReduceOp::SumU64, count: 1, data: ReduceData::U64(vec![1]) };
+        let mut t = TreeReductions::new();
+        t.offer_child(0, 9, p());
+        let _ = t.take_complete(false, &[], 1);
     }
 
     #[test]

@@ -59,6 +59,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod topology;
+pub mod tree;
 
 pub use agg::AggConfig;
 pub use bandwidth::{LinkModel, WanContention};
@@ -73,3 +74,4 @@ pub use rng::{SplitMix64, Xoshiro256};
 pub use stats::{Counter, Histogram, TimeSeries};
 pub use time::{Dur, Time};
 pub use topology::{ClusterId, Pe, Topology};
+pub use tree::{SpanTree, TreeConfig};

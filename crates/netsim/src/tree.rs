@@ -1,0 +1,270 @@
+//! Topology-aware spanning trees for collective operations.
+//!
+//! The flat collectives treat all PEs as peers, so a broadcast or a
+//! reduction crosses the wide-area link once per remote PE — exactly the
+//! cost MPICH-G2's multi-level collectives were built to avoid.  A
+//! [`SpanTree`] is the Grid-aware alternative: a **two-level** spanning
+//! tree over a [`Topology`] in which
+//!
+//! * every non-empty cluster designates one **gateway** PE (its
+//!   lowest-numbered PE),
+//! * the root (PE 0, which is its own cluster's gateway) parents every
+//!   other gateway directly — so the wide area is crossed **exactly once
+//!   per remote cluster** in each direction, and
+//! * within a cluster the remaining PEs hang under the gateway as a
+//!   k-ary tree with a configurable branching factor — fan-out happens
+//!   over cheap local links.
+//!
+//! The tree is a pure function of `(Topology, TreeConfig)`, so every PE
+//! of a job — across processes, across engines — derives the same tree
+//! independently, and a shrink/expand generation change rebuilds it
+//! consistently by construction (each generation builds its nodes from
+//! the new topology).  Reductions fold upward along the same edges a
+//! broadcast fans out along, with partial-combine at the gateway before
+//! the single wide-area hop.
+
+use crate::topology::{ClusterId, Pe, Topology};
+
+/// Shape knobs for topology-aware collective trees.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TreeConfig {
+    /// Maximum intra-cluster fan-out per PE (the k of the local k-ary
+    /// tree).  Cross-cluster edges (root → gateway) are budgeted
+    /// separately: the wide-area link is the resource being economized,
+    /// not the root's local NIC.
+    pub branch: u32,
+}
+
+impl TreeConfig {
+    /// A tree with the given intra-cluster branching factor (≥ 1).
+    pub fn new(branch: u32) -> Self {
+        assert!(branch >= 1, "branching factor must be at least 1");
+        TreeConfig { branch }
+    }
+
+    /// Builder form of [`TreeConfig::new`].
+    pub fn with_branch(mut self, branch: u32) -> Self {
+        assert!(branch >= 1, "branching factor must be at least 1");
+        self.branch = branch;
+        self
+    }
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        // Fan-out 4 keeps intra-cluster depth shallow without serializing
+        // a gateway behind a long child list.
+        TreeConfig { branch: 4 }
+    }
+}
+
+/// A two-level spanning tree over every PE of a topology, rooted at PE 0.
+#[derive(Clone, Debug)]
+pub struct SpanTree {
+    cfg: TreeConfig,
+    /// parent[pe] — `None` only for the root.
+    parent: Vec<Option<Pe>>,
+    /// children[pe], ascending by PE number.
+    children: Vec<Vec<Pe>>,
+    /// gateway[cluster] — `None` for a cluster emptied by a shrink.
+    gateways: Vec<Option<Pe>>,
+}
+
+impl SpanTree {
+    /// Build the tree for `topo`.  Deterministic: every caller handed the
+    /// same topology and config derives the same tree.
+    pub fn build(topo: &Topology, cfg: TreeConfig) -> SpanTree {
+        assert!(cfg.branch >= 1, "branching factor must be at least 1");
+        let n = topo.num_pes();
+        let mut parent: Vec<Option<Pe>> = vec![None; n];
+        let mut gateways: Vec<Option<Pe>> = vec![None; topo.num_clusters()];
+        for c in topo.clusters() {
+            let members: Vec<Pe> = topo.pes_in(c).collect();
+            let Some(&gw) = members.first() else {
+                continue; // cluster emptied by a shrink: no gateway, no PEs
+            };
+            gateways[c.index()] = Some(gw);
+            // Local k-ary heap under the gateway: the PE at cluster
+            // position i hangs under position (i-1)/branch.
+            for (i, &pe) in members.iter().enumerate().skip(1) {
+                parent[pe.index()] = Some(members[(i - 1) / cfg.branch as usize]);
+            }
+            // The wide-area star: every remote gateway hangs off PE 0.
+            if gw != Pe(0) {
+                parent[gw.index()] = Some(Pe(0));
+            }
+        }
+        assert!(parent[0].is_none(), "PE 0 must be the root (dense numbering makes it the first gateway)");
+        let mut children: Vec<Vec<Pe>> = vec![Vec::new(); n];
+        for pe in topo.pes() {
+            if let Some(p) = parent[pe.index()] {
+                children[p.index()].push(pe); // ascending: pes() is ordered
+            }
+        }
+        SpanTree { cfg, parent, children, gateways }
+    }
+
+    /// The configuration the tree was built with.
+    pub fn config(&self) -> TreeConfig {
+        self.cfg
+    }
+
+    /// The root PE (always PE 0, where the host client lives).
+    pub fn root(&self) -> Pe {
+        Pe(0)
+    }
+
+    /// Number of PEs spanned.
+    pub fn num_pes(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Parent of `pe` (`None` for the root).
+    pub fn parent(&self, pe: Pe) -> Option<Pe> {
+        self.parent[pe.index()]
+    }
+
+    /// Children of `pe`, ascending by PE number.
+    pub fn children(&self, pe: Pe) -> &[Pe] {
+        &self.children[pe.index()]
+    }
+
+    /// The gateway PE of a cluster (`None` for a cluster emptied by a
+    /// shrink).
+    pub fn gateway(&self, c: ClusterId) -> Option<Pe> {
+        self.gateways[c.index()]
+    }
+
+    /// Whether `pe` is some cluster's gateway.
+    pub fn is_gateway(&self, pe: Pe) -> bool {
+        self.gateways.contains(&Some(pe))
+    }
+
+    /// Every PE in the subtree rooted at `pe`, including `pe` itself.
+    pub fn subtree(&self, pe: Pe) -> Vec<Pe> {
+        let mut out = Vec::new();
+        let mut stack = vec![pe];
+        while let Some(p) = stack.pop() {
+            out.push(p);
+            stack.extend(self.children(p).iter().copied());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn validate(topo: &Topology, tree: &SpanTree) {
+        // Spans every PE exactly once.
+        let mut seen: Vec<u32> = tree.subtree(Pe(0)).iter().map(|p| p.0).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..topo.num_pes() as u32).collect::<Vec<_>>());
+        // Exactly one gateway per non-empty cluster; none for empty ones.
+        for c in topo.clusters() {
+            match tree.gateway(c) {
+                Some(gw) => {
+                    assert_eq!(topo.cluster_of(gw), c);
+                    assert_eq!(Some(gw), topo.pes_in(c).next(), "gateway is the cluster's first PE");
+                }
+                None => assert_eq!(topo.cluster_size(c), 0),
+            }
+        }
+        // Edge discipline: cross-cluster edges are exactly root→gateway;
+        // intra-cluster fan-out respects the branching factor.
+        for pe in topo.pes() {
+            let intra = tree.children(pe).iter().filter(|&&c| !topo.crosses_wan(pe, c)).count();
+            assert!(intra <= tree.config().branch as usize, "{pe:?} has {intra} local children");
+            for &child in tree.children(pe) {
+                if topo.crosses_wan(pe, child) {
+                    assert_eq!(pe, Pe(0), "only the root sends across the WAN");
+                    assert!(tree.is_gateway(child), "WAN edges land on gateways only");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_cluster_tree_crosses_wan_once() {
+        let topo = Topology::two_cluster(8);
+        let tree = SpanTree::build(&topo, TreeConfig::default());
+        validate(&topo, &tree);
+        assert_eq!(tree.gateway(ClusterId(0)), Some(Pe(0)));
+        assert_eq!(tree.gateway(ClusterId(1)), Some(Pe(4)));
+        assert_eq!(tree.parent(Pe(4)), Some(Pe(0)));
+        // All of cluster B hangs under its gateway, not under PE 0.
+        for pe in [Pe(5), Pe(6), Pe(7)] {
+            assert_eq!(tree.parent(pe), Some(Pe(4)));
+        }
+        let cross = topo
+            .pes()
+            .flat_map(|p| tree.children(p).iter().map(move |&c| (p, c)))
+            .filter(|&(p, c)| topo.crosses_wan(p, c))
+            .count();
+        assert_eq!(cross, 1, "one WAN edge for one remote cluster");
+    }
+
+    #[test]
+    fn branching_factor_shapes_the_local_tree() {
+        let topo = Topology::single(7);
+        let tree = SpanTree::build(&topo, TreeConfig::new(2));
+        validate(&topo, &tree);
+        assert_eq!(tree.children(Pe(0)), &[Pe(1), Pe(2)]);
+        assert_eq!(tree.children(Pe(1)), &[Pe(3), Pe(4)]);
+        assert_eq!(tree.children(Pe(2)), &[Pe(5), Pe(6)]);
+        let chain = SpanTree::build(&topo, TreeConfig::new(1));
+        validate(&topo, &chain);
+        for pe in 1..7 {
+            assert_eq!(chain.parent(Pe(pe)), Some(Pe(pe - 1)), "branch=1 degenerates to a chain");
+        }
+    }
+
+    #[test]
+    fn many_uneven_clusters_get_one_gateway_each() {
+        let topo = Topology::new(vec![
+            crate::topology::ClusterSpec { name: "a".into(), pes: 1 },
+            crate::topology::ClusterSpec { name: "b".into(), pes: 5 },
+            crate::topology::ClusterSpec { name: "c".into(), pes: 2 },
+        ]);
+        let tree = SpanTree::build(&topo, TreeConfig::default());
+        validate(&topo, &tree);
+        assert_eq!(tree.children(Pe(0)), &[Pe(1), Pe(6)], "root's children are the two remote gateways");
+        assert!(tree.is_gateway(Pe(0)) && tree.is_gateway(Pe(1)) && tree.is_gateway(Pe(6)));
+    }
+
+    #[test]
+    fn survives_shrink_that_empties_a_cluster() {
+        let topo = Topology::two_cluster(4);
+        let (shrunk, _) = topo.without_pes(&[Pe(2), Pe(3)]);
+        let tree = SpanTree::build(&shrunk, TreeConfig::default());
+        validate(&shrunk, &tree);
+        assert_eq!(tree.gateway(ClusterId(1)), None, "emptied cluster has no gateway");
+        assert_eq!(tree.children(Pe(0)), &[Pe(1)]);
+    }
+
+    #[test]
+    fn rebuild_after_shrink_then_expand_is_valid() {
+        let topo = Topology::uniform(3, 3);
+        let (s, _) = topo.without_pes(&[Pe(0), Pe(4)]);
+        validate(&s, &SpanTree::build(&s, TreeConfig::new(2)));
+        let (w, _) = s.with_pes(&[ClusterId(0), ClusterId(2)]);
+        validate(&w, &SpanTree::build(&w, TreeConfig::new(2)));
+    }
+
+    #[test]
+    fn single_pe_is_just_a_root() {
+        let topo = Topology::single(1);
+        let tree = SpanTree::build(&topo, TreeConfig::default());
+        validate(&topo, &tree);
+        assert_eq!(tree.parent(Pe(0)), None);
+        assert!(tree.children(Pe(0)).is_empty());
+        assert_eq!(tree.subtree(Pe(0)), vec![Pe(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_branch_rejected() {
+        TreeConfig::new(0);
+    }
+}

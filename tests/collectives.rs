@@ -1,0 +1,345 @@
+//! Topology-aware collective trees: the cross-engine bit-exactness
+//! oracle.
+//!
+//! `RunConfig::tree_collectives` reroutes broadcasts, section multicasts
+//! and reductions over a two-level spanning tree (one gateway PE per
+//! cluster, partial-combine at the gateway before the single wide-area
+//! hop) — the MPICH-G2-style optimization the paper's §2 contrasts
+//! against.  The contract under test: the trees are a pure *routing*
+//! change.  Application state must be bit-identical with trees on vs
+//! off, on the virtual-time simulation engine, the threaded engine and
+//! a real multi-process TCP run — while the number of wide-area messages
+//! drops to one per remote cluster per collective phase.
+
+use std::net::SocketAddr;
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+use gridmdo::apps::leanmd::{self, MdConfig};
+use gridmdo::apps::stencil::{self, seq::SeqStencil, StencilConfig, StencilCost};
+use gridmdo::net::localhost_rendezvous;
+use gridmdo::obs::Ctr;
+use gridmdo::prelude::*;
+use gridmdo::runtime::envelope::{ReduceData, ReduceOp};
+use gridmdo::runtime::{Chare, Ctx, SimEngine};
+use mdo_check::{explore, CheckApp, ExploreConfig};
+
+fn small_stencil(objects: usize, steps: u32, lb_period: Option<u32>) -> StencilConfig {
+    StencilConfig {
+        mesh: 32,
+        objects,
+        steps,
+        compute: true,
+        cost: StencilCost { ns_per_cell: 10.0, msg_overhead: Dur::from_micros(5), cache_effect: false },
+        mapping: Mapping::Block,
+        lb_period,
+    }
+}
+
+fn seq_reference(cfg: &StencilConfig) -> Vec<f64> {
+    let mut reference = SeqStencil::new(cfg.mesh);
+    reference.run(cfg.steps);
+    reference.block_sums(cfg.k())
+}
+
+fn trees_on() -> RunConfig {
+    RunConfig { tree_collectives: Some(TreeConfig::default()), ..RunConfig::default() }
+}
+
+// ---- bit-exactness, simulation engine -------------------------------------
+
+#[test]
+fn sim_stencil_trees_on_matches_flat_and_sequential() {
+    let cfg = small_stencil(16, 5, None);
+    let want = seq_reference(&cfg);
+    let run = |rc: RunConfig| {
+        let net = NetworkModel::two_cluster_sweep(4, Dur::from_millis(1));
+        stencil::run_sim(cfg.clone(), net, rc)
+    };
+    let flat = run(RunConfig::default());
+    let tree = run(trees_on());
+    assert_eq!(flat.block_sums, want, "flat collectives match the sequential oracle");
+    assert_eq!(tree.block_sums, want, "tree collectives match the sequential oracle");
+    assert_eq!(tree.block_sums, flat.block_sums, "trees on vs off: bit-exact");
+}
+
+#[test]
+fn sim_stencil_trees_are_bit_exact_across_branching_factors() {
+    // The branching factor reshapes every intra-cluster subtree (k=1 is a
+    // chain); none of it may reach the application state.
+    let cfg = small_stencil(16, 4, None);
+    let want = seq_reference(&cfg);
+    for branch in [1, 2, 3, 8] {
+        let rc = RunConfig { tree_collectives: Some(TreeConfig::new(branch)), ..RunConfig::default() };
+        let net = NetworkModel::two_cluster_sweep(4, Dur::from_millis(1));
+        let out = stencil::run_sim(cfg.clone(), net, rc);
+        assert_eq!(out.block_sums, want, "branch={branch} is bit-exact");
+    }
+}
+
+#[test]
+fn sim_leanmd_trees_on_is_bit_exact() {
+    // LeanMD drives the `Multi` multicast path (cell → interaction
+    // sections) plus SumF64-style energy reductions every step.
+    let cfg = MdConfig::validation(3, 4, 4);
+    let run = |rc: RunConfig| {
+        let net = NetworkModel::two_cluster_sweep(4, Dur::from_millis(2));
+        leanmd::run_sim(cfg.clone(), net, rc)
+    };
+    let flat = run(RunConfig::default());
+    let tree = run(trees_on());
+    assert_eq!(tree.checksums, flat.checksums, "LeanMD positions bit-exact with trees on");
+    assert_eq!(tree.kinetic, flat.kinetic, "LeanMD energies bit-exact with trees on");
+}
+
+#[test]
+fn sim_many_cluster_uneven_layout_is_bit_exact() {
+    // Four uneven clusters exercise gateways that are not the flat
+    // binary-heap parents of anything they now forward for.
+    use gridmdo::netsim::topology::ClusterSpec;
+    let topo = Topology::new(vec![
+        ClusterSpec { name: "a".into(), pes: 1 },
+        ClusterSpec { name: "b".into(), pes: 3 },
+        ClusterSpec { name: "c".into(), pes: 2 },
+        ClusterSpec { name: "d".into(), pes: 2 },
+    ]);
+    let cfg = small_stencil(16, 4, None);
+    let want = seq_reference(&cfg);
+    let run = |rc: RunConfig| {
+        let latency = LatencyMatrix::uniform(&topo, Dur::ZERO, Dur::from_millis(1));
+        let contention = gridmdo::netsim::bandwidth::WanContention::disabled(&topo);
+        let net = NetworkModel::new(topo.clone(), latency, contention, 0);
+        stencil::run_sim(cfg.clone(), net, rc)
+    };
+    assert_eq!(run(RunConfig::default()).block_sums, want);
+    assert_eq!(run(trees_on()).block_sums, want, "uneven 4-cluster layout: trees bit-exact");
+}
+
+// ---- bit-exactness, threaded engine ---------------------------------------
+
+#[test]
+fn threaded_stencil_and_leanmd_trees_on_are_bit_exact() {
+    let topo = Topology::two_cluster(4);
+    let latency = LatencyMatrix::uniform(&topo, Dur::ZERO, Dur::from_micros(300));
+
+    let scfg = small_stencil(16, 5, None);
+    let want = seq_reference(&scfg);
+    let flat = stencil::run_threaded(scfg.clone(), topo.clone(), latency.clone(), RunConfig::default());
+    let tree = stencil::run_threaded(scfg, topo.clone(), latency.clone(), trees_on());
+    assert_eq!(flat.block_sums, want);
+    assert_eq!(tree.block_sums, want, "threaded stencil: trees bit-exact");
+
+    let mcfg = MdConfig::validation(3, 4, 3);
+    let mflat = leanmd::run_threaded(mcfg.clone(), topo.clone(), latency.clone(), RunConfig::default());
+    let mtree = leanmd::run_threaded(mcfg, topo, latency, trees_on());
+    assert_eq!(mtree.checksums, mflat.checksums, "threaded LeanMD: trees bit-exact");
+    assert_eq!(mtree.kinetic, mflat.kinetic);
+}
+
+// ---- bit-exactness, multi-process TCP -------------------------------------
+
+fn reserve_manifest(nodes: usize) -> Vec<SocketAddr> {
+    let (listeners, addrs) = localhost_rendezvous(nodes).expect("bind manifest ports");
+    drop(listeners);
+    addrs
+}
+
+#[test]
+fn two_node_tcp_stencil_trees_on_is_bit_exact() {
+    // Two node-threads over real sockets, one per cluster: tree Multi
+    // re-splits and gateway reductions cross an actual TCP wire.
+    let cfg = small_stencil(16, 5, None);
+    let topo = Topology::two_cluster(4);
+    let latency = LatencyMatrix::uniform(&topo, Dur::ZERO, Dur::from_micros(300));
+    let want = seq_reference(&cfg);
+
+    let manifest = reserve_manifest(2);
+    let mut handles = Vec::new();
+    for node in (0..2u32).rev() {
+        let cfg = cfg.clone();
+        let topo = topo.clone();
+        let latency = latency.clone();
+        let run_cfg = RunConfig { net: Some(NetConfig::new(node, manifest.clone())), ..trees_on() };
+        let h = thread::Builder::new()
+            .name(format!("node{node}"))
+            .spawn(move || stencil::run_threaded_with(cfg, topo, ThreadedConfig::new(latency), run_cfg))
+            .expect("spawn node thread");
+        handles.push((node, h));
+    }
+    let mut node0 = None;
+    for (node, h) in handles {
+        let out = h.join().unwrap_or_else(|_| panic!("node {node} panicked"));
+        if node == 0 {
+            node0 = Some(out);
+        }
+    }
+    let multi = node0.expect("node 0 outcome");
+    assert_eq!(multi.block_sums, want, "multi-process TCP run with trees on is bit-exact");
+    assert!(multi.report.network.cross_messages > 0, "traffic actually crossed the wire");
+    assert!(multi.report.unrecoverable.is_none());
+}
+
+// ---- the point of the trees: fewer wide-area messages ---------------------
+
+#[test]
+fn trees_cut_wan_traffic_on_both_engines() {
+    // Four clusters of two: a flat broadcast or reduction crosses the WAN
+    // once per remote PE per hop; the tree crosses once per remote
+    // cluster.  Point-to-point ghost traffic is identical in both modes,
+    // so total `wan_msgs_sent` must drop strictly.
+    let cfg = small_stencil(16, 6, None);
+    let topo = Topology::uniform(4, 2);
+    let latency = LatencyMatrix::uniform(&topo, Dur::ZERO, Dur::from_millis(1));
+
+    let sim_wan = |tree: Option<TreeConfig>| {
+        let contention = gridmdo::netsim::bandwidth::WanContention::disabled(&topo);
+        let net = NetworkModel::new(topo.clone(), latency.clone(), contention, 0);
+        let rc = RunConfig { tree_collectives: tree, obs: Some(ObsConfig::new()), ..RunConfig::default() };
+        let out = stencil::run_sim(cfg.clone(), net, rc);
+        (out.report.obs.expect("obs armed").merged_counters().get(Ctr::WanMsgsSent), out.block_sums)
+    };
+    let (flat_wan, flat_sums) = sim_wan(None);
+    let (tree_wan, tree_sums) = sim_wan(Some(TreeConfig::default()));
+    assert_eq!(tree_sums, flat_sums, "sim results stay bit-exact while traffic changes");
+    assert!(tree_wan < flat_wan, "trees must cut sim wide-area traffic: {tree_wan} !< {flat_wan} wan_msgs_sent");
+
+    let threaded_cross = |rc: RunConfig| {
+        stencil::run_threaded(cfg.clone(), topo.clone(), latency.clone(), rc).report.network.cross_messages
+    };
+    let flat_cross = threaded_cross(RunConfig::default());
+    let tree_cross = threaded_cross(trees_on());
+    assert!(tree_cross < flat_cross, "trees must cut threaded cross-cluster traffic: {tree_cross} !< {flat_cross}");
+}
+
+// ---- an explicit f64 reduction oracle -------------------------------------
+
+const KICK: EntryId = EntryId(70);
+
+/// Each element contributes one exactly-representable f64 pair; the tree
+/// combines partials gateway-by-gateway in tree order, the flat path in
+/// PE-heap order — for dyadic rationals both are exact, so the delivered
+/// sums must be bit-identical.
+struct Summer {
+    idx: u64,
+}
+
+impl Chare for Summer {
+    fn receive(&mut self, entry: EntryId, _p: &[u8], ctx: &mut Ctx<'_>) {
+        assert_eq!(entry, KICK);
+        let x = self.idx as f64 * 0.5;
+        ctx.contribute_f64(ReduceOp::SumF64, &[x, 1.0 + x * 0.25]);
+    }
+}
+
+fn sum_program(elems: usize) -> (gridmdo::runtime::Program, Arc<Mutex<Vec<f64>>>) {
+    let got = Arc::new(Mutex::new(Vec::new()));
+    let got_c = Arc::clone(&got);
+    let mut p = gridmdo::runtime::Program::new();
+    let arr = p.array("summers", elems, Mapping::Block, |elem| {
+        Box::new(Summer { idx: elem.index() as u64 }) as Box<dyn Chare>
+    });
+    p.on_startup(move |ctl| ctl.broadcast(arr, KICK, vec![]));
+    p.on_reduction(arr, move |_seq, data, ctl| {
+        if let ReduceData::F64(values) = data {
+            *got_c.lock().expect("sum lock") = values.clone();
+        }
+        ctl.exit();
+    });
+    (p, got)
+}
+
+#[test]
+fn f64_sum_reduction_digest_is_identical_trees_on_vs_off() {
+    let run = |tree: Option<TreeConfig>| {
+        let (program, got) = sum_program(24);
+        let net = NetworkModel::two_cluster_sweep(6, Dur::from_millis(1));
+        let rc = RunConfig { tree_collectives: tree, ..RunConfig::default() };
+        let report = SimEngine::new(net, rc).run(program);
+        assert!(report.unrecoverable.is_none());
+        let values = got.lock().expect("sum lock").clone();
+        assert_eq!(values.len(), 2, "the reduction delivered");
+        values.iter().map(|v| v.to_bits()).collect::<Vec<u64>>()
+    };
+    let flat = run(None);
+    let tree = run(Some(TreeConfig::new(2)));
+    assert_eq!(flat, tree, "f64 digest bit-identical: flat {flat:?} vs tree {tree:?}");
+}
+
+// ---- faults and elasticity ------------------------------------------------
+
+#[test]
+fn tree_reductions_survive_loss_and_reorder_on_both_engines() {
+    // 10% WAN loss plus reorder: the reliable layer retransmits, the tree
+    // combiner must still see every child partial exactly once (its
+    // duplicate assertions fire otherwise) and the field stays bit-exact.
+    let cfg = small_stencil(16, 6, None);
+    let want = seq_reference(&cfg);
+    let plan = FaultPlan::loss(0.1).with_reorder(0.08).with_seed(1405).with_rto(Dur::from_millis(10));
+
+    let sim = {
+        let net = NetworkModel::two_cluster_sweep(4, Dur::from_millis(4));
+        let rc = RunConfig { fault_plan: Some(plan.clone()), ..trees_on() };
+        stencil::run_sim(cfg.clone(), net, rc)
+    };
+    assert_eq!(sim.block_sums, want, "sim: tree collectives bit-exact under loss+reorder");
+    assert!(sim.report.faults.dropped > 0, "faults actually occurred: {:?}", sim.report.faults);
+    assert!(sim.report.faults.retransmits > 0, "and were recovered from");
+
+    let threaded = {
+        let topo = Topology::two_cluster(4);
+        let latency = LatencyMatrix::uniform(&topo, Dur::ZERO, Dur::from_millis(2));
+        let rc = RunConfig { fault_plan: Some(plan), ..trees_on() };
+        stencil::run_threaded(cfg, topo, latency, rc)
+    };
+    assert_eq!(threaded.block_sums, want, "threaded: tree collectives bit-exact under loss+reorder");
+    assert!(threaded.report.faults.retransmits > 0);
+}
+
+#[test]
+fn gateway_crash_and_rejoin_rebuilds_the_tree_bit_exact() {
+    // In two_cluster(4), PE 2 is cluster B's gateway — every tree
+    // collective funnels through it.  Crash it mid-run: the shrink
+    // generation rebuilds the tree without it (possibly promoting a new
+    // gateway), the rejoin generation rebuilds again at full width, and
+    // the field must still be bit-exact.
+    let steps = 6;
+    let cfg = small_stencil(16, steps, Some(1));
+    let net = || NetworkModel::two_cluster_sweep(4, Dur::from_millis(1));
+    let clean = stencil::run_sim(cfg.clone(), net(), trees_on());
+    assert_eq!(clean.block_sums, seq_reference(&cfg));
+
+    for k in 1..=4u32 {
+        let at = Dur::from_nanos(clean.total.as_nanos() * u64::from(2 * k + 1) / u64::from(2 * steps));
+        let rc = RunConfig {
+            failure_plan: Some(FailurePlan::new().crash_at(Pe(2), at)),
+            join_plan: Some(JoinPlan::new().rejoin_after_recoveries(Pe(2), 1)),
+            ..trees_on()
+        };
+        let elastic = stencil::run_sim(cfg.clone(), net(), rc);
+        assert_eq!(elastic.block_sums, clean.block_sums, "gateway crash+rejoin at {k}/{steps}: bit-exact");
+        assert_eq!(elastic.report.recoveries, 1, "crash at {k}/{steps}");
+        assert_eq!(elastic.report.pes_joined, 1, "rejoin at {k}/{steps}");
+        assert_eq!(elastic.report.generations, 3, "full → shrunk → re-expanded");
+        assert!(elastic.report.unrecoverable.is_none());
+    }
+}
+
+// ---- schedule exploration -------------------------------------------------
+
+#[test]
+fn mdo_check_exploration_stays_green_with_trees_on() {
+    // Random + PCT schedules, threaded differential runs, invariant layer
+    // on — with every collective routed over the trees.  (CI runs the
+    // full 200-schedule session; this is the in-tree smoke.)
+    for app in [CheckApp::stencil_mini(), CheckApp::leanmd_mini()] {
+        let cfg = ExploreConfig {
+            schedules: 8,
+            differential_every: 4,
+            tree: Some(TreeConfig::default()),
+            ..ExploreConfig::default()
+        };
+        let report = explore(&app, &cfg);
+        assert!(report.horizon > 0, "{}: contested dispatches exist", report.app);
+        assert!(report.passed(), "{}: tree exploration failed: {:?}", report.app, report.failing);
+    }
+}

@@ -257,6 +257,65 @@ proptest! {
         }
     }
 
+    /// The tree-collective paths put `Multi` (gateway re-split
+    /// multicasts) and `ReduceUp` (gateway partial-combines) on the
+    /// wide-area wire, so both bodies face hostile bytes.  Valid frames
+    /// must round-trip byte-for-byte; any single-byte flip or truncation
+    /// must yield a structured verdict, never a panic.
+    #[test]
+    fn tree_collective_envelopes_survive_mutation(
+        array in 0u32..8, entry in any::<u16>(),
+        elems in prop::collection::vec(0u32..4096, 1..32),
+        payload in prop::collection::vec(any::<u8>(), 0..64),
+        seq in any::<u32>(), count in any::<u64>(),
+        values in prop::collection::vec(any::<f64>(), 0..16),
+        flip_pos in any::<proptest::sample::Index>(),
+        flip_bits in 1u8..=255,
+        cut in any::<proptest::sample::Index>())
+    {
+        use gridmdo::runtime::envelope::{ReduceData, ReduceOp};
+        let multi = Envelope {
+            src: Pe(0),
+            dst: Pe(1),
+            priority: -5,
+            sent_at_ns: 9,
+            body: MsgBody::Multi {
+                array: ArrayId(array),
+                elems: elems.iter().map(|&e| ElemId(e)).collect(),
+                entry: EntryId(entry),
+                payload: payload.clone().into(),
+            },
+        };
+        let reduce = Envelope {
+            src: Pe(3),
+            dst: Pe(0),
+            priority: 0,
+            sent_at_ns: 11,
+            body: MsgBody::ReduceUp {
+                array: ArrayId(array),
+                seq,
+                op: ReduceOp::SumF64,
+                count,
+                data: ReduceData::F64(values.clone()),
+            },
+        };
+        for env in [multi, reduce] {
+            let good = env.encode();
+            let back = Envelope::decode(&good).expect("valid collective envelope decodes");
+            prop_assert_eq!(back.encode(), good.clone());
+
+            let mut flipped = good.clone();
+            let at = flip_pos.index(flipped.len());
+            flipped[at] ^= flip_bits;
+            let _ = Envelope::decode(&flipped); // Ok or Err, must not panic.
+
+            let truncated = &good[..cut.index(good.len() + 1)];
+            if truncated.len() < good.len() {
+                prop_assert!(Envelope::decode(truncated).is_err(), "truncation must be rejected");
+            }
+        }
+    }
+
     /// Arbitrary text into the `schedule.json` reader (which drags the
     /// whole `mdo-obs` JSON parser along): a structured `Err(String)` or
     /// a file that serializes back and re-parses — never a panic.

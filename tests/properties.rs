@@ -2,7 +2,8 @@
 
 use gridmdo::apps::leanmd::geometry::CellGrid;
 use gridmdo::apps::stencil::seq::SeqStencil;
-use gridmdo::netsim::{Dur, EventQueue, LatencyMatrix, Pe, Time, Topology};
+use gridmdo::netsim::topology::ClusterSpec;
+use gridmdo::netsim::{ClusterId, Dur, EventQueue, LatencyMatrix, Pe, SpanTree, Time, Topology, TreeConfig};
 use gridmdo::runtime::checkpoint::{ArraySnapshot, Snapshot};
 use gridmdo::runtime::envelope::{Envelope, MsgBody, ReduceData, ReduceOp};
 use gridmdo::runtime::ids::{ArrayId, ElemId, EntryId, ObjKey};
@@ -13,6 +14,39 @@ use gridmdo::vmi::devices::cipher;
 use gridmdo::vmi::devices::crc::crc32;
 use gridmdo::vmi::devices::rle;
 use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+/// Structural validity of a collective spanning tree: spans every PE
+/// exactly once, one gateway (the first PE) per non-empty cluster,
+/// intra-cluster fan-out within the branching factor, and WAN edges only
+/// from the root to remote gateways.
+fn check_span_tree(topo: &Topology, tree: &SpanTree) -> Result<(), TestCaseError> {
+    let mut seen: Vec<u32> = tree.subtree(Pe(0)).iter().map(|p| p.0).collect();
+    seen.sort_unstable();
+    prop_assert_eq!(&seen, &(0..topo.num_pes() as u32).collect::<Vec<_>>());
+    for c in topo.clusters() {
+        match tree.gateway(c) {
+            Some(gw) => {
+                prop_assert_eq!(topo.cluster_of(gw), c);
+                // The gateway is deterministically the cluster's first PE.
+                prop_assert_eq!(Some(gw), topo.pes_in(c).next());
+            }
+            // Only clusters emptied by a shrink lack a gateway.
+            None => prop_assert_eq!(topo.cluster_size(c), 0),
+        }
+    }
+    for pe in topo.pes() {
+        let intra = tree.children(pe).iter().filter(|&&ch| !topo.crosses_wan(pe, ch)).count();
+        prop_assert!(intra <= tree.config().branch as usize, "{:?} exceeds the branching factor: {}", pe, intra);
+        for &child in tree.children(pe) {
+            if topo.crosses_wan(pe, child) {
+                prop_assert!(pe == Pe(0), "only the root crosses the WAN, not {:?}", pe);
+                prop_assert!(tree.is_gateway(child), "WAN edges land on gateways only");
+            }
+        }
+    }
+    Ok(())
+}
 
 proptest! {
     /// The wire codec roundtrips arbitrary primitive sequences.
@@ -241,6 +275,51 @@ proptest! {
             combine(ReduceOp::SumF64, &mut backward, ReduceData::F64(vec![v as f64]));
         }
         prop_assert_eq!(forward, backward);
+    }
+
+    /// Collective spanning trees over arbitrary topology shapes — 1..8
+    /// clusters, uneven sizes, degenerate one-PE clusters — are valid for
+    /// every branching factor: the tree spans every PE exactly once, each
+    /// non-empty cluster has exactly its first PE as gateway, intra-cluster
+    /// fan-out respects the branching factor, and the wide area is crossed
+    /// only on root -> gateway edges (once per remote cluster).
+    #[test]
+    fn span_tree_is_valid_on_arbitrary_topologies(sizes in prop::collection::vec(1u32..6, 1..8),
+                                                  branch in 1u32..5) {
+        let topo = Topology::new(
+            sizes.iter().enumerate().map(|(i, &pes)| ClusterSpec { name: format!("c{i}"), pes }).collect(),
+        );
+        let tree = SpanTree::build(&topo, TreeConfig::new(branch));
+        check_span_tree(&topo, &tree)?;
+    }
+
+    /// The tree stays valid when rebuilt after any shrink/expand history:
+    /// an arbitrary sequence of without_pes (possibly emptying whole
+    /// clusters) and with_pes steps, rebuilding at each generation like
+    /// the elastic runtime does.
+    #[test]
+    fn span_tree_survives_arbitrary_shrink_expand_sequences(
+        sizes in prop::collection::vec(1u32..5, 2..6),
+        branch in 1u32..5,
+        ops in prop::collection::vec((any::<bool>(), any::<prop::sample::Index>()), 0..8))
+    {
+        let mut topo = Topology::new(
+            sizes.iter().enumerate().map(|(i, &pes)| ClusterSpec { name: format!("c{i}"), pes }).collect(),
+        );
+        let cfg = TreeConfig::new(branch);
+        check_span_tree(&topo, &SpanTree::build(&topo, cfg))?;
+        for (shrink, which) in ops {
+            if shrink {
+                if topo.num_pes() > 1 {
+                    let dead = Pe(which.index(topo.num_pes()) as u32);
+                    topo = topo.without_pes(&[dead]).0;
+                }
+            } else {
+                let c = ClusterId(which.index(topo.num_clusters()) as u16);
+                topo = topo.with_pes(&[c]).0;
+            }
+            check_span_tree(&topo, &SpanTree::build(&topo, cfg))?;
+        }
     }
 
     /// Credit conservation across the elastic cycle.  A (src, dst) pair's
