@@ -38,7 +38,7 @@ use mdo_core::prelude::*;
 use mdo_core::Envelope;
 use mdo_netsim::network::NetworkModel;
 use mdo_netsim::{AggConfig, FaultPlan, LatencyMatrix, LinkModel};
-use mdo_vmi::{Aggregator, ReliableTransport, Transport, TransportConfig};
+use mdo_vmi::{Aggregator, Mailbox, Packet, ReliableTransport, Transport, TransportConfig};
 
 /// Global-allocator shim that counts every allocation and reallocation —
 /// how "zero per-envelope allocations" is *measured*, not asserted.
@@ -182,6 +182,95 @@ fn allocs_per_envelope(agg_cfg: Option<AggConfig>, warmup: u64, n: u64) -> f64 {
     (delta.saturating_sub(CALLER_ALLOCS_PER_ENV * n)) as f64 / n as f64
 }
 
+struct IntraRow {
+    senders: u32,
+    /// Senders use `post_many` in frame-sized batches — the engine's jumbo
+    /// frame unpack path, one ring reservation per batch.
+    env_per_s_batched: f64,
+    /// Senders use one `post` per envelope — the plain fine-grain path.
+    env_per_s_single: f64,
+}
+
+/// One timed run: `senders` producer threads blast `total` 32-byte packets
+/// into a single consumer's mailbox — the exact structure every
+/// intra-cluster send lands in.  The consumer drains with `take_many`.
+fn intra_run(senders: u32, total: u64, batch: usize) -> f64 {
+    let mb = Arc::new(Mailbox::new());
+    let payload = bytes::Bytes::from(vec![0xCD; PAYLOAD]);
+    let per = total / senders as u64;
+    let total = per * senders as u64;
+    let t0 = Instant::now();
+    let consumer = {
+        let mb = Arc::clone(&mb);
+        std::thread::spawn(move || {
+            let mut buf = Vec::with_capacity(4096);
+            let mut got = 0u64;
+            while got < total {
+                let n = mb.take_many(&mut buf, 4096) as u64;
+                if n == 0 {
+                    std::thread::yield_now();
+                    continue;
+                }
+                got += n;
+                buf.clear();
+            }
+            got
+        })
+    };
+    let tx: Vec<_> = (0..senders)
+        .map(|i| {
+            let mb = Arc::clone(&mb);
+            let payload = payload.clone();
+            std::thread::spawn(move || {
+                let src = Pe(i + 1);
+                let mut left = per;
+                let mut since_yield = 0u64;
+                while left > 0 {
+                    let chunk = (batch as u64).min(left);
+                    left -= chunk;
+                    if batch == 1 {
+                        mb.post(Packet::new(src, Pe(0), payload.clone()));
+                    } else {
+                        mb.post_many((0..chunk).map(|_| Packet::new(src, Pe(0), payload.clone())));
+                    }
+                    // Real producers do work between bursts (the engine
+                    // handles a message, builds a frame); a zero-work tight
+                    // loop on few cores just starves the consumer and
+                    // measures scheduler pathology, so give it a turn.
+                    since_yield += chunk;
+                    if since_yield >= 256 {
+                        since_yield = 0;
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in tx {
+        t.join().expect("sender");
+    }
+    let got = consumer.join().expect("consumer");
+    let wall = t0.elapsed().as_secs_f64();
+    assert_eq!(got, total, "every envelope delivered exactly once");
+    mb.close();
+    total as f64 / wall
+}
+
+/// The sender-count scaling sweep: fixed total envelopes split across
+/// 1/2/4/8/16 producers.  With per-sender rings there is no shared lock on
+/// the post path, so env/s must stay flat as senders multiply — this is
+/// the ROADMAP's "flat with sender count" claim, measured.
+fn intra_node_sweep(total: u64) -> Vec<IntraRow> {
+    [1u32, 2, 4, 8, 16]
+        .iter()
+        .map(|&senders| IntraRow {
+            senders,
+            env_per_s_batched: intra_run(senders, total, 256),
+            env_per_s_single: intra_run(senders, total, 1),
+        })
+        .collect()
+}
+
 struct MaskRow {
     app: &'static str,
     lat_ms: u64,
@@ -312,6 +401,16 @@ fn main() {
     let alloc_off = allocs_per_envelope(None, 2048, 1024);
     println!("send-path allocations per envelope: off={alloc_off:.3} on={alloc_on:.3}");
 
+    let intra_total: u64 = if quick { 400_000 } else { 4_000_000 };
+    let intra = intra_node_sweep(intra_total);
+    println!("\nintra-node sender scaling ({intra_total} x {PAYLOAD}-byte envelopes into one mailbox):");
+    for r in &intra {
+        println!(
+            "  {:>2} senders: {:>12.0} env/s batched   {:>12.0} env/s single-post",
+            r.senders, r.env_per_s_batched, r.env_per_s_single
+        );
+    }
+
     let mask = masking_guard(quick);
     println!("\nmasking guard (sim, aggregation off vs on):");
     for r in &mask {
@@ -330,6 +429,15 @@ fn main() {
         );
     }
 
+    let intra_json: Vec<String> = intra
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"senders\": {}, \"env_per_s_batched\": {:.0}, \"env_per_s_single\": {:.0}}}",
+                r.senders, r.env_per_s_batched, r.env_per_s_single
+            )
+        })
+        .collect();
     let mask_json: Vec<String> = mask
         .iter()
         .map(|r| {
@@ -351,11 +459,12 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"schema\": 1,\n  \"quick\": {quick},\n  \"payload_bytes\": {PAYLOAD},\n  \"senders\": {senders},\n  \
+        "{{\n  \"schema\": 2,\n  \"quick\": {quick},\n  \"payload_bytes\": {PAYLOAD},\n  \"senders\": {senders},\n  \
          \"envelopes_per_sender\": {n},\n  \"wan_one_way_ms\": 1,\n  \"agg_off\": {{\"env_per_s\": {:.0}, \
          \"wall_s\": {:.4}}},\n  \"agg_on\": {{\"env_per_s\": {:.0}, \"wall_s\": {:.4}, \"frames\": {}, \
          \"envelopes_per_frame\": {:.1}, \"header_bytes_saved\": {}}},\n  \"speedup\": {speedup:.3},\n  \
          \"send_path_allocs_per_envelope\": {{\"agg_off\": {alloc_off:.3}, \"agg_on\": {alloc_on:.3}}},\n  \
+         \"intra_node_total_envelopes\": {intra_total},\n  \"env_per_s_by_senders\": [\n{}\n  ],\n  \
          \"masking_guard\": [\n{}\n  ],\n  \"fine_grain_sweep\": [\n{}\n  ]\n}}\n",
         off.env_per_s,
         off.wall_s,
@@ -364,6 +473,7 @@ fn main() {
         on.frames,
         on.envelopes as f64 / on.frames.max(1) as f64,
         on.bytes_saved,
+        intra_json.join(",\n"),
         mask_json.join(",\n"),
         sweep_json.join(",\n"),
     );
@@ -378,5 +488,13 @@ fn main() {
     if !quick {
         assert!(speedup >= 2.0, "aggregation must at least double fine-grain WAN throughput (got {speedup:.2}x)");
         assert!(alloc_on < 0.05, "steady-state send path must not allocate per envelope (got {alloc_on:.3})");
+        // The ring-mailbox acceptance bar: ≥10M env/s intra-node on 32-B
+        // payloads, and flat (±20%) as senders scale 1→8 — per-sender
+        // rings mean there is no shared lock to contend on.
+        let peak = intra.iter().map(|r| r.env_per_s_batched).fold(0.0f64, f64::max);
+        assert!(peak >= 10_000_000.0, "intra-node path must sustain >=10M env/s (got {peak:.0})");
+        let upto8: Vec<f64> = intra.iter().filter(|r| r.senders <= 8).map(|r| r.env_per_s_batched).collect();
+        let (lo, hi) = (upto8.iter().copied().fold(f64::MAX, f64::min), upto8.iter().copied().fold(0.0, f64::max));
+        assert!(lo >= 0.8 * hi, "env/s must stay flat (+/-20%) from 1 to 8 senders (min {lo:.0}, max {hi:.0})");
     }
 }

@@ -90,6 +90,7 @@ pub mod envelope;
 pub mod ids;
 pub mod mapping;
 pub mod node;
+mod objtable;
 pub mod program;
 pub mod queue;
 pub mod reduction;

@@ -26,6 +26,7 @@ use crate::chare::{Chare, Ctx, CtxOut, CtxSink};
 use crate::checkpoint::{CkptAssembly, FtPiece};
 use crate::envelope::{Envelope, LbObjStat, MsgBody, ReduceData, APP_PRIORITY, SYSTEM_PRIORITY};
 use crate::ids::{ArrayId, EntryId, ObjKey};
+use crate::objtable::ObjTable;
 use crate::program::{CheckpointClient, Program, QuiescenceClient, ReductionClient, RunConfig, StartupFn};
 use crate::wire::{WireReader, WireWriter};
 
@@ -76,6 +77,24 @@ pub struct HandleOutcome {
     /// admission gate for pending joins: a complete epoch guarantees
     /// `assemble_buddy_snapshot` over all live PEs succeeds.
     pub ckpt_complete: Option<u32>,
+}
+
+/// A checked-out application delivery (see [`Node::begin_app`]): run
+/// [`Chare::receive`] against `chare` outside the node lock, then hand
+/// everything back to [`Node::finish_app`].
+pub(crate) struct AppRun {
+    pub(crate) chare: Box<dyn Chare>,
+    pub(crate) key: ObjKey,
+    /// For building the `Ctx` (topology reference) without re-locking.
+    pub(crate) shared: Arc<NodeShared>,
+}
+
+/// Outcome of [`Node::begin_app`].
+pub(crate) enum AppAdmit {
+    /// Target resident: execute outside the lock, then `finish_app`.
+    Run(AppRun),
+    /// Fully handled inline (buffered, forwarded, or the node exited).
+    Done(HandleOutcome),
 }
 
 /// Host-side closures, present only on PE 0's node.
@@ -173,7 +192,11 @@ struct FtState {
 pub struct Node {
     shared: Arc<NodeShared>,
     pe: Pe,
-    elems: HashMap<ObjKey, Box<dyn Chare>>,
+    elems: ObjTable,
+    /// Elements currently checked out for execution (see
+    /// [`Node::begin_app`]): they are absent from `elems` but still
+    /// resident on this PE, so barrier/packing logic must count them.
+    running: usize,
     arrays: Vec<ArrayLocal>,
     reductions: Vec<crate::reduction::PeReductions>,
     /// Tree-mode child-partial buffers, one per array (unused when
@@ -210,7 +233,7 @@ impl Node {
             (0..n_arrays).map(|_| crate::reduction::PeReductions::new()).collect();
         let mut root: Vec<crate::reduction::RootDelivery> =
             (0..n_arrays).map(|_| crate::reduction::RootDelivery::new()).collect();
-        let mut elems: HashMap<ObjKey, Box<dyn Chare>> = HashMap::new();
+        let elems = ObjTable::new();
         for local in &arrays {
             for elem in local.elems_on(pe) {
                 let key = ObjKey::new(local.spec.id, elem);
@@ -251,6 +274,7 @@ impl Node {
             shared,
             pe,
             elems,
+            running: 0,
             arrays,
             reductions,
             tree_red,
@@ -588,6 +612,76 @@ impl Node {
         outcome
     }
 
+    /// Admit an application envelope for out-of-lock execution — the
+    /// work-stealing entry point.  Called (under the engine's per-node
+    /// lock) by whichever thread dequeued the message, home PE or thief:
+    /// if the target chare is resident it is checked out and returned so
+    /// `Chare::receive` can run with no node lock held; otherwise the
+    /// message is buffered or forwarded exactly as [`Node::handle`]'s App
+    /// arm would — including the case where the chare is *currently
+    /// checked out by another thread*, which parks the message in the
+    /// same raced-ahead buffer migration uses (drained at
+    /// [`Node::finish_app`]).
+    pub(crate) fn begin_app(
+        &mut self,
+        target: ObjKey,
+        entry: EntryId,
+        payload: Bytes,
+        priority: i32,
+        hooks: &mut dyn NodeHooks,
+    ) -> AppAdmit {
+        let outcome = HandleOutcome::default();
+        if self.exited {
+            return AppAdmit::Done(outcome);
+        }
+        self.messages_processed += 1;
+        self.qd.processed += 1;
+        self.qd.active = true;
+        if let Some(chare) = self.elems.remove(&target) {
+            self.running += 1;
+            return AppAdmit::Run(AppRun { chare, key: target, shared: Arc::clone(&self.shared) });
+        }
+        let loc = self.arrays[target.array.0 as usize].location(target.elem);
+        if loc == self.pe {
+            // Assigned here but not in the table: mid-migration, or checked
+            // out by a concurrent execution.  Either way it comes back.
+            self.lb.pending_local.push((target, entry, payload, priority));
+        } else {
+            self.qd.sent += 1;
+            self.emit_env(hooks, loc, priority, MsgBody::App { target, entry, payload }, Dur::ZERO);
+        }
+        AppAdmit::Done(outcome)
+    }
+
+    /// Check a chare back in after an out-of-lock execution and route the
+    /// handler's buffered output.  Must be called (under the engine's
+    /// per-node lock) exactly once per [`AppAdmit::Run`].
+    pub(crate) fn finish_app(
+        &mut self,
+        key: ObjKey,
+        chare: Box<dyn Chare>,
+        sink: crate::chare::CtxSink,
+        hooks: &mut dyn NodeHooks,
+    ) -> HandleOutcome {
+        let mut outcome = HandleOutcome::default();
+        let prev = self.elems.insert(key, chare);
+        debug_assert!(prev.is_none(), "{key:?} resident while checked out");
+        self.running -= 1;
+        self.process_sink(Some(key), sink, hooks, &mut outcome);
+        // Messages that raced against the checkout were parked; re-deliver
+        // them now that the chare is back.
+        self.drain_pending_local(hooks, &mut outcome);
+        if outcome.exit {
+            self.exited = true;
+        }
+        outcome
+    }
+
+    /// Chares currently checked out via [`Node::begin_app`].
+    pub(crate) fn app_running(&self) -> usize {
+        self.running
+    }
+
     /// Deliver an application message, handling elements that migrated
     /// while the message was in flight: forward to the element's current
     /// PE, or — if it is assigned here but its state has not arrived yet —
@@ -601,7 +695,7 @@ impl Node {
         hooks: &mut dyn NodeHooks,
         outcome: &mut HandleOutcome,
     ) {
-        if self.elems.contains_key(&target) {
+        if self.elems.contains(&target) {
             self.invoke_elem(target, entry, &payload, hooks, outcome);
             return;
         }
@@ -903,7 +997,11 @@ impl Node {
     // ---- load balancing (AtSync barrier) --------------------------------
 
     fn check_sync_progress(&mut self, hooks: &mut dyn NodeHooks) {
-        if self.lb.in_barrier || self.lb.synced.len() < self.elems.len() {
+        // `n_local` counts checked-out chares too: a stolen execution in
+        // flight has not called `at_sync` yet, and the barrier must not
+        // fire (and start packing element state) until it lands.
+        let n_local = self.elems.len() + self.running;
+        if self.lb.in_barrier || self.lb.synced.len() < n_local {
             return;
         }
         assert!(
@@ -998,13 +1096,12 @@ impl Node {
         self.lb.assign_seen = true;
 
         // Ship departing elements (sorted for deterministic emission order).
-        let mut departing: Vec<ObjKey> = self
+        let departing: Vec<ObjKey> = self
             .elems
-            .keys()
-            .copied()
+            .sorted_keys()
+            .into_iter()
             .filter(|k| self.arrays[k.array.0 as usize].location(k.elem) != self.pe)
             .collect();
-        departing.sort();
         for key in departing {
             let chare = self.elems.remove(&key).expect("departing element is local");
             let seq = self.reductions[key.array.0 as usize].export_elem_seq(key);
@@ -1090,11 +1187,7 @@ impl Node {
     /// Call `resume_from_sync` on every local element (barrier resume and
     /// checkpoint restore share this).
     fn resume_all_elements(&mut self, hooks: &mut dyn NodeHooks, outcome: &mut HandleOutcome) {
-        let keys: Vec<ObjKey> = {
-            let mut v: Vec<ObjKey> = self.elems.keys().copied().collect();
-            v.sort();
-            v
-        };
+        let keys = self.elems.sorted_keys();
         let shared = Arc::clone(&self.shared);
         for key in keys {
             let mut chare = self.elems.remove(&key).expect("local element");
@@ -1142,14 +1235,14 @@ impl Node {
     /// Pack every local element in the migration byte format (reduction
     /// cursor + chare state), sorted for determinism.
     fn pack_all_local(&self) -> Vec<(ObjKey, Bytes)> {
-        let mut keys: Vec<ObjKey> = self.elems.keys().copied().collect();
-        keys.sort();
-        keys.into_iter()
+        debug_assert_eq!(self.running, 0, "packing with a chare checked out would drop it from the snapshot");
+        self.elems
+            .sorted_keys()
+            .into_iter()
             .map(|key| {
-                let chare = self.elems.get(&key).expect("local element");
                 let mut w = WireWriter::new();
                 w.u32(self.reductions[key.array.0 as usize].peek_elem_seq(key));
-                chare.pack(&mut w);
+                self.elems.with(&key, |chare| chare.pack(&mut w)).expect("local element");
                 (key, Bytes::from(w.finish()))
             })
             .collect()

@@ -1,0 +1,160 @@
+//! The sharded per-node object table.
+//!
+//! Maps [`ObjKey`] → live chare instance for every element resident on a
+//! PE.  Dispatch used to contend on one `HashMap`; with intra-node work
+//! stealing a thief PE and the home PE can both be checking elements in
+//! and out, so the table is split into [`SHARDS`] independently locked
+//! shards — two PEs dispatching different elements touch different locks
+//! almost always, and the resident count is a lock-free atomic.
+//!
+//! The table deliberately has *checkout/checkin* rather than `get_mut`
+//! semantics: an executing chare is physically removed from the table (as
+//! the old `HashMap::remove`/`insert` dance did), which is what lets
+//! `Chare::receive` run outside any node lock while migration, packing
+//! and barrier logic observe a consistent "not here right now" state.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::chare::Chare;
+use crate::ids::ObjKey;
+
+/// Shard count; a small power of two keeps the index computation one
+/// multiply + mask while spreading neighbouring elements across locks.
+const SHARDS: usize = 8;
+
+/// A sharded `ObjKey → Box<dyn Chare>` map with interior mutability.
+pub(crate) struct ObjTable {
+    shards: [Mutex<HashMap<ObjKey, Box<dyn Chare>>>; SHARDS],
+    len: AtomicUsize,
+}
+
+impl ObjTable {
+    pub(crate) fn new() -> Self {
+        ObjTable { shards: std::array::from_fn(|_| Mutex::new(HashMap::new())), len: AtomicUsize::new(0) }
+    }
+
+    fn shard(key: &ObjKey) -> usize {
+        // Distinct arrays and neighbouring elements land on distinct
+        // shards; 31 is odd so the mix is a bijection mod the mask.
+        (key.array.0 as usize).wrapping_mul(31).wrapping_add(key.elem.0 as usize) & (SHARDS - 1)
+    }
+
+    fn lock(&self, key: &ObjKey) -> std::sync::MutexGuard<'_, HashMap<ObjKey, Box<dyn Chare>>> {
+        self.shards[Self::shard(key)].lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Insert (or check back in) an element; returns any previous occupant.
+    pub(crate) fn insert(&self, key: ObjKey, chare: Box<dyn Chare>) -> Option<Box<dyn Chare>> {
+        let prev = self.lock(&key).insert(key, chare);
+        if prev.is_none() {
+            self.len.fetch_add(1, Ordering::Relaxed);
+        }
+        prev
+    }
+
+    /// Remove (or check out) an element.
+    pub(crate) fn remove(&self, key: &ObjKey) -> Option<Box<dyn Chare>> {
+        let got = self.lock(key).remove(key);
+        if got.is_some() {
+            self.len.fetch_sub(1, Ordering::Relaxed);
+        }
+        got
+    }
+
+    pub(crate) fn contains(&self, key: &ObjKey) -> bool {
+        self.lock(key).contains_key(key)
+    }
+
+    /// Resident elements (excludes checked-out chares).
+    pub(crate) fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Every resident key, sorted (the table itself has no stable order;
+    /// all enumerating callers want determinism anyway).
+    pub(crate) fn sorted_keys(&self) -> Vec<ObjKey> {
+        let mut keys: Vec<ObjKey> = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            keys.extend(shard.lock().unwrap_or_else(|e| e.into_inner()).keys().copied());
+        }
+        keys.sort();
+        keys
+    }
+
+    /// Run `f` against a resident element without checking it out.
+    pub(crate) fn with<R>(&self, key: &ObjKey, f: impl FnOnce(&dyn Chare) -> R) -> Option<R> {
+        self.lock(key).get(key).map(|c| f(c.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chare::{Chare, Ctx};
+    use crate::ids::{ArrayId, ElemId, EntryId};
+
+    struct Dummy(u32);
+    impl Chare for Dummy {
+        fn receive(&mut self, _e: EntryId, _p: &[u8], _c: &mut Ctx<'_>) {}
+        fn pack(&self, w: &mut crate::wire::WireWriter) {
+            w.u32(self.0);
+        }
+    }
+
+    fn key(a: u32, e: u32) -> ObjKey {
+        ObjKey::new(ArrayId(a), ElemId(e))
+    }
+
+    #[test]
+    fn insert_remove_len_roundtrip() {
+        let t = ObjTable::new();
+        for e in 0..100 {
+            assert!(t.insert(key(0, e), Box::new(Dummy(e))).is_none());
+        }
+        assert_eq!(t.len(), 100);
+        assert!(t.contains(&key(0, 42)));
+        assert!(!t.contains(&key(1, 42)));
+        let keys = t.sorted_keys();
+        assert_eq!(keys.len(), 100);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "sorted, no dups");
+        assert!(t.remove(&key(0, 42)).is_some());
+        assert!(t.remove(&key(0, 42)).is_none());
+        assert_eq!(t.len(), 99);
+    }
+
+    #[test]
+    fn with_observes_in_place() {
+        let t = ObjTable::new();
+        t.insert(key(2, 7), Box::new(Dummy(99)));
+        let mut w = crate::wire::WireWriter::new();
+        t.with(&key(2, 7), |c| c.pack(&mut w)).expect("resident");
+        assert_eq!(t.len(), 1, "with() does not check out");
+    }
+
+    #[test]
+    fn concurrent_checkout_checkin_across_shards() {
+        let t = std::sync::Arc::new(ObjTable::new());
+        for e in 0..64 {
+            t.insert(key(0, e), Box::new(Dummy(e)));
+        }
+        let threads: Vec<_> = (0..4)
+            .map(|i| {
+                let t = std::sync::Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for round in 0..500 {
+                        let k = key(0, (round * 7 + i * 13) % 64);
+                        if let Some(c) = t.remove(&k) {
+                            t.insert(k, c);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        assert_eq!(t.len(), 64, "every checkout was checked back in");
+    }
+}

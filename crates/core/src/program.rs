@@ -322,6 +322,18 @@ pub struct RunConfig {
     /// keeps the flat binary PE tree, bit-identical to the historical
     /// collectives.
     pub tree_collectives: Option<TreeConfig>,
+    /// Intra-node work stealing: when set, an idle PE thread of the
+    /// threaded engine executes application envelopes queued for sibling
+    /// PEs of the same cluster.  A steal is a *transient remap* — the
+    /// message still runs against its home PE's node (its emissions, QD
+    /// books and load accounting are the home PE's), only the executing
+    /// OS thread changes — so application semantics and cross-engine
+    /// digests are unchanged; `Ctr::Steals` counts remapped executions.
+    /// System/control traffic and cross-WAN packets are never stolen.
+    /// Ignored by the simulation engine (one virtual thread) and by
+    /// multi-process (`net`) mode.  Default off: the engine's message
+    /// loop is byte-identical to the historical one.
+    pub steal: bool,
 }
 
 impl RunConfig {
@@ -375,6 +387,7 @@ impl Default for RunConfig {
             flow: None,
             net: None,
             tree_collectives: None,
+            steal: false,
         }
     }
 }

@@ -66,12 +66,21 @@ impl SchedQueue {
         self.classes.values().next().map_or(0, VecDeque::len)
     }
 
-    /// Dequeue the `n`-th (FIFO-ordered) envelope of the front priority
-    /// class.  `n` must be below [`SchedQueue::eligible`]; `pop_nth(0)` is
-    /// the classic FIFO-within-priority dequeue.
+    /// Dequeue the `n`-th envelope of the front priority class.  `n` must
+    /// be below [`SchedQueue::eligible`]; `pop_nth(0)` is the classic
+    /// FIFO-within-priority dequeue.
+    ///
+    /// A contested dequeue (`n > 0`) is O(1): the victim is swap-removed,
+    /// back-filling its slot with the *last* envelope of the class.  That
+    /// permutes the residual order of the class — legal, because any
+    /// policy reaching for `n > 0` has already opted out of FIFO within
+    /// the class, and the priority contract (front class before any
+    /// other) is untouched.  `pop_nth(0)` remains a plain `pop_front`,
+    /// so engines that only ever call [`SchedQueue::pop`] observe exact
+    /// FIFO, unchanged.
     pub fn pop_nth(&mut self, n: usize) -> Option<Envelope> {
         let (&prio, class) = self.classes.iter_mut().next()?;
-        let (_, env) = class.remove(n)?;
+        let (_, env) = if n == 0 { class.pop_front() } else { class.swap_remove_back(n) }?;
         if class.is_empty() {
             self.classes.remove(&prio);
         }
@@ -205,6 +214,19 @@ mod tests {
         q.pop();
         q.pop();
         assert_eq!(q.max_bytes(), 2 * sz, "draining does not lower the high-water mark");
+    }
+
+    #[test]
+    fn pop_nth_contested_swap_removes() {
+        // Documents the O(1) contested-dequeue permutation: taking the
+        // middle of [0,1,2,3,4] back-fills the hole with the class tail.
+        let mut q = SchedQueue::new();
+        for i in 0..5 {
+            q.push(env(0, i));
+        }
+        assert_eq!(q.pop_nth(2).unwrap().sent_at_ns, 2);
+        let rest: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.sent_at_ns).collect();
+        assert_eq!(rest, vec![0, 1, 4, 3], "tail envelope 4 back-filled slot 2");
     }
 
     #[test]

@@ -74,11 +74,18 @@ pub enum Ctr {
     EnvelopesShed,
     /// Payload bytes dropped by the `Shed` overload policy.
     ShedBytes,
+    /// Envelopes executed by a PE other than their destination (intra-node
+    /// work stealing — a transient remap, invisible to application code).
+    Steals,
+    /// Condvar/parker signals issued by mailbox producers.  With batched
+    /// wakeups a burst of N posts costs O(1) signals, so this stays far
+    /// below `msgs_recvd` under load.
+    MailboxSignals,
 }
 
 impl Ctr {
     /// Every counter, in declaration order.
-    pub const ALL: [Ctr; 31] = [
+    pub const ALL: [Ctr; 33] = [
         Ctr::MsgsSent,
         Ctr::MsgsRecvd,
         Ctr::BytesSent,
@@ -110,6 +117,8 @@ impl Ctr {
         Ctr::QueueFull,
         Ctr::EnvelopesShed,
         Ctr::ShedBytes,
+        Ctr::Steals,
+        Ctr::MailboxSignals,
     ];
 
     /// Stable snake_case name, used in CSV and JSON exports.
@@ -146,13 +155,22 @@ impl Ctr {
             Ctr::QueueFull => "queue_full",
             Ctr::EnvelopesShed => "envelopes_shed",
             Ctr::ShedBytes => "shed_bytes",
+            Ctr::Steals => "steals",
+            Ctr::MailboxSignals => "mailbox_signals",
         }
     }
 }
 
 /// A fixed set of monotonic counters, one per [`Ctr`].
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CounterSet([u64; Ctr::ALL.len()]);
+
+// Derived `Default` stops at 32-element arrays; spell it out.
+impl Default for CounterSet {
+    fn default() -> Self {
+        CounterSet([0; Ctr::ALL.len()])
+    }
+}
 
 impl CounterSet {
     /// All zeros.

@@ -67,6 +67,7 @@ pub mod frame;
 pub mod mailbox;
 pub mod packet;
 pub mod reliable;
+mod ring;
 pub mod transport;
 pub mod wire;
 

@@ -6,17 +6,46 @@
 //! matching the Charm++ scheduler queue semantics that the message-driven
 //! model depends on.
 //!
-//! A mailbox can be *bounded* ([`Mailbox::bounded`]): when a byte or
-//! envelope budget is exhausted the configured [`OverloadPolicy`] applies —
-//! `Block` stalls posters until takers make room, `Shed` drops the
-//! least-urgent application packet with structured accounting.  Packets at
-//! [`SHED_EXEMPT_PRIORITY`] (runtime-internal control traffic: acks,
-//! heartbeats, quiescence and checkpoint control) are always admitted
-//! immediately and never shed, so collective progress stays live even when
-//! the application side of the queue is saturated.
+//! ## The lock-free fast path
+//!
+//! An *unbounded* mailbox routes every post through a per-sender bounded
+//! SPSC ring ([`crate::ring`]): the posting thread claims a private lane
+//! the first time it posts (a thread-local cache remembers the claim), and
+//! from then on a post is one slot write, one release store, and one
+//! sequentially-consistent counter bump — wait-free, no lock, no
+//! allocation.  [`Mailbox::post_many`] stages a whole batch in its lane and
+//! publishes it with a single tail store.  The consumer merges all lanes
+//! into the ordering structure (FIFO lane + priority heap) under the merge
+//! mutex *only when it looks for a packet*, assigning arrival sequence
+//! numbers at merge time — a valid linearization of the concurrent posts
+//! that preserves exact priority-then-FIFO order and per-sender FIFO.
+//! Overflow (a full ring, more than [`MAX_LANES`] posting threads, posts
+//! from a thread whose TLS is tearing down) falls back to inserting under
+//! the merge mutex, so nothing ever spins or blocks on ring space.
+//!
+//! Wakeups are batched with a Dekker-style sleeping flag: a burst of N
+//! posts finds the consumer awake after the first signal and performs N-1
+//! flag loads instead of N condvar notifies ([`Mailbox::wakeup_signals`]
+//! counts the signals actually sent).  At most one thread may *block* in
+//! [`Mailbox::take`]/[`Mailbox::take_timeout`] at a time (the engine's
+//! one-consumer-per-mailbox invariant); non-blocking takers — e.g. work
+//! stealers using [`Mailbox::try_take_if`] — may run concurrently.
+//!
+//! A mailbox can instead be *bounded* ([`Mailbox::bounded`]): when a byte
+//! or envelope budget is exhausted the configured [`OverloadPolicy`]
+//! applies — `Block` stalls posters until takers make room, `Shed` drops
+//! the least-urgent application packet with structured accounting.
+//! Budgeted mailboxes keep the locked path for every post (admission needs
+//! the authoritative queue state), so Block/Shed semantics are unchanged
+//! bit for bit.  Packets at [`SHED_EXEMPT_PRIORITY`] (runtime-internal
+//! control traffic: acks, heartbeats, quiescence and checkpoint control)
+//! are always admitted immediately and never shed, so collective progress
+//! stays live even when the application side of the queue is saturated.
 
+use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering as AtOrd};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -25,6 +54,53 @@ use parking_lot::{Condvar, Mutex};
 
 use crate::device::Forwarder;
 use crate::packet::Packet;
+use crate::ring::SpscRing;
+
+/// Maximum distinct posting threads that get a private wait-free lane per
+/// mailbox; later threads fall back to the (still correct) locked path.
+pub const MAX_LANES: usize = 32;
+
+/// Slots per lane ring.  A full lane overflows to the locked path instead
+/// of blocking, so this only bounds fast-path memory, not correctness.
+const LANE_CAP: usize = 1024;
+
+/// Thread-local lane marker: this thread posts to this mailbox via the
+/// locked path (lanes exhausted or TLS unavailable).  Sticky per
+/// `(thread, mailbox)` so one sender's packets never interleave two lanes.
+const SLOW_LANE: u32 = u32::MAX;
+
+static NEXT_MAILBOX_ID: AtomicU64 = AtomicU64::new(1);
+
+struct LaneCache {
+    last_id: u64,
+    last_lane: u32,
+    entries: Vec<(u64, u32)>,
+}
+
+thread_local! {
+    static LANE_CACHE: RefCell<LaneCache> =
+        const { RefCell::new(LaneCache { last_id: 0, last_lane: SLOW_LANE, entries: Vec::new() }) };
+}
+
+/// The wait-free side of an unbounded mailbox.
+struct FastLanes {
+    /// Process-unique mailbox identity for the thread-local lane cache.
+    id: u64,
+    /// Mirror of `Inner::closed` readable without the lock.
+    closed: AtomicBool,
+    /// Lazily-allocated per-sender rings; slots `0..published` are live.
+    lanes: [AtomicPtr<SpscRing>; MAX_LANES],
+    next_lane: AtomicUsize,
+    published: AtomicUsize,
+    /// Packets ever published to any lane (compare with `Inner::drained`).
+    posted: AtomicU64,
+    /// Payload bytes ever published to any lane.
+    bytes_posted: AtomicU64,
+    /// True while the consumer is (about to be) blocked in `cond.wait`.
+    sleeping: AtomicBool,
+    /// Condvar notifies actually sent by fast-path posters.
+    signals: AtomicU64,
+}
 
 /// Packets at this priority (the runtime's system priority) bypass budget
 /// checks and are never shed.
@@ -85,6 +161,11 @@ struct Inner {
     next_seq: u64,
     closed: bool,
     posted: u64,
+    /// Packets merged out of the fast lanes so far (compare with
+    /// `FastLanes::posted` to see how many are still ring-resident).
+    drained: u64,
+    /// Payload bytes merged out of the fast lanes so far.
+    drained_bytes: u64,
     max_depth: usize,
     /// Queued payload bytes (sum of `payload.len()` over queued packets).
     bytes: usize,
@@ -128,6 +209,15 @@ impl Inner {
             self.bytes -= p.payload.len();
         }
         pkt
+    }
+
+    /// The packet `pop` would return, if any.
+    fn peek(&self) -> Option<&Packet> {
+        if let Some((_, pkt)) = self.fifo.front() {
+            Some(pkt)
+        } else {
+            self.heap.peek().map(|e| &e.pkt)
+        }
     }
 
     fn depth(&self) -> usize {
@@ -204,6 +294,9 @@ pub struct Mailbox {
     cond: Condvar,
     /// Posters blocked by a `Block`-policy budget wait here; takers signal.
     space: Condvar,
+    /// Per-sender wait-free lanes; present iff the mailbox is unbounded
+    /// (budget admission needs the locked path's authoritative state).
+    fast: Option<FastLanes>,
 }
 
 impl Default for Mailbox {
@@ -224,6 +317,17 @@ impl Mailbox {
     }
 
     fn with_budget(budget: Option<MailboxBudget>) -> Self {
+        let fast = budget.is_none().then(|| FastLanes {
+            id: NEXT_MAILBOX_ID.fetch_add(1, AtOrd::Relaxed),
+            closed: AtomicBool::new(false),
+            lanes: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+            next_lane: AtomicUsize::new(0),
+            published: AtomicUsize::new(0),
+            posted: AtomicU64::new(0),
+            bytes_posted: AtomicU64::new(0),
+            sleeping: AtomicBool::new(false),
+            signals: AtomicU64::new(0),
+        });
         Mailbox {
             inner: Mutex::new(Inner {
                 heap: BinaryHeap::new(),
@@ -232,6 +336,8 @@ impl Mailbox {
                 next_seq: 0,
                 closed: false,
                 posted: 0,
+                drained: 0,
+                drained_bytes: 0,
                 max_depth: 0,
                 bytes: 0,
                 max_bytes: 0,
@@ -242,7 +348,117 @@ impl Mailbox {
             }),
             cond: Condvar::new(),
             space: Condvar::new(),
+            fast,
         }
+    }
+
+    // ---- fast-lane machinery (unbounded mailboxes only) -----------------
+
+    /// This thread's lane ring for this mailbox, claiming one on first use.
+    /// `None` means the locked path: lanes exhausted, or TLS unavailable
+    /// (a destructor posting during thread teardown).
+    fn lane(&self, f: &FastLanes) -> Option<&SpscRing> {
+        let lane = LANE_CACHE
+            .try_with(|c| {
+                let mut c = c.borrow_mut();
+                if c.last_id == f.id {
+                    return c.last_lane;
+                }
+                let l = match c.entries.iter().find(|&&(id, _)| id == f.id) {
+                    Some(&(_, l)) => l,
+                    None => {
+                        let l = Self::claim_lane(f);
+                        c.entries.push((f.id, l));
+                        l
+                    }
+                };
+                c.last_id = f.id;
+                c.last_lane = l;
+                l
+            })
+            .ok()?;
+        if lane == SLOW_LANE {
+            return None;
+        }
+        let ptr = f.lanes[lane as usize].load(AtOrd::Acquire);
+        debug_assert!(!ptr.is_null());
+        Some(unsafe { &*ptr })
+    }
+
+    /// Allocate a fresh ring for the calling thread.  Rings are published
+    /// in index order so a consumer scanning `0..published` never reads an
+    /// unset slot.
+    fn claim_lane(f: &FastLanes) -> u32 {
+        let idx = f.next_lane.fetch_add(1, AtOrd::Relaxed);
+        if idx >= MAX_LANES {
+            return SLOW_LANE;
+        }
+        let ring = Box::into_raw(Box::new(SpscRing::with_capacity(LANE_CAP)));
+        f.lanes[idx].store(ring, AtOrd::Release);
+        while f.published.compare_exchange(idx, idx + 1, AtOrd::AcqRel, AtOrd::Relaxed).is_err() {
+            std::hint::spin_loop();
+        }
+        idx as u32
+    }
+
+    /// Merge every published lane into the ordering structure.  Callers
+    /// hold the merge lock, which serializes all consumers; any thread may
+    /// play consumer (the owner taking, an accessor, an overflowing
+    /// poster).  Sequence numbers are assigned here, which linearizes the
+    /// concurrent posts: per-lane ring order — i.e. per-sender post order —
+    /// is preserved, and priority order is restored by `Inner::insert`.
+    fn drain_locked(&self, inner: &mut Inner) {
+        let Some(f) = &self.fast else { return };
+        if f.posted.load(AtOrd::SeqCst) == inner.drained {
+            return;
+        }
+        let n = f.published.load(AtOrd::Acquire);
+        let mut merged = 0u64;
+        let mut merged_bytes = 0u64;
+        for slot in &f.lanes[..n] {
+            let ring = unsafe { &*slot.load(AtOrd::Acquire) };
+            merged += ring.consume_each(|pkt| {
+                merged_bytes += pkt.payload.len() as u64;
+                inner.insert(pkt);
+            });
+        }
+        if merged > 0 {
+            inner.drained += merged;
+            inner.drained_bytes += merged_bytes;
+            inner.note_watermarks();
+        }
+    }
+
+    /// Fast-path poster's wakeup: O(1) signals per burst.  Only the post
+    /// that catches the consumer's `sleeping` flag pays for a notify; the
+    /// rest of the burst sees the flag already cleared and does nothing.
+    #[inline]
+    fn wake_consumer(&self, f: &FastLanes) {
+        if f.sleeping.swap(false, AtOrd::SeqCst) {
+            // The sleeper set the flag while holding the merge lock and
+            // releases the lock only inside `cond.wait`; bouncing the lock
+            // here guarantees it is registered before our notify, so the
+            // signal cannot be lost.
+            drop(self.inner.lock());
+            self.cond.notify_one();
+            f.signals.fetch_add(1, AtOrd::Relaxed);
+        }
+    }
+
+    /// Overflow path: merge the rings ourselves (freeing lane space as a
+    /// side effect), then insert under the lock.  Keeps per-sender FIFO:
+    /// our earlier ring-resident packets get their sequence numbers in the
+    /// drain, before this packet's.
+    fn post_overflow(&self, pkt: Packet) {
+        let mut inner = self.inner.lock();
+        if inner.closed {
+            return;
+        }
+        self.drain_locked(&mut inner);
+        inner.insert(pkt);
+        inner.note_watermarks();
+        drop(inner);
+        self.cond.notify_one();
     }
 
     /// Wait (Block policy) until the mailbox is under budget, the packet is
@@ -280,10 +496,30 @@ impl Mailbox {
     }
 
     /// Post a packet. Posting to a closed mailbox silently drops (shutdown
-    /// races with in-flight delayed packets are benign).  On a bounded
-    /// mailbox at budget this blocks (`Block`) or sheds the least-urgent
-    /// application packet (`Shed`).
+    /// races with in-flight delayed packets are benign).  On an unbounded
+    /// mailbox this is wait-free: one ring-slot write, one release store,
+    /// one counter bump (see the module docs).  On a bounded mailbox at
+    /// budget this blocks (`Block`) or sheds the least-urgent application
+    /// packet (`Shed`).
     pub fn post(&self, pkt: Packet) {
+        if let Some(f) = &self.fast {
+            if f.closed.load(AtOrd::Acquire) {
+                return;
+            }
+            let Some(ring) = self.lane(f) else {
+                return self.post_overflow(pkt);
+            };
+            let bytes = pkt.payload.len() as u64;
+            match ring.produce(pkt) {
+                Ok(()) => {
+                    f.bytes_posted.fetch_add(bytes, AtOrd::Relaxed);
+                    f.posted.fetch_add(1, AtOrd::SeqCst);
+                    self.wake_consumer(f);
+                }
+                Err(pkt) => self.post_overflow(pkt),
+            }
+            return;
+        }
         let mut inner = self.inner.lock();
         if !self.wait_for_space(&mut inner, pkt.priority) {
             return;
@@ -298,12 +534,57 @@ impl Mailbox {
         self.cond.notify_one();
     }
 
-    /// Post a batch under one lock acquisition — how a whole unpacked
-    /// jumbo frame lands in the destination mailbox.  `max_depth` and the
-    /// byte watermark see the full batch at once, exactly as `post` called
-    /// in a loop would, but are updated once, not per-envelope.
+    /// Post a batch — how a whole unpacked jumbo frame lands in the
+    /// destination mailbox.  On the fast path the batch is staged into the
+    /// sender's lane and published with a *single* tail store (one ring
+    /// reservation), one counter bump and at most one wakeup.  On the
+    /// locked path (bounded mailboxes, overflow) it is one lock
+    /// acquisition; `max_depth` and the byte watermark see the full batch
+    /// at once, exactly as `post` called in a loop would, but are updated
+    /// once, not per-envelope.
     pub fn post_many<I: IntoIterator<Item = Packet>>(&self, pkts: I) {
+        if let Some(f) = &self.fast {
+            if f.closed.load(AtOrd::Acquire) {
+                return;
+            }
+            let Some(ring) = self.lane(f) else {
+                return self.post_many_locked(pkts);
+            };
+            let mut writer = ring.batch();
+            let mut bytes = 0u64;
+            let mut overflow: Option<Packet> = None;
+            let mut rest = pkts.into_iter();
+            for pkt in rest.by_ref() {
+                let len = pkt.payload.len() as u64;
+                match writer.push(pkt) {
+                    Ok(()) => bytes += len,
+                    Err(pkt) => {
+                        overflow = Some(pkt);
+                        break;
+                    }
+                }
+            }
+            let staged = writer.staged();
+            writer.commit();
+            if staged > 0 {
+                f.bytes_posted.fetch_add(bytes, AtOrd::Relaxed);
+                f.posted.fetch_add(staged, AtOrd::SeqCst);
+                self.wake_consumer(f);
+            }
+            // Ring filled mid-batch: publish what fit, then finish through
+            // the merge lock (which drains the rings first, preserving
+            // order).
+            if let Some(pkt) = overflow {
+                self.post_many_locked(std::iter::once(pkt).chain(rest));
+            }
+            return;
+        }
+        self.post_many_locked(pkts)
+    }
+
+    fn post_many_locked<I: IntoIterator<Item = Packet>>(&self, pkts: I) {
         let mut inner = self.inner.lock();
+        self.drain_locked(&mut inner);
         let mut any = false;
         for pkt in pkts {
             if !self.wait_for_space(&mut inner, pkt.priority) {
@@ -333,18 +614,43 @@ impl Mailbox {
         pkt
     }
 
+    /// Announce intent to sleep (under the merge lock), then re-check the
+    /// fast lanes — the Dekker handshake with [`Mailbox::wake_consumer`].
+    /// Returns false if new fast-path traffic arrived and the caller
+    /// should merge instead of sleeping.
+    fn register_sleeper(&self, inner: &Inner) -> bool {
+        let Some(f) = &self.fast else { return true };
+        f.sleeping.store(true, AtOrd::SeqCst);
+        if f.posted.load(AtOrd::SeqCst) != inner.drained {
+            f.sleeping.store(false, AtOrd::SeqCst);
+            return false;
+        }
+        true
+    }
+
+    fn clear_sleeper(&self) {
+        if let Some(f) = &self.fast {
+            f.sleeping.store(false, AtOrd::SeqCst);
+        }
+    }
+
     /// Take the most urgent packet, blocking until one arrives or the
     /// mailbox is closed (then `None`).
     pub fn take(&self) -> Option<Packet> {
         let mut inner = self.inner.lock();
         loop {
+            self.drain_locked(&mut inner);
             if let Some(pkt) = self.pop_and_signal(&mut inner) {
                 return Some(pkt);
             }
             if inner.closed {
                 return None;
             }
+            if !self.register_sleeper(&inner) {
+                continue;
+            }
             self.cond.wait(&mut inner);
+            self.clear_sleeper();
         }
     }
 
@@ -353,13 +659,20 @@ impl Mailbox {
         let deadline = std::time::Instant::now() + timeout;
         let mut inner = self.inner.lock();
         loop {
+            self.drain_locked(&mut inner);
             if let Some(pkt) = self.pop_and_signal(&mut inner) {
                 return Some(pkt);
             }
             if inner.closed {
                 return None;
             }
-            if self.cond.wait_until(&mut inner, deadline).timed_out() {
+            if !self.register_sleeper(&inner) {
+                continue;
+            }
+            let timed_out = self.cond.wait_until(&mut inner, deadline).timed_out();
+            self.clear_sleeper();
+            if timed_out {
+                self.drain_locked(&mut inner);
                 return self.pop_and_signal(&mut inner);
             }
         }
@@ -368,19 +681,67 @@ impl Mailbox {
     /// Non-blocking take.
     pub fn try_take(&self) -> Option<Packet> {
         let mut inner = self.inner.lock();
+        self.drain_locked(&mut inner);
         self.pop_and_signal(&mut inner)
+    }
+
+    /// Non-blocking take gated by a predicate on the most urgent packet:
+    /// the packet is removed only if `pred` accepts it.  This is the work-
+    /// stealing seam — a thief inspects another PE's queue head and takes
+    /// it only when stealing is safe for that class of traffic.
+    pub fn try_take_if(&self, pred: impl FnOnce(&Packet) -> bool) -> Option<Packet> {
+        let mut inner = self.inner.lock();
+        self.drain_locked(&mut inner);
+        if !pred(inner.peek()?) {
+            return None;
+        }
+        self.pop_and_signal(&mut inner)
+    }
+
+    /// Non-blocking bulk take: up to `max` packets in delivery order under
+    /// one lock acquisition and one lane merge.  Returns how many landed
+    /// in `out`.
+    pub fn take_many(&self, out: &mut Vec<Packet>, max: usize) -> usize {
+        let mut inner = self.inner.lock();
+        self.drain_locked(&mut inner);
+        let mut n = 0;
+        while n < max {
+            let Some(pkt) = inner.pop() else { break };
+            out.push(pkt);
+            n += 1;
+        }
+        if n > 0 {
+            self.space.notify_all();
+        }
+        n
     }
 
     /// Close the mailbox, waking all blocked takers and posters.
     pub fn close(&self) {
-        self.inner.lock().closed = true;
+        let mut inner = self.inner.lock();
+        inner.closed = true;
+        if let Some(f) = &self.fast {
+            f.closed.store(true, AtOrd::Release);
+        }
+        drop(inner);
         self.cond.notify_all();
         self.space.notify_all();
     }
 
-    /// Packets currently queued.
+    /// Lock and merge the fast lanes, so observers see authoritative
+    /// state.  Merging from an observer thread is safe: consumers are
+    /// serialized by the lock, and the real consumer re-checks the inner
+    /// queue before sleeping.
+    fn observe(&self) -> parking_lot::MutexGuard<'_, Inner> {
+        let mut inner = self.inner.lock();
+        self.drain_locked(&mut inner);
+        inner
+    }
+
+    /// Packets currently queued (including fast-lane packets not yet
+    /// merged by the consumer).
     pub fn len(&self) -> usize {
-        self.inner.lock().depth()
+        self.observe().depth()
     }
 
     /// True if no packets are queued.
@@ -390,17 +751,17 @@ impl Mailbox {
 
     /// Total packets ever posted.
     pub fn total_posted(&self) -> u64 {
-        self.inner.lock().posted
+        self.observe().posted
     }
 
     /// High-water mark of queue depth (messages waiting at once).
     pub fn max_depth(&self) -> usize {
-        self.inner.lock().max_depth
+        self.observe().max_depth
     }
 
     /// Payload bytes currently queued.
     pub fn bytes(&self) -> usize {
-        self.inner.lock().bytes
+        self.observe().bytes
     }
 
     /// High-water mark of queued payload bytes.
@@ -432,6 +793,28 @@ impl Mailbox {
     /// Payload bytes dropped by the `Shed` policy.
     pub fn shed_bytes(&self) -> u64 {
         self.inner.lock().shed_bytes
+    }
+
+    /// Condvar signals actually sent by fast-path posters.  With batched
+    /// wakeups this stays O(idle transitions), not O(posts): compare with
+    /// [`Mailbox::total_posted`] to see the amortization.
+    pub fn wakeup_signals(&self) -> u64 {
+        self.fast.as_ref().map_or(0, |f| f.signals.load(AtOrd::Relaxed))
+    }
+}
+
+impl Drop for Mailbox {
+    fn drop(&mut self) {
+        if let Some(f) = &self.fast {
+            let n = f.published.load(AtOrd::Acquire);
+            for slot in &f.lanes[..n] {
+                let ptr = slot.swap(std::ptr::null_mut(), AtOrd::AcqRel);
+                if !ptr.is_null() {
+                    // Ring packets still in flight are dropped with it.
+                    drop(unsafe { Box::from_raw(ptr) });
+                }
+            }
+        }
     }
 }
 
@@ -695,6 +1078,109 @@ mod tests {
         assert_eq!(mb.sheds(), 1);
         let order: Vec<u8> = (0..2).map(|_| mb.take().unwrap().payload[0]).collect();
         assert_eq!(order, vec![3, 1], "the newest equal-priority packet (2) was shed");
+    }
+
+    #[test]
+    fn concurrent_posters_keep_per_sender_fifo() {
+        // Many producer threads, each posting a numbered stream through
+        // its own fast lane; the consumer must see every stream complete,
+        // in order, with no loss and no duplicates.
+        let mb = Arc::new(Mailbox::new());
+        const SENDERS: usize = 6;
+        const EACH: u32 = 5_000;
+        let handles: Vec<_> = (0..SENDERS)
+            .map(|s| {
+                let mb = Arc::clone(&mb);
+                std::thread::spawn(move || {
+                    for i in 0..EACH {
+                        let mut payload = vec![s as u8];
+                        payload.extend_from_slice(&i.to_le_bytes());
+                        mb.post(Packet::new(Pe(0), Pe(0), Bytes::from(payload)));
+                    }
+                })
+            })
+            .collect();
+        let mut next = [0u32; SENDERS];
+        for _ in 0..SENDERS as u32 * EACH {
+            let pkt = mb.take().expect("open mailbox");
+            let s = pkt.payload[0] as usize;
+            let i = u32::from_le_bytes(pkt.payload[1..5].try_into().unwrap());
+            assert_eq!(i, next[s], "sender {s} stream out of order");
+            next[s] += 1;
+        }
+        assert!(mb.is_empty());
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(mb.total_posted(), (SENDERS as u32 * EACH) as u64);
+        // Batched wakeups: a 30k-post run must not pay 30k notifies.
+        assert!(mb.wakeup_signals() < (SENDERS as u32 * EACH) as u64 / 2, "signals: {}", mb.wakeup_signals());
+    }
+
+    #[test]
+    fn ring_overflow_falls_back_without_losing_order() {
+        // Post far more than one lane holds without a single take: the
+        // overflow path must merge + insert, keeping FIFO.
+        let mb = Mailbox::new();
+        const N: u32 = 5_000; // > LANE_CAP
+        for i in 0..N {
+            mb.post(Packet::new(Pe(0), Pe(0), Bytes::from(i.to_le_bytes().to_vec())));
+        }
+        assert_eq!(mb.len(), N as usize);
+        for i in 0..N {
+            let pkt = mb.take().unwrap();
+            assert_eq!(u32::from_le_bytes(pkt.payload[..4].try_into().unwrap()), i);
+        }
+    }
+
+    #[test]
+    fn priority_merge_spans_fast_and_slow_posts() {
+        // Urgent traffic posted through the rings still overtakes a FIFO
+        // backlog at merge time.
+        let mb = Mailbox::new();
+        mb.post(pkt(5, 1));
+        mb.post(pkt(5, 2));
+        mb.post(pkt(SHED_EXEMPT_PRIORITY, 3));
+        mb.post(pkt(5, 4));
+        let order: Vec<u8> = (0..4).map(|_| mb.take().unwrap().payload[0]).collect();
+        assert_eq!(order, vec![3, 1, 2, 4]);
+    }
+
+    #[test]
+    fn try_take_if_respects_predicate() {
+        let mb = Mailbox::new();
+        mb.post(pkt(0, 7));
+        assert!(mb.try_take_if(|p| p.priority == 99).is_none(), "rejected head stays queued");
+        assert_eq!(mb.len(), 1);
+        assert_eq!(mb.try_take_if(|p| p.priority == 0).unwrap().payload[0], 7);
+        assert!(mb.try_take_if(|_| true).is_none(), "empty");
+    }
+
+    #[test]
+    fn take_many_drains_in_delivery_order() {
+        let mb = Mailbox::new();
+        for tag in [1u8, 2, 3, 4, 5] {
+            mb.post(pkt(0, tag));
+        }
+        let mut out = Vec::new();
+        assert_eq!(mb.take_many(&mut out, 3), 3);
+        assert_eq!(mb.take_many(&mut out, 10), 2);
+        let tags: Vec<u8> = out.iter().map(|p| p.payload[0]).collect();
+        assert_eq!(tags, vec![1, 2, 3, 4, 5]);
+        assert_eq!(mb.take_many(&mut out, 1), 0);
+    }
+
+    #[test]
+    fn post_many_overflowing_one_lane_keeps_fifo() {
+        let mb = Mailbox::new();
+        let batch: Vec<Packet> =
+            (0..3_000u32).map(|i| Packet::new(Pe(0), Pe(0), Bytes::from(i.to_le_bytes().to_vec()))).collect();
+        mb.post_many(batch);
+        assert_eq!(mb.len(), 3_000);
+        for i in 0..3_000u32 {
+            let pkt = mb.take().unwrap();
+            assert_eq!(u32::from_le_bytes(pkt.payload[..4].try_into().unwrap()), i);
+        }
     }
 
     #[test]
